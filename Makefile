@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -p no:warnings
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate EXPERIMENTS.md (REPRO_TRIALS=1000 for paper-scale stats).
+experiments:
+	$(PYTHON) -m repro.experiments.generate EXPERIMENTS.md
+
+examples:
+	@for e in examples/*.py; do echo "== $$e"; $(PYTHON) $$e || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,50 @@
+"""Ablation: node inactivation (rectangularization) vs lamb nodes.
+
+Section 1 poses the open question of how many nodes inactivation-based
+rectangularization costs compared to lambs.  Empirical answer: in the
+paper's 3D regime the lamb approach wins by orders of magnitude (boxes
+chain-merge); on 2D meshes pushed past their bisection width the
+comparison flips.
+"""
+
+import numpy as np
+
+from repro.baselines import inactivated_nodes
+from repro.core import find_lamb_set
+from repro.mesh import FaultSet, Mesh
+from repro.routing import ascending, repeated
+
+from conftest import run_once
+
+
+def _sweep(trials=3):
+    rows = []
+    cases = [
+        (3, 16, (20, 41, 82, 123)),   # 0.5% .. 3% of 4096
+        (2, 32, (10, 31, 60)),        # up to ~2x bisection width
+    ]
+    rng = np.random.default_rng(11)
+    for d, n, fs in cases:
+        mesh = Mesh.square(d, n)
+        orderings = repeated(ascending(d), 2)
+        for f in fs:
+            inact, lambs = [], []
+            for _ in range(trials):
+                faults = FaultSet(mesh, mesh.random_nodes(f, rng))
+                inact.append(inactivated_nodes(faults).num_inactivated)
+                lambs.append(find_lamb_set(faults, orderings).size)
+            rows.append((d, n, f, float(np.mean(inact)), float(np.mean(lambs))))
+    return rows
+
+
+def test_inactivation_vs_lambs(benchmark, show):
+    rows = run_once(benchmark, _sweep)
+    lines = [f"{'d':>2} {'n':>4} {'faults':>7} {'inactivated':>12} {'lambs':>8}"]
+    for d, n, f, i, l in rows:
+        lines.append(f"{d:>2} {n:>4} {f:>7} {i:>12.1f} {l:>8.1f}")
+    show("\n".join(lines) + "\n")
+    # Shape: in the 3D 3% regime, inactivation costs orders of
+    # magnitude more than lambs.
+    three_d = [(f, i, l) for d, n, f, i, l in rows if d == 3]
+    f, i, l = three_d[-1]
+    assert i > 10 * max(1.0, l)

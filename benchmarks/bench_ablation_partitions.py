@@ -1,0 +1,25 @@
+"""Ablation: how much the mesh-size-independent rectangular partition
+pays over the (expensive, exact) SEC/DEC partitions.
+
+Expected shape: the rectangular partition is never smaller than the
+SEC partition (Remark 4.1: SEC is the minimum SES partition) and the
+overhead stays a small constant factor for random faults.
+"""
+
+from repro.experiments import default_trials, render_sweep
+from repro.experiments.partition_ablation import partition_ablation_sweep
+from repro.mesh import Mesh
+
+from conftest import run_once
+
+
+def test_partition_ablation(benchmark, show):
+    result = run_once(
+        benchmark, partition_ablation_sweep, Mesh.square(2, 16),
+        (2, 4, 8, 16, 24), trials=default_trials(5),
+    )
+    show(render_sweep(result, aggs=("avg",)))
+    for s in result.series:
+        assert s.avg("rect_ses") >= s.avg("exact_sec")
+        assert s.avg("rect_des") >= s.avg("exact_dec")
+        assert s.avg("ses_overhead") < 3.0  # modest constant in practice

@@ -1,0 +1,50 @@
+"""Ablation: the three WVC reductions of Section 6.3.
+
+Compares Lamb1 (bipartite, optimal WVC via max-flow), Lamb2 with the
+Bar-Yehuda-Even 2-approximation, and Lamb2 with exact branch-and-bound
+(optimal lamb sets) on random 2D instances: sizes and pipeline times.
+Expected shape: bipartite <= 2x optimal (usually equal), local-ratio
+<= 2x optimal, exact slowest.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import find_lamb_set
+from repro.mesh import Mesh, random_node_faults
+from repro.routing import repeated, xy
+
+from conftest import run_once
+
+
+def _sweep(trials=5, n=12, f=10):
+    mesh = Mesh.square(2, n)
+    orderings = repeated(xy(), 2)
+    rows = []
+    for t in range(trials):
+        faults = random_node_faults(mesh, f, np.random.default_rng((77, t)))
+        sizes, times = {}, {}
+        for method in ("bipartite", "general", "general-exact"):
+            t0 = time.perf_counter()
+            sizes[method] = find_lamb_set(
+                faults, orderings, method=method, wvc_max_vertices=120
+            ).size
+            times[method] = time.perf_counter() - t0
+        rows.append((sizes, times))
+    return rows
+
+
+def test_wvc_reductions(benchmark, show):
+    rows = run_once(benchmark, _sweep)
+    lines = [f"{'trial':>5} {'bipartite':>10} {'local-ratio':>12} {'exact':>6}"]
+    for i, (sizes, _) in enumerate(rows):
+        lines.append(
+            f"{i:>5} {sizes['bipartite']:>10} {sizes['general']:>12} "
+            f"{sizes['general-exact']:>6}"
+        )
+    show("\n".join(lines) + "\n")
+    for sizes, _ in rows:
+        opt = sizes["general-exact"]
+        assert opt <= sizes["bipartite"] <= 2 * opt
+        assert opt <= sizes["general"] <= 2 * opt

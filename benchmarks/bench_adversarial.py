@@ -1,0 +1,47 @@
+"""Section 6.3.1's adversarial family: Lamb1 at ratio 2 - 1/(2m).
+
+Regenerates the Fig. 15 instances for several m, showing Lamb1
+returning (4m-1)n lambs where 2mn is optimal, and the general-exact
+method recovering the optimum.
+"""
+
+import pytest
+
+from repro.complexity import lamb1_adversarial_instance
+from repro.core import find_lamb_set
+from repro.routing import repeated, xy
+
+from conftest import run_once
+
+
+def _sweep(ms):
+    rows = []
+    for m in ms:
+        inst = lamb1_adversarial_instance(m)
+        orderings = repeated(xy(), 2)
+        lamb1 = find_lamb_set(inst.faults, orderings)
+        if m <= 2:
+            # Cross-check the analytic optimum with the exact solver on
+            # the small instances (the intersection graph grows fast).
+            exact = find_lamb_set(
+                inst.faults, orderings, method="general-exact",
+                wvc_max_vertices=80,
+            )
+            assert exact.size == inst.optimal_lamb_size
+        rows.append(
+            (m, 4 * m + 1, lamb1.size, inst.optimal_lamb_size,
+             lamb1.size / inst.optimal_lamb_size)
+        )
+    return rows
+
+
+def test_lamb1_adversarial_ratio(benchmark, show):
+    rows = run_once(benchmark, _sweep, (1, 2, 3, 4))
+    out = [f"{'m':>3} {'n':>4} {'Lamb1':>7} {'optimal':>8} {'ratio':>6}"]
+    for m, n, a, o, r in rows:
+        out.append(f"{m:>3} {n:>4} {a:>7} {o:>8} {r:>6.3f}")
+    show("\n".join(out) + "\n")
+    for m, n, a, o, r in rows:
+        assert a == (4 * m - 1) * n
+        assert o == 2 * m * n
+        assert r == pytest.approx(2 - 1 / (2 * m))

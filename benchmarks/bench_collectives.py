@@ -1,0 +1,67 @@
+"""Collectives on the reconfigured machine: algorithm comparison.
+
+The Blue Gene workload the paper cites ([2], molecular dynamics) is
+dominated by global collectives.  This benchmark runs broadcast /
+allgather algorithms among the survivors of a faulty 3D mesh and
+checks the textbook shapes: binomial trees scale logarithmically in
+phases, the naive all-to-one gather pays a hotspot penalty, and the
+ring allgather trades phases for bandwidth.
+"""
+
+import math
+
+import numpy as np
+
+from repro.collectives import (
+    binomial_broadcast,
+    binomial_gather,
+    linear_alltoone,
+    recursive_doubling_allgather,
+    ring_allgather,
+    run_collective,
+)
+from repro.core import find_lamb_set
+from repro.mesh import Mesh, random_node_faults
+from repro.routing import repeated, xyz
+
+from conftest import run_once
+
+
+def _machine(n=6, f=5, seed=7):
+    mesh = Mesh.square(3, n)
+    faults = random_node_faults(mesh, f, np.random.default_rng(seed))
+    return find_lamb_set(faults, repeated(xyz(), 2))
+
+
+def _compare(p=32):
+    result = _machine()
+    participants = result.survivors()[:p]
+    rows = {}
+    for name, sched in (
+        ("binomial bcast", binomial_broadcast(p)),
+        ("binomial gather", binomial_gather(p)),
+        ("naive all-to-one", linear_alltoone(p)),
+        ("rec-dbl allgather", recursive_doubling_allgather(p)),
+        ("ring allgather", ring_allgather(p)),
+    ):
+        rows[name] = (sched.num_phases, run_collective(result, sched, participants))
+    return rows
+
+
+def test_collective_comparison(benchmark, show):
+    rows = run_once(benchmark, _compare)
+    lines = [f"{'algorithm':<18} {'phases':>7} {'cycles':>8} {'msgs':>6}"]
+    for name, (phases, st) in rows.items():
+        lines.append(
+            f"{name:<18} {phases:>7} {st.makespan_cycles:>8} {st.total_messages:>6}"
+        )
+    show("\n".join(lines) + "\n")
+    p = 32
+    assert rows["binomial bcast"][0] == math.ceil(math.log2(p))
+    assert rows["ring allgather"][0] == p - 1
+    # Phase counts dominate makespan for small payloads: the ring
+    # allgather takes far longer than recursive doubling.
+    assert (
+        rows["ring allgather"][1].makespan_cycles
+        > rows["rec-dbl allgather"][1].makespan_cycles
+    )

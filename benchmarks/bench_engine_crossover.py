@@ -1,0 +1,35 @@
+"""Engine comparison: the O(p^3) product chain vs the O(p N) floods.
+
+Measures both reachability engines across a fault sweep.  The engines
+must agree bit-for-bit on every instance; the ``engine="auto"`` cost
+model must never pick an engine that loses by more than 3x (a
+regret bound — on small meshes the vectorized product chain wins
+everywhere because p is capped by the good-node count, and the floods
+only take over at large p on large meshes; see
+``tests/test_spanning.py`` for the selection-policy unit tests).
+"""
+
+from repro.experiments import default_trials, render_sweep
+from repro.experiments.engine_scaling import engine_crossover_sweep
+from repro.mesh import Mesh
+
+from conftest import run_once
+
+
+def test_engine_crossover(benchmark, show):
+    result = run_once(
+        benchmark, engine_crossover_sweep, Mesh.square(2, 24),
+        (4, 16, 64, 160, 288), trials=default_trials(3),
+    )
+    show(render_sweep(result, aggs=("avg",)))
+    from repro.core import recommended_engine  # noqa: F401  (policy doc)
+
+    for s in result.series:
+        assert s.avg("agree") == 1.0
+        fast = min(s.avg("seconds_lines"), s.avg("seconds_spanning"))
+        auto = (
+            s.avg("seconds_spanning")
+            if s.avg("auto_picks_spanning") > 0.5
+            else s.avg("seconds_lines")
+        )
+        assert auto <= 3 * fast + 0.01, f"auto regret too high at f={s.x}"

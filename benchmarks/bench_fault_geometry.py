@@ -1,0 +1,29 @@
+"""Extension benchmark: lamb cost vs fault geometry.
+
+Same fault count, three geometries: uniform dust, Eden clusters, and a
+partially failed plane.  Expected shape: clusters cost no more (often
+fewer) lambs per fault than dust; concentrating the same faults on one
+plane costs far more (it approaches the bisection pathology of
+Section 3 / Fig. 21-22's beyond-the-bisection regime).
+"""
+
+import numpy as np
+
+from repro.experiments import default_trials, render_sweep
+from repro.experiments.fault_geometry import fault_geometry_sweep
+from repro.mesh import Mesh
+
+from conftest import run_once
+
+
+def test_fault_geometry(benchmark, show):
+    result = run_once(
+        benchmark, fault_geometry_sweep, Mesh.square(3, 10),
+        (10, 30, 60, 100), trials=default_trials(4),
+    )
+    show(render_sweep(result, aggs=("avg",)))
+    last = result.series[-1]
+    # Planar concentration is catastrophically worse than dust.
+    assert last.avg("lambs_plane") > 3 * max(1.0, last.avg("lambs_uniform"))
+    # Clusters don't blow up relative to dust.
+    assert last.avg("lambs_clustered") <= 4 * max(1.0, last.avg("lambs_uniform")) + 8

@@ -1,0 +1,20 @@
+"""Fig. 17: avg & max #lambs vs fault percentage on M2(32).
+
+Paper reference points: at 3% faults (31 faults) the average lamb
+count is 9.59 (0.937% of the 1024 nodes).
+"""
+
+from repro.experiments import default_trials, fig17, render_sweep
+
+from conftest import run_once
+
+
+def test_fig17(benchmark, show):
+    result = run_once(benchmark, fig17, trials=default_trials(20))
+    show(render_sweep(result, keys=["lambs"]))
+    lambs = result.column("lambs")
+    # Shape: grows with the fault percentage, small relative to N.
+    assert lambs[0] <= lambs[-1]
+    assert lambs[-1] < 0.05 * 1024
+    # Paper: ~9.6 average lambs at 3%; allow generous trial noise.
+    assert 2 <= lambs[-1] <= 30

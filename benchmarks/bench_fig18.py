@@ -1,0 +1,21 @@
+"""Fig. 18: avg & max #lambs vs fault percentage on M3(32).
+
+Paper reference points: at 3% faults (983 faults) the average lamb
+count is 67.6 = 0.206% of the 32768 nodes (and < 7% of the faults).
+"""
+
+from repro.experiments import default_trials, fig18, render_sweep
+
+from conftest import run_once
+
+
+def test_fig18(benchmark, show):
+    result = run_once(benchmark, fig18, trials=default_trials(3))
+    show(render_sweep(result, keys=["lambs"]))
+    lambs = result.column("lambs")
+    assert lambs[0] <= lambs[-1]
+    # Paper: 67.6 average at 3%.  The shape bound: well under 0.5% of N
+    # and under 15% of the fault count.
+    assert lambs[-1] < 0.005 * 32768
+    assert lambs[-1] < 0.15 * 983
+    assert 20 <= lambs[-1] <= 160

@@ -1,0 +1,19 @@
+"""Fig. 19: average additional damage (#lambs / #faults), 2D vs 3D.
+
+Paper reference points at 3% faults: 2D damage = 9.59/31 = 30.9%,
+3D damage = 67.6/983 = 6.88% — the 3D mesh tolerates faults far more
+gracefully (bisection-width argument, Section 8).
+"""
+
+from repro.experiments import default_trials, fig19, render_sweep
+
+from conftest import run_once
+
+
+def test_fig19(benchmark, show):
+    result = run_once(benchmark, fig19, trials=default_trials(3))
+    show(render_sweep(result, aggs=("avg",)))
+    last = result.series[-1]
+    # Shape: 3D additional damage is several times smaller than 2D.
+    assert last.avg("damage_3d") < last.avg("damage_2d")
+    assert last.avg("damage_3d") < 0.2

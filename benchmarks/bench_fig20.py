@@ -1,0 +1,22 @@
+"""Fig. 20: avg & max #lambs vs fault percentage on M2(181).
+
+M2(181) has nearly the same node count (32761) as M3(32) (32768), but
+its bisection width is 181 vs 1024: at 3% faults f = 983 is > 5x the
+bisection width, and the lamb count is dramatically larger than the 3D
+mesh's 67.6 (the paper's motivation for studying the
+faults/bisection-width ratio in Figs. 21-22).
+"""
+
+from repro.experiments import default_trials, fig20, render_sweep
+
+from conftest import run_once
+
+
+def test_fig20(benchmark, show):
+    result = run_once(benchmark, fig20, trials=default_trials(2))
+    show(render_sweep(result, keys=["lambs"]))
+    lambs = result.column("lambs")
+    assert lambs[0] <= lambs[-1]
+    # Shape: the 2D mesh of the same size needs far more lambs than
+    # M3(32)'s ~68 at 3%.
+    assert lambs[-1] > 5 * 68

@@ -1,0 +1,26 @@
+"""Fig. 21: avg lamb %% of N vs faults/bisection-width, 2D meshes
+n = 32, 64, 128.
+
+Paper shape: the lamb percentage stays small while the fault count is
+below the bisection width (ratio <= 1) and degrades beyond it, worse
+for smaller meshes (because a fixed ratio means a higher fault
+*percentage* on a small mesh).
+"""
+
+from repro.experiments import default_trials, fig21, render_sweep
+
+from conftest import run_once
+
+
+def test_fig21(benchmark, show):
+    result = run_once(benchmark, fig21, trials=default_trials(5))
+    show(render_sweep(result, aggs=("avg",)))
+    first, last = result.series[0], result.series[-1]
+    for n in (32, 64, 128):
+        key = f"lamb_pct_n{n}"
+        # Degradation with the ratio.
+        assert first.avg(key) <= last.avg(key)
+        # Below the bisection width the damage is tiny.
+        assert first.avg(key) < 0.5
+    # Smaller meshes degrade worse at high ratio.
+    assert last.avg("lamb_pct_n32") >= last.avg("lamb_pct_n128")

@@ -1,0 +1,22 @@
+"""Fig. 22: avg lamb %% of N vs faults/bisection-width, 3D meshes
+n = 10, 16, 25.
+
+Same shape as Fig. 21 in 3D: graceful below the bisection width,
+degrading beyond it, and worse for the smallest mesh (at ratio 3,
+M3(10) is 30%% faulty vs 2.4%% for M3(25) — the paper's explanation).
+"""
+
+from repro.experiments import default_trials, fig22, render_sweep
+
+from conftest import run_once
+
+
+def test_fig22(benchmark, show):
+    result = run_once(benchmark, fig22, trials=default_trials(2))
+    show(render_sweep(result, aggs=("avg",)))
+    first, last = result.series[0], result.series[-1]
+    for n in (10, 16, 25):
+        key = f"lamb_pct_n{n}"
+        assert first.avg(key) <= last.avg(key)
+        assert first.avg(key) < 1.0
+    assert last.avg("lamb_pct_n10") >= last.avg("lamb_pct_n25")

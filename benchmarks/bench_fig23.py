@@ -1,0 +1,19 @@
+"""Fig. 23: avg lamb %% of N vs mesh size, 2D meshes, 3%% faults.
+
+Paper shape: at a fixed fault *percentage*, the lamb percentage grows
+with the mesh size, because f = 0.03 N grows like n^2 while the
+bisection width grows only like n.
+"""
+
+from repro.experiments import default_trials, fig23, render_sweep
+
+from conftest import run_once
+
+
+def test_fig23(benchmark, show):
+    result = run_once(benchmark, fig23, trials=default_trials(3))
+    show(render_sweep(result, aggs=("avg",), keys=["lamb_pct", "lambs"]))
+    pcts = result.column("lamb_pct")
+    # Growth with N (allow local noise, compare ends).
+    assert pcts[-1] > pcts[0]
+    assert result.xs == sorted(result.xs)

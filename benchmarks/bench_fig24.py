@@ -1,0 +1,18 @@
+"""Fig. 24: avg lamb %% of N vs mesh size, 3D meshes, 3%% faults.
+
+Same shape as Fig. 23 in 3D (f/bisection = 0.03 n^3 / n^2 grows
+linearly in n), at much lower absolute percentages than 2D.
+"""
+
+from repro.experiments import default_trials, fig24, render_sweep
+
+from conftest import run_once
+
+
+def test_fig24(benchmark, show):
+    result = run_once(benchmark, fig24, trials=default_trials(2))
+    show(render_sweep(result, aggs=("avg",), keys=["lamb_pct", "lambs"]))
+    pcts = result.column("lamb_pct")
+    assert pcts[-1] > pcts[0]
+    # 3D stays well-behaved: under 1% of N even at n = 32.
+    assert pcts[-1] < 1.0

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the pipeline kernels.
+
+Verifies the complexity story of Section 6: partition time is
+near-linear in f, the reachability stage (the O(f^3) boolean products)
+dominates, and the whole pipeline is independent of the mesh size N
+(same f on a 32^3 and a 64^3 mesh costs the same).
+"""
+
+import numpy as np
+
+from repro.core import find_lamb_set
+from repro.core.partition import find_ses_partition
+from repro.mesh import Mesh, random_node_faults
+from repro.routing import LineFaultIndex, repeated, xyz
+
+from conftest import run_once
+
+
+def test_partition_kernel(benchmark):
+    mesh = Mesh.square(3, 32)
+    faults = random_node_faults(mesh, 983, np.random.default_rng(0))
+    benchmark(find_ses_partition, faults, xyz())
+
+
+def test_pipeline_small_f(benchmark):
+    mesh = Mesh.square(3, 32)
+    faults = random_node_faults(mesh, 160, np.random.default_rng(0))
+    orderings = repeated(xyz(), 2)
+    index = LineFaultIndex(faults)
+    benchmark.pedantic(
+        find_lamb_set, args=(faults, orderings),
+        kwargs={"index": index}, rounds=3, iterations=1,
+    )
+
+
+def test_mesh_size_independence(benchmark, show):
+    """Same fault count on meshes of very different size: the pipeline
+    cost tracks f, not N (the paper's headline engineering claim)."""
+    orderings = repeated(xyz(), 2)
+    f = 200
+    times = {}
+    for n in (16, 32, 64):
+        mesh = Mesh.square(3, n)
+        faults = random_node_faults(mesh, f, np.random.default_rng(1))
+        result = find_lamb_set(faults, orderings)
+        times[n] = result.timings["total"]
+
+    def _run():
+        mesh = Mesh.square(3, 64)
+        faults = random_node_faults(mesh, f, np.random.default_rng(1))
+        return find_lamb_set(faults, orderings)
+
+    run_once(benchmark, _run)
+    show(
+        "pipeline seconds at f=200: "
+        + ", ".join(f"n={n}: {t:.3f}" for n, t in times.items())
+        + "\n"
+    )
+    # 64^3 has 64x the nodes of 16^3; the pipeline must not be 64x
+    # slower (allow a generous 4x for cache and partition effects).
+    assert times[64] < 4 * max(times[16], 1e-3)

@@ -1,0 +1,37 @@
+"""Extension benchmarks: lamb sets under link faults.
+
+Not a paper figure (Section 8 simulates node faults only); exercises
+the link-fault machinery at figure scale and quantifies the benefit of
+native link-fault handling over the Section 2.2 node-conversion.
+"""
+
+from repro.experiments import default_trials, render_sweep
+from repro.experiments.link_faults import link_fault_sweep, link_vs_node_conversion
+from repro.mesh import Mesh
+
+from conftest import run_once
+
+
+def test_link_fault_sweep_2d(benchmark, show):
+    result = run_once(
+        benchmark, link_fault_sweep, Mesh.square(2, 32),
+        trials=default_trials(5),
+    )
+    show(render_sweep(result, keys=["lambs"]))
+    lambs = result.column("lambs")
+    assert lambs[0] <= lambs[-1]
+    # Link faults are gentler than node faults: fewer lambs than the
+    # Fig. 17 node-fault counts at the same percentage.
+    assert lambs[-1] < 0.05 * 1024
+
+
+def test_link_vs_node_conversion(benchmark, show):
+    result = run_once(
+        benchmark, link_vs_node_conversion, Mesh.square(2, 24), 17,
+        trials=default_trials(8),
+    )
+    show(render_sweep(result, aggs=("avg",)))
+    s = result.series[0]
+    # Native handling sacrifices strictly fewer nodes on average than
+    # converting links to node faults (which destroys good endpoints).
+    assert s.avg("sacrificed_native") < s.avg("sacrificed_converted")

@@ -1,0 +1,27 @@
+"""Section 3's simulation: one round vs two rounds of XYZ routing.
+
+Paper reference (M3(32), f = 32 random faults): Theorem 3.1 bounds the
+expected optimal one-round lamb count by 2698; simulation observed a
+~5750 lower bound; with two rounds, 9995 of 10000 trials needed *zero*
+lambs and the rest needed one.
+"""
+
+from repro.experiments import default_trials, render_sweep, section3_one_vs_two_rounds
+
+from conftest import run_once
+
+
+def test_section3(benchmark, show):
+    result = run_once(
+        benchmark, section3_one_vs_two_rounds, trials=default_trials(3)
+    )
+    show(render_sweep(result, aggs=("avg", "max")))
+    s = result.series[0]
+    bound = result.meta["theorem31_bound"]
+    show(f"Theorem 3.1 lower bound on E[optimal k=1 lambs]: {bound:.0f}\n")
+    # Lamb1 is a 2-approximation, so lambs_k1 / 2 lower-bounds the
+    # optimum; it must be consistent with Theorem 3.1's order of
+    # magnitude (thousands), while k=2 needs (almost) none.
+    assert s.avg("lambs_k1") / 2 > 1000
+    assert s.avg("lambs_k2") <= 1
+    assert s.avg("lambs_k1") > 100 * max(1.0, s.avg("lambs_k2"))

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.
+Trial counts default to small values so the whole suite finishes in a
+few minutes; set ``REPRO_TRIALS`` to approach the paper's 1000-trial
+statistics.  Each benchmark prints the regenerated rows (the series
+the paper plots) and asserts the qualitative *shape* the paper reports
+— who wins, roughly by how much, where the trend bends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one timed invocation and return
+    its value (the figure sweeps are seconds-to-minutes long; classic
+    multi-round benchmarking would be wasteful)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so regenerated rows always reach
+    the terminal."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text, end="")
+
+    return _show

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A molecular-dynamics-style collective workload on a faulty machine.
+
+The Blue Gene design the paper reconfigures was built for protein
+science ([1]); its flagship application ([2]) alternates local force
+computation with *global* collectives over every compute node.  This
+example plays out that loop on a faulty 3D mesh:
+
+1. faults appear; the lamb technique reconfigures the machine;
+2. the surviving compute nodes (lambs excluded — they route, they do
+   not compute) run timesteps of: local work, then an allgather of
+   contributions;
+3. the collective's correctness is checked by dataflow, its cost
+   measured on the flit-level wormhole simulator, comparing the
+   recursive-doubling algorithm against a naive gather+broadcast.
+
+Run:  python examples/md_allreduce.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Mesh, find_lamb_set, repeated, xyz
+from repro.collectives import (
+    binomial_broadcast,
+    binomial_gather,
+    linear_alltoone,
+    recursive_doubling_allgather,
+    run_collective,
+)
+from repro.mesh import random_node_faults
+
+
+def main(n: int = 6) -> None:
+    mesh = Mesh.square(3, n)
+    rng = np.random.default_rng(1)
+    faults = random_node_faults(mesh, max(2, mesh.num_nodes // 60), rng)
+    orderings = repeated(xyz(), 2)
+    result = find_lamb_set(faults, orderings)
+    survivors = result.survivors()
+    print(f"machine: {mesh} | faults {faults.f} | lambs {result.size} | "
+          f"compute nodes {len(survivors)}\n")
+
+    # Use a power-of-two-ish subset as the MD rank set.
+    p = min(64, len(survivors))
+    ranks = survivors[:p]
+
+    # Correctness: after the allgather every rank holds every other
+    # rank's contribution.
+    sched = recursive_doubling_allgather(p)
+    state = sched.propagate({r: {r} for r in range(p)})
+    assert all(state[r] == set(range(p)) for r in range(p))
+    print(f"allgather over {p} ranks: {sched.num_phases} phases, "
+          f"{sched.total_transfers} messages — dataflow verified")
+
+    # Cost on the wormhole machine, vs the naive alternative
+    # (gather everything at rank 0, then broadcast back).
+    fast = run_collective(result, sched, ranks)
+    naive_cycles = 0
+    for s in (linear_alltoone(p), binomial_broadcast(p)):
+        naive_cycles += run_collective(result, s, ranks).makespan_cycles
+    print(f"recursive doubling : {fast.makespan_cycles:>6} cycles "
+          f"({fast.num_phases} phases)")
+    print(f"gather + broadcast : {naive_cycles:>6} cycles")
+
+    # Per-phase costs show the barrier structure.
+    print("\nper-phase cycles (recursive doubling):",
+          fast.phase_cycles)
+    print("\ntimestep loop: compute overlaps nothing here, but the "
+          "collective cost above\nis the communication floor of every "
+          "MD timestep on the reconfigured machine.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Routing tables, persistence, and the full reconfiguration loop.
+
+A reconfiguration has three artifacts: the lamb set, the routing table
+(the k-round intermediates every source needs), and a persisted record
+for the next boot.  This example drives all three through the
+:class:`ReconfigurationManager` over several fault epochs — including
+a *link* fault epoch — and shows the round-usage histogram the paper's
+2-round design banks on: under sparse faults almost all survivor pairs
+still route in a single round.
+
+Run:  python examples/routing_tables.py
+"""
+
+import json
+
+import numpy as np
+
+from repro import Mesh, repeated, xy
+from repro.core import ReconfigurationManager, build_routing_table
+from repro.mesh.serialization import (
+    dumps,
+    lamb_outcome_from_dict,
+    lamb_outcome_to_dict,
+    loads,
+)
+from repro.routing import max_turns_bound
+from repro.viz import render_lambs
+
+
+def main() -> None:
+    mesh = Mesh((16, 16))
+    orderings = repeated(xy(), 2)
+    mgr = ReconfigurationManager(mesh, orderings)
+    rng = np.random.default_rng(16)
+
+    print(f"machine: {mesh}, 2 rounds of XY on 2 virtual channels\n")
+
+    epochs = [
+        {"node_faults": [tuple(v) for v in mesh.random_nodes(5, rng)]},
+        {"node_faults": [tuple(v) for v in
+                         mesh.random_nodes(5, rng, exclude=mgr.fault_set().node_faults)]},
+        {"link_faults": [(((3, 3)), ((3, 4))), (((10, 2)), ((11, 2)))]},
+    ]
+    for spec in epochs:
+        epoch = mgr.report_faults(**spec)
+        kind = "link" if "link_faults" in spec else "node"
+        print(f"epoch {epoch.index}: +{len(list(spec.values())[0])} {kind} faults "
+              f"-> faults {epoch.num_faults}, lambs {epoch.num_lambs}, "
+              f"survivors {epoch.num_survivors}")
+    print(f"sticky lambs held across epochs: {mgr.monotone_lambs()}\n")
+
+    result = mgr.current.result
+
+    # Routing table over a sample of survivor pairs.
+    survivors = result.survivors()
+    pairs = []
+    for _ in range(400):
+        i, j = rng.integers(len(survivors), size=2)
+        if i != j:
+            pairs.append((survivors[int(i)], survivors[int(j)]))
+    table = build_routing_table(result, pairs=pairs)
+    hist = table.round_usage_histogram()
+    total = sum(hist.values())
+    print(f"routing table: {total} routes")
+    for rounds, count in sorted(hist.items()):
+        print(f"  {rounds}-round routes: {count} ({100 * count / total:.1f}%)")
+    print(f"  max turns: {table.max_turns()} "
+          f"(bound {max_turns_bound(mesh.d, orderings.k)})\n")
+
+    # Persist and reload the reconfiguration outcome.
+    record = dumps(lamb_outcome_to_dict(result))
+    back = lamb_outcome_from_dict(loads(record))
+    print(f"persisted outcome: {len(record)} bytes of JSON; "
+          f"reload matches: {back['lambs'] == set(result.lambs)}")
+
+    if result.lambs:
+        print("\nfinal machine state ('X' fault, 'L' lamb):")
+        print(render_lambs(result.faults, result.lambs))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Analytic models: blocking probabilities and executable proofs."""
+
+from .availability import (
+    capacity_timeline,
+    effective_utilization,
+    young_interval,
+)
+from .blocking import (
+    expected_one_round_reachable_fraction,
+    expected_pair_survival,
+    expected_route_length,
+    route_survival_probability,
+)
+from .latency_models import (
+    store_and_forward_latency,
+    two_round_detour_overhead,
+    wormhole_latency,
+)
+from .theorem31 import (
+    disjointness_holds,
+    route_hits_fault,
+    set_A,
+    set_B,
+    simulated_one_round_lower_bound,
+)
+
+__all__ = [
+    "route_survival_probability",
+    "expected_one_round_reachable_fraction",
+    "expected_pair_survival",
+    "expected_route_length",
+    "set_A",
+    "set_B",
+    "disjointness_holds",
+    "route_hits_fault",
+    "simulated_one_round_lower_bound",
+    "wormhole_latency",
+    "store_and_forward_latency",
+    "two_round_detour_overhead",
+    "young_interval",
+    "effective_utilization",
+    "capacity_timeline",
+]

@@ -1,0 +1,103 @@
+"""Analytic blocking probabilities under uniform random node faults.
+
+Closed-form expectations that the simulations can be checked against:
+
+- the probability that a fixed one-round route survives ``f`` uniform
+  node faults is hypergeometric in the number of nodes the route
+  visits;
+- averaging over source/destination pairs yields the expected fraction
+  of pairs that remain one-round reachable — the quantity behind the
+  routing-table round-usage histograms and (at the representative
+  level) the density of the matrix ``R_1`` that Section 6.2 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..mesh.geometry import Mesh
+
+__all__ = [
+    "route_survival_probability",
+    "expected_one_round_reachable_fraction",
+    "expected_pair_survival",
+]
+
+
+def route_survival_probability(N: int, route_nodes: int, f: int) -> float:
+    """P[no fault on a fixed set of ``route_nodes`` nodes | f uniform
+    node faults among N].
+
+    Hypergeometric: C(N - route_nodes, f) / C(N, f).
+    """
+    if not 0 <= f <= N:
+        raise ValueError("need 0 <= f <= N")
+    if route_nodes < 0 or route_nodes > N:
+        raise ValueError("bad route size")
+    if f > N - route_nodes:
+        return 0.0
+    # Product form avoids huge binomials:
+    # C(N-r, f) / C(N, f) = prod_{i < r} (N - f - i) / (N - i).
+    p = 1.0
+    for i in range(route_nodes):
+        p *= (N - f - i) / (N - i)
+    return p
+
+
+def _mean_abs_difference(n: int) -> float:
+    """E|X - Y| for X, Y independent uniform on 0..n-1: (n^2 - 1)/(3n)."""
+    return (n * n - 1) / (3.0 * n)
+
+
+def expected_route_length(mesh: Mesh) -> float:
+    """Expected number of nodes on a dimension-ordered route between
+    two independent uniform nodes: 1 + sum_j E|X_j - Y_j|."""
+    return 1.0 + sum(_mean_abs_difference(n) for n in mesh.widths)
+
+
+def expected_one_round_reachable_fraction(
+    mesh: Mesh,
+    f: int,
+    samples: int = 2000,
+    seed: int = 0,
+    condition_endpoints_good: bool = False,
+) -> float:
+    """E[fraction of ordered pairs (v, w) with the route v -> w
+    fault-free], for f uniform node faults.
+
+    The exact expectation is an average of hypergeometric terms over
+    the route-length distribution; we sample source/destination pairs
+    (the route length depends only on per-dimension coordinate
+    differences) and average the closed-form survival probability —
+    no fault sampling, so the estimate converges fast.
+
+    With ``condition_endpoints_good`` the probability conditions on
+    both endpoints being good (``C(N-r, f) / C(N-2, f)``), which is
+    the quantity to compare against measurements over survivor pairs.
+    """
+    rng = np.random.default_rng(seed)
+    N = mesh.num_nodes
+    total = 0.0
+    for _ in range(samples):
+        nodes_on_route = 1
+        for n in mesh.widths:
+            a, b = rng.integers(n), rng.integers(n)
+            nodes_on_route += abs(int(a) - int(b))
+        p = route_survival_probability(N, nodes_on_route, f)
+        if condition_endpoints_good:
+            endpoints = min(2, nodes_on_route)
+            denom = route_survival_probability(N, endpoints, f)
+            p = p / denom if denom > 0 else 0.0
+        total += p
+    return total / samples
+
+
+def expected_pair_survival(
+    mesh: Mesh, f: int, v: Sequence[int], w: Sequence[int]
+) -> float:
+    """Survival probability of the specific route v -> w under f
+    uniform faults (both endpoints included)."""
+    nodes_on_route = 1 + sum(abs(int(a) - int(b)) for a, b in zip(v, w))
+    return route_survival_probability(mesh.num_nodes, nodes_on_route, f)

@@ -1,0 +1,60 @@
+"""Analytic latency models: wormhole vs store-and-forward.
+
+The reason the paper's machines use wormhole switching at all
+(Section 1, [8]): an uncontended wormhole message of ``L`` flits over
+``h`` hops takes ``h + L - 1`` cycles (the head pipeline fills, then
+one flit drains per cycle), while store-and-forward pays ``h * L``.
+These closed forms are validated against the flit-level simulator in
+the tests, and quantify what the 2-round lamb detour costs: the extra
+hops of an intermediate-node route add cycles *additively*, not
+multiplicatively.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..mesh.geometry import Mesh
+
+__all__ = [
+    "wormhole_latency",
+    "store_and_forward_latency",
+    "two_round_detour_overhead",
+]
+
+
+def wormhole_latency(hops: int, flits: int) -> int:
+    """Uncontended wormhole latency: ``hops + flits - 1`` cycles."""
+    if hops < 0 or flits < 1:
+        raise ValueError("need hops >= 0 and flits >= 1")
+    if hops == 0:
+        return 0
+    return hops + flits - 1
+
+
+def store_and_forward_latency(hops: int, flits: int) -> int:
+    """Uncontended store-and-forward latency: ``hops * flits``."""
+    if hops < 0 or flits < 1:
+        raise ValueError("need hops >= 0 and flits >= 1")
+    return hops * flits
+
+
+def two_round_detour_overhead(
+    mesh: Mesh,
+    src: Sequence[int],
+    dst: Sequence[int],
+    intermediate: Sequence[int],
+    flits: int,
+) -> int:
+    """Extra wormhole cycles a 2-round route through ``intermediate``
+    costs over the direct route — purely the extra hops, because
+    wormhole latency is additive in distance.
+
+    A minimal intermediate (one on an L1 geodesic) costs zero extra
+    cycles; the 'shortest' route policy aims for exactly that.
+    """
+    direct = mesh.l1_distance(src, dst)
+    detour = mesh.l1_distance(src, intermediate) + mesh.l1_distance(
+        intermediate, dst
+    )
+    return wormhole_latency(detour, flits) - wormhole_latency(direct, flits)

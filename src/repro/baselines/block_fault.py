@@ -1,0 +1,242 @@
+"""Fault-ring routing baseline (in the spirit of Boppana & Chalasani).
+
+The comparison class the paper positions itself against [4, 5, 6]
+routes *around* fault regions instead of sacrificing lambs.  This
+module implements a 2D e-cube (XY) router with fault-ring detours for
+**rectangular, non-overlapping fault blocks kept off the mesh
+boundary** — exactly the fault model under which Boppana & Chalasani's
+two-virtual-channel scheme works.
+
+The router is used for the qualitative comparisons the paper makes:
+
+- routes acquire *extra turns* while circling fault rings (up to
+  Θ(n) turns for staircase fault placements, vs. at most 3 turns for
+  2-round XY lamb routing);
+- faults must first be *rectangularized* (see
+  :mod:`repro.baselines.inactivation`) before such schemes apply to
+  arbitrary fault sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..mesh.faults import FaultSet, rectangular_block
+from ..mesh.geometry import Mesh, Node
+
+__all__ = ["FaultBlock", "BlockFaultRouter", "staircase_blocks", "comb_blocks"]
+
+
+@dataclass(frozen=True)
+class FaultBlock:
+    """A rectangular fault region ``[x0, x1] x [y0, y1]`` (inclusive)."""
+
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+
+    def contains(self, node: Sequence[int]) -> bool:
+        x, y = node
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def ring_nodes(self, mesh: Mesh) -> List[Node]:
+        """The fault ring: the nonfaulty boundary around the block."""
+        out = []
+        for x in range(self.x0 - 1, self.x1 + 2):
+            for y in (self.y0 - 1, self.y1 + 1):
+                if mesh.contains((x, y)):
+                    out.append((x, y))
+        for y in range(self.y0, self.y1 + 1):
+            for x in (self.x0 - 1, self.x1 + 1):
+                if mesh.contains((x, y)):
+                    out.append((x, y))
+        return out
+
+
+def staircase_blocks(mesh: Mesh, count: int, size: int = 1, gap: int = 2) -> List[FaultBlock]:
+    """A diagonal staircase of blocks — the adversarial placement that
+    forces Θ(count) turns on fault-ring routers while a lamb router
+    still uses at most 3 turns."""
+    blocks = []
+    x = 1
+    y = 1
+    for _ in range(count):
+        if x + size > mesh.widths[0] - 1 or y + size > mesh.widths[1] - 1:
+            break
+        blocks.append(FaultBlock(x, x + size - 1, y, y + size - 1))
+        x += size + gap
+        y += size + gap
+    return blocks
+
+
+def comb_blocks(mesh: Mesh, column: int, vgap: int = 3) -> List[FaultBlock]:
+    """A ladder of 2-wide blocks alternately straddling ``column`` from
+    the left and from the right, vertically separated by ``vgap`` (>= 3
+    keeps the fault rings disjoint).
+
+    A Y-phase XY route up ``column`` must detour around *every* rung —
+    a serpentine that costs a constant number of turns per rung, i.e. a
+    constant times ``n`` turns in total (the Section 1 observation
+    about fault-ring schemes) — while 2-round lamb routing never
+    exceeds 3 turns on a 2D mesh."""
+    if mesh.d != 2:
+        raise ValueError("comb blocks are a 2D pattern")
+    nx, ny = mesh.widths
+    if vgap < 3:
+        raise ValueError("vgap must be >= 3 to keep fault rings disjoint")
+    if not 2 <= column <= nx - 4:
+        raise ValueError("column must leave room for the 2-wide rungs")
+    blocks = []
+    left = True
+    y = 2
+    while y + 1 <= ny - 2:
+        if left:
+            blocks.append(FaultBlock(column - 1, column, y, y + 1))
+        else:
+            blocks.append(FaultBlock(column, column + 1, y, y + 1))
+        left = not left
+        y += 2 + vgap
+    return blocks
+
+
+class BlockFaultRouter:
+    """XY routing with fault-ring detours around rectangular blocks.
+
+    Requirements (checked at construction): 2D mesh; blocks pairwise
+    non-adjacent (their fault rings must not overlap) and at least one
+    node away from the mesh boundary.
+    """
+
+    def __init__(self, mesh: Mesh, blocks: Sequence[FaultBlock]):
+        if mesh.d != 2:
+            raise ValueError("BlockFaultRouter is a 2D baseline")
+        self.mesh = mesh
+        self.blocks = list(blocks)
+        for b in self.blocks:
+            if b.x0 < 1 or b.y0 < 1 or b.x1 > mesh.widths[0] - 2 or b.y1 > mesh.widths[1] - 2:
+                raise ValueError(f"block {b} touches the mesh boundary")
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1 :]:
+                if (
+                    a.x0 - 2 <= b.x1
+                    and b.x0 - 2 <= a.x1
+                    and a.y0 - 2 <= b.y1
+                    and b.y0 - 2 <= a.y1
+                ):
+                    raise ValueError(f"fault rings of {a} and {b} overlap")
+
+    # ------------------------------------------------------------------
+    def fault_set(self) -> FaultSet:
+        """The fault set induced by the blocks."""
+        nodes: List[Node] = []
+        for b in self.blocks:
+            nodes.extend(
+                rectangular_block(
+                    self.mesh, (b.x0, b.y0), (b.x1 - b.x0 + 1, b.y1 - b.y0 + 1)
+                )
+            )
+        return FaultSet(self.mesh, nodes)
+
+    def _block_at(self, node: Node) -> Optional[FaultBlock]:
+        for b in self.blocks:
+            if b.contains(node):
+                return b
+        return None
+
+    def is_faulty(self, node: Node) -> bool:
+        return self._block_at(node) is not None
+
+    # ------------------------------------------------------------------
+    def route(self, src: Sequence[int], dst: Sequence[int]) -> List[Node]:
+        """An XY route from ``src`` to ``dst`` with ring detours.
+
+        Returns the explicit fault-free path.  Raises ValueError if an
+        endpoint is faulty.
+        """
+        src = tuple(int(c) for c in src)
+        dst = tuple(int(c) for c in dst)
+        if self.is_faulty(src) or self.is_faulty(dst):
+            raise ValueError("endpoints must be nonfaulty")
+        path = [src]
+        x, y = src
+        gx, gy = dst
+        max_len = 8 * self.mesh.num_nodes  # livelock safety net
+
+        def check_progress() -> None:
+            if len(path) > max_len:
+                raise RuntimeError(
+                    "fault-ring routing exceeded the step budget; "
+                    "block configuration likely violates the model"
+                )
+        # Phase X: correct the x coordinate, detouring around blocks.
+        while x != gx:
+            check_progress()
+            step = 1 if gx > x else -1
+            if not self.is_faulty((x + step, y)):
+                x += step
+                path.append((x, y))
+                continue
+            block = self._block_at((x + step, y))
+            assert block is not None
+            self._detour_around_x(path, block, step, gy)
+            x, y = path[-1]
+        # Phase Y: correct the y coordinate.
+        while y != gy:
+            check_progress()
+            step = 1 if gy > y else -1
+            if not self.is_faulty((x, y + step)):
+                y += step
+                path.append((x, y))
+                continue
+            block = self._block_at((x, y + step))
+            assert block is not None
+            self._detour_around_y(path, block, step, gx)
+            x, y = path[-1]
+            # The detour displaced us in x; re-run the X phase.
+            while x != gx:
+                check_progress()
+                xstep = 1 if gx > x else -1
+                if self.is_faulty((x + xstep, y)):
+                    inner = self._block_at((x + xstep, y))
+                    assert inner is not None
+                    self._detour_around_x(path, inner, xstep, gy)
+                else:
+                    path.append((x + xstep, y))
+                x, y = path[-1]
+        return path
+
+    def _detour_around_x(
+        self, path: List[Node], block: FaultBlock, step: int, gy: int
+    ) -> None:
+        """Traveling along X and blocked: go around via the ring row
+        closer to the destination row, cross the block extent, done."""
+        x, y = path[-1]
+        above = block.y0 - 1
+        below = block.y1 + 1
+        ring_y = above if abs(gy - above) <= abs(gy - below) else below
+        while y != ring_y:
+            y += 1 if ring_y > y else -1
+            path.append((x, y))
+        past_x = block.x1 + 1 if step > 0 else block.x0 - 1
+        while x != past_x:
+            x += step
+            path.append((x, y))
+
+    def _detour_around_y(
+        self, path: List[Node], block: FaultBlock, step: int, gx: int
+    ) -> None:
+        """Traveling along Y and blocked: side-step along the ring
+        column closer to the destination column, cross the extent."""
+        x, y = path[-1]
+        left = block.x0 - 1
+        right = block.x1 + 1
+        ring_x = left if abs(gx - left) <= abs(gx - right) else right
+        while x != ring_x:
+            x += 1 if ring_x > x else -1
+            path.append((x, y))
+        past_y = block.y1 + 1 if step > 0 else block.y0 - 1
+        while y != past_y:
+            y += step
+            path.append((x, y))

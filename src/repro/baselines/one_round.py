@@ -1,0 +1,68 @@
+"""One-round-of-routing baseline (Section 3).
+
+The paper's first result is negative: with only k = 1 round of
+dimension-ordered routing, random faults force lamb sets of size
+proportional to ``f * n^2`` on ``M_3(n)`` (Theorem 3.1) — a constant
+fraction of the machine even for ``f = n`` faults.  This module runs
+the k = 1 pipeline so experiments can contrast it with k = 2, and
+reproduces the Section 3 simulation (32 faults on ``M_3(32)``: k = 1
+needs thousands of lambs, k = 2 almost never needs any).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.lamb import LambResult, find_lamb_set
+from ..mesh.faults import FaultSet, random_node_faults
+from ..mesh.geometry import Mesh
+from ..routing.ordering import Ordering, ascending, repeated
+
+__all__ = ["one_round_lamb", "OneVsTwoRounds", "compare_one_vs_two_rounds"]
+
+
+def one_round_lamb(faults: FaultSet, pi: Ordering, method: str = "bipartite") -> LambResult:
+    """Run the lamb pipeline with a single round of ``pi``-routing."""
+    return find_lamb_set(faults, repeated(pi, 1), method=method)
+
+
+@dataclass(frozen=True)
+class OneVsTwoRounds:
+    """Per-trial outcome of the Section 3 comparison.
+
+    ``lambs_k1``/``lambs_k2`` are Lamb1 (2-approximate) sizes, so
+    ``lambs_k1 / 2`` lower-bounds the optimal k = 1 lamb size.
+    """
+
+    trial: int
+    f: int
+    lambs_k1: int
+    lambs_k2: int
+
+    @property
+    def k1_optimum_lower_bound(self) -> float:
+        return self.lambs_k1 / 2.0
+
+
+def compare_one_vs_two_rounds(
+    n: int,
+    f: int,
+    trials: int,
+    seed: int = 0,
+    d: int = 3,
+) -> List[OneVsTwoRounds]:
+    """Section 3's experiment: ``f`` random node faults on ``M_d(n)``,
+    lamb sizes under one round vs two rounds of ascending routing."""
+    mesh = Mesh.square(d, n)
+    pi = ascending(d)
+    out = []
+    for t in range(trials):
+        rng = np.random.default_rng((seed, 3, t))
+        faults = random_node_faults(mesh, f, rng)
+        r1 = find_lamb_set(faults, repeated(pi, 1))
+        r2 = find_lamb_set(faults, repeated(pi, 2))
+        out.append(OneVsTwoRounds(trial=t, f=f, lambs_k1=r1.size, lambs_k2=r2.size))
+    return out

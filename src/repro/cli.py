@@ -1,0 +1,372 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the main workflows:
+
+- ``lamb``        compute a lamb set for a (random or loaded) fault set
+- ``partition``   show the SES/DES partitions for a fault set
+- ``simulate``    push wormhole traffic through a reconfigured mesh
+- ``figure``      regenerate one of the paper's figures
+- ``reconfigure`` replay fault epochs from a JSON script
+- ``collective``  run a collective among the survivors
+- ``worked-example``  print the Section 5 artifacts (Tables 1-2, Λ)
+
+Examples
+--------
+::
+
+    python -m repro lamb --mesh 32x32x32 --percent 3 --seed 1
+    python -m repro lamb --mesh 16x16 --faults 10 --render --out state.json
+    python -m repro partition --mesh 12x12 --fault 9,1 --fault 11,6 --fault 10,10
+    python -m repro simulate --mesh 16x16 --faults 8 --messages 200
+    python -m repro figure fig17 --trials 20
+    python -m repro worked-example
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_mesh(text: str):
+    from .mesh import Mesh, Torus
+
+    torus = text.startswith("torus:")
+    if torus:
+        text = text[len("torus:"):]
+    try:
+        widths = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad mesh spec {text!r}; use e.g. 32x32x32")
+    cls = Torus if torus else Mesh
+    return cls(widths)
+
+
+def _parse_node(text: str):
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad node {text!r}; use e.g. 9,1")
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mesh", type=_parse_mesh, help="mesh spec, e.g. 32x32x32 or torus:8x8")
+    p.add_argument("--faults", type=int, default=0, help="number of random node faults")
+    p.add_argument("--percent", type=float, default=0.0, help="random node faults as %% of N")
+    p.add_argument("--fault", type=_parse_node, action="append", default=[],
+                   help="explicit faulty node (repeatable), e.g. --fault 9,1")
+    p.add_argument("--seed", type=int, default=0, help="RNG seed for random faults")
+    p.add_argument("--load", type=str, default=None, help="load a fault-set JSON instead")
+
+
+def _build_faults(args):
+    from .mesh import FaultSet, random_node_faults
+    from .mesh.serialization import faults_from_dict, loads
+
+    if args.load:
+        with open(args.load) as fh:
+            return faults_from_dict(loads(fh.read()))
+    if args.mesh is None:
+        raise SystemExit("either --mesh or --load is required")
+    mesh = args.mesh
+    explicit = list(args.fault)
+    count = args.faults
+    if args.percent:
+        count = max(1, int(round(mesh.num_nodes * args.percent / 100.0)))
+    if count and explicit:
+        raise SystemExit("use either random faults or explicit --fault, not both")
+    if count:
+        return random_node_faults(mesh, count, np.random.default_rng(args.seed))
+    return FaultSet(mesh, explicit)
+
+
+def _orderings(args, d: int):
+    from .routing import ascending, repeated
+
+    return repeated(ascending(d), args.rounds)
+
+
+def cmd_lamb(args) -> int:
+    from .core import find_lamb_set, is_lamb_set
+    from .mesh.serialization import dumps, lamb_outcome_to_dict
+
+    faults = _build_faults(args)
+    mesh = faults.mesh
+    orderings = _orderings(args, mesh.d)
+    result = find_lamb_set(
+        faults, orderings, method=args.method, engine=args.engine
+    )
+    print(f"mesh {mesh} | faults {faults.f} | rounds {orderings.k}")
+    print(f"SES/DES sets: {result.num_ses} / {result.num_des}")
+    print(f"lambs: {result.size} "
+          f"({100.0 * result.size / mesh.num_nodes:.3f}% of N, "
+          f"additional damage {100.0 * result.additional_damage():.1f}%)")
+    print("pipeline seconds: "
+          + ", ".join(f"{k} {v:.3f}" for k, v in result.timings.items()))
+    if args.show_lambs:
+        for v in sorted(result.lambs):
+            print(f"  lamb {v}")
+    if args.render:
+        from .viz import render_lambs
+
+        print(render_lambs(faults, result.lambs), end="")
+    if args.verify:
+        ok = is_lamb_set(faults, orderings, result.lambs)
+        print(f"definition-level verification: {'OK' if ok else 'FAILED'}")
+        if not ok:
+            return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dumps(lamb_outcome_to_dict(result)))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from .core import find_des_partition, find_ses_partition
+    from .core.bounds import partition_size_bound
+    from .routing import ascending
+
+    faults = _build_faults(args)
+    mesh = faults.mesh
+    pi = ascending(mesh.d)
+    ses = find_ses_partition(faults, pi)
+    des = find_des_partition(faults, pi)
+    bound = partition_size_bound(mesh.widths, faults.f)
+    print(f"mesh {mesh} | faults {faults.f}")
+    print(f"SES partition: {len(ses)} sets (Theorem 6.4 bound {bound})")
+    print(f"DES partition: {len(des)} sets")
+    if args.list:
+        for r in ses:
+            print(f"  SES {r.spec()}  size {r.size}  rep {r.lo}")
+        for r in des:
+            print(f"  DES {r.spec()}  size {r.size}  rep {r.lo}")
+    if args.render:
+        from .viz import render_partition
+
+        print("SES partition:")
+        print(render_partition(faults, ses), end="")
+        print("DES partition:")
+        print(render_partition(faults, des), end="")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .core import find_lamb_set
+    from .wormhole import WormholeSimulator, uniform_random_traffic
+
+    faults = _build_faults(args)
+    mesh = faults.mesh
+    orderings = _orderings(args, mesh.d)
+    result = find_lamb_set(faults, orderings)
+    endpoints = [v for v in mesh.nodes() if result.is_survivor(v)]
+    rng = np.random.default_rng(args.seed)
+    sim = WormholeSimulator(
+        faults, orderings, buffer_flits=args.buffers, policy=args.policy,
+        seed=args.seed,
+    )
+    for inj in uniform_random_traffic(
+        endpoints, args.messages, rng, num_flits=args.flits,
+        inject_window=args.window,
+    ):
+        sim.send(inj.source, inj.dest, inj.num_flits, inj.inject_cycle)
+    stats = sim.run(max_cycles=args.max_cycles)
+    print(f"mesh {mesh} | faults {faults.f} | lambs {result.size} | "
+          f"survivors {len(endpoints)}")
+    print(f"messages {stats.delivered}/{stats.total_messages} in "
+          f"{stats.cycles} cycles")
+    print(f"latency avg {stats.avg_latency:.1f}  p95 {stats.p95_latency:.1f}  "
+          f"max {stats.max_latency}")
+    print(f"throughput {stats.throughput_flits_per_cycle:.2f} flits/cycle  "
+          f"avg hops {stats.avg_hops:.1f}  max turns {stats.max_turns}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from .experiments import figures, render_sweep
+
+    fn = getattr(figures, args.name, None)
+    if fn is None or not args.name.startswith(("fig", "section")):
+        raise SystemExit(
+            f"unknown figure {args.name!r}; try fig17..fig26 or "
+            "section3_one_vs_two_rounds"
+        )
+    result = fn(trials=args.trials, seed=args.seed)
+    print(render_sweep(result), end="")
+    return 0
+
+
+def cmd_reconfigure(args) -> int:
+    import json as _json
+
+    from .core import ReconfigurationManager
+
+    with open(args.script) as fh:
+        spec = _json.load(fh)
+    mesh = _parse_mesh(spec["mesh"])
+    from .routing import ascending, repeated
+
+    orderings = repeated(ascending(mesh.d), int(spec.get("rounds", 2)))
+    mgr = ReconfigurationManager(
+        mesh, orderings, sticky_lambs=bool(spec.get("sticky_lambs", True))
+    )
+    print(f"machine {mesh} | rounds {orderings.k} | "
+          f"sticky lambs {mgr.sticky_lambs}")
+    for spec_epoch in spec["epochs"]:
+        epoch = mgr.report_faults(
+            node_faults=[tuple(v) for v in spec_epoch.get("node_faults", [])],
+            link_faults=[
+                (tuple(u), tuple(w))
+                for (u, w) in spec_epoch.get("link_faults", [])
+            ],
+        )
+        print(f"epoch {epoch.index}: faults {epoch.num_faults} "
+              f"lambs {epoch.num_lambs} survivors {epoch.num_survivors} "
+              f"({epoch.result.timings['total'] * 1e3:.0f} ms)")
+    if args.out and mgr.current is not None:
+        from .mesh.serialization import dumps, lamb_outcome_to_dict
+
+        with open(args.out, "w") as fh:
+            fh.write(dumps(lamb_outcome_to_dict(mgr.current.result)))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_collective(args) -> int:
+    from .collectives import (
+        binomial_broadcast,
+        binomial_gather,
+        linear_alltoone,
+        recursive_doubling_allgather,
+        ring_allgather,
+        run_collective,
+    )
+    from .core import find_lamb_set
+
+    faults = _build_faults(args)
+    orderings = _orderings(args, faults.mesh.d)
+    result = find_lamb_set(faults, orderings)
+    survivors = result.survivors()
+    p = min(args.ranks, len(survivors)) if args.ranks else len(survivors)
+    builders = {
+        "broadcast": lambda: binomial_broadcast(p, flits=args.flits),
+        "gather": lambda: binomial_gather(p, flits=args.flits),
+        "allgather": lambda: recursive_doubling_allgather(p, flits=args.flits),
+        "ring-allgather": lambda: ring_allgather(p, flits=args.flits),
+        "all-to-one": lambda: linear_alltoone(p, flits=args.flits),
+    }
+    sched = builders[args.algorithm]()
+    stats = run_collective(result, sched, survivors[:p], seed=args.seed)
+    print(f"{args.algorithm} over {p} ranks on {faults.mesh} "
+          f"({faults.f} faults, {result.size} lambs)")
+    print(f"phases {stats.num_phases} | messages {stats.total_messages} | "
+          f"makespan {stats.makespan_cycles} cycles")
+    print(f"per-phase cycles: {stats.phase_cycles}")
+    return 0
+
+
+def cmd_worked_example(args) -> int:
+    from .experiments import render_matrix, worked_example
+    from .viz import render_lambs, render_partition
+
+    we = worked_example()
+    print("Fig. 2 faults:", list(we.faults.node_faults))
+    print("\nSES partition (Fig. 3):")
+    print(render_partition(we.faults, we.ses, show_representatives=True), end="")
+    print("\nDES partition (Fig. 4):")
+    print(render_partition(we.faults, we.des, show_representatives=True), end="")
+    print("\nTable 1 (R):")
+    print(render_matrix(we.R), end="")
+    print("\nTable 2 (R^(2)):")
+    print(render_matrix(we.R2), end="")
+    print("\nLamb set (Fig. 10):")
+    print(render_lambs(we.faults, we.result.lambs), end="")
+    print(f"\nmatches the paper exactly: {we.matches_paper()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant wormhole routing via sacrificial lambs "
+        "(Ho & Stockmeyer, IPDPS 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("lamb", help="compute a lamb set")
+    _add_fault_args(p)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--method", choices=("bipartite", "general", "general-exact"),
+                   default="bipartite")
+    p.add_argument("--engine", choices=("lines", "spanning", "auto"),
+                   default="lines")
+    p.add_argument("--show-lambs", action="store_true")
+    p.add_argument("--render", action="store_true",
+                   help="ASCII-render the result (2D meshes)")
+    p.add_argument("--verify", action="store_true",
+                   help="brute-force certify the lamb set (small meshes)")
+    p.add_argument("--out", type=str, default=None,
+                   help="write the outcome as JSON")
+    p.set_defaults(fn=cmd_lamb)
+
+    p = sub.add_parser("partition", help="show SES/DES partitions")
+    _add_fault_args(p)
+    p.add_argument("--list", action="store_true", help="list every set")
+    p.add_argument("--render", action="store_true")
+    p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser("simulate", help="wormhole traffic on a faulty mesh")
+    _add_fault_args(p)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--messages", type=int, default=100)
+    p.add_argument("--flits", type=int, default=16)
+    p.add_argument("--window", type=int, default=50)
+    p.add_argument("--buffers", type=int, default=2)
+    p.add_argument("--policy", choices=("shortest", "first", "random"),
+                   default="shortest")
+    p.add_argument("--max-cycles", type=int, default=1_000_000)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name", help="fig17..fig26 or section3_one_vs_two_rounds")
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("reconfigure", help="replay fault epochs from JSON")
+    p.add_argument("script", help="JSON: {mesh, rounds?, epochs: [...]}")
+    p.add_argument("--out", type=str, default=None)
+    p.set_defaults(fn=cmd_reconfigure)
+
+    p = sub.add_parser("collective", help="run a collective among survivors")
+    _add_fault_args(p)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument(
+        "--algorithm",
+        choices=("broadcast", "gather", "allgather", "ring-allgather",
+                 "all-to-one"),
+        default="allgather",
+    )
+    p.add_argument("--ranks", type=int, default=0,
+                   help="participant count (default: all survivors)")
+    p.add_argument("--flits", type=int, default=8)
+    p.set_defaults(fn=cmd_collective)
+
+    p = sub.add_parser("worked-example", help="print the Section 5 artifacts")
+    p.set_defaults(fn=cmd_worked_example)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Collective communication over the reconfigured machine."""
+
+from .algorithms import (
+    binomial_broadcast,
+    binomial_gather,
+    linear_alltoone,
+    recursive_doubling_allgather,
+    ring_allgather,
+)
+from .runner import CollectiveStats, run_collective
+from .schedule import Schedule, Transfer
+
+__all__ = [
+    "Schedule",
+    "Transfer",
+    "binomial_broadcast",
+    "binomial_gather",
+    "recursive_doubling_allgather",
+    "ring_allgather",
+    "linear_alltoone",
+    "run_collective",
+    "CollectiveStats",
+]

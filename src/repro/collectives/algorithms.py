@@ -1,0 +1,130 @@
+"""Collective algorithms compiled to schedules.
+
+Classic MPI-style algorithms over the survivor ranks:
+
+- :func:`binomial_broadcast` — log2(P) phases, root fans out;
+- :func:`binomial_gather` — the reverse tree;
+- :func:`recursive_doubling_allgather` — every rank ends with every
+  contribution in ceil(log2 P) phases (power-of-two ranks exchange;
+  stragglers are folded in with a pre/post phase);
+- :func:`ring_allgather` — P - 1 phases, bandwidth-optimal shape;
+- :func:`linear_alltoone` — the naive baseline.
+
+All algorithms are verified by the schedule's set-union dataflow in
+the tests: broadcast must deliver the root's contribution everywhere,
+allgather must deliver everyone's everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .schedule import Schedule, Transfer
+
+__all__ = [
+    "binomial_broadcast",
+    "binomial_gather",
+    "recursive_doubling_allgather",
+    "ring_allgather",
+    "linear_alltoone",
+]
+
+
+def _check(num_ranks: int, root: int = 0) -> None:
+    if num_ranks < 1:
+        raise ValueError("need at least one rank")
+    if not 0 <= root < num_ranks:
+        raise ValueError(f"root {root} out of range")
+
+
+def binomial_broadcast(num_ranks: int, root: int = 0, flits: int = 8) -> Schedule:
+    """Binomial-tree broadcast: phase r doubles the informed set."""
+    _check(num_ranks, root)
+    sched = Schedule(num_ranks)
+    # Work in root-relative rank space.
+    span = 1
+    while span < num_ranks:
+        phase: List[Transfer] = []
+        for rel in range(span):
+            dst_rel = rel + span
+            if dst_rel < num_ranks:
+                phase.append(
+                    Transfer(
+                        (root + rel) % num_ranks,
+                        (root + dst_rel) % num_ranks,
+                        flits,
+                    )
+                )
+        sched.add_phase(phase)
+        span *= 2
+    return sched
+
+
+def binomial_gather(num_ranks: int, root: int = 0, flits: int = 8) -> Schedule:
+    """Binomial-tree gather: the broadcast tree run backwards."""
+    _check(num_ranks, root)
+    bcast = binomial_broadcast(num_ranks, root, flits)
+    sched = Schedule(num_ranks)
+    for phase in reversed(bcast.phases):
+        sched.add_phase(
+            [Transfer(t.dst_rank, t.src_rank, flits) for t in phase]
+        )
+    return sched
+
+
+def recursive_doubling_allgather(num_ranks: int, flits: int = 8) -> Schedule:
+    """Recursive-doubling allgather.
+
+    For P a power of two: in phase r, rank i exchanges with
+    ``i XOR 2^r``.  Otherwise the trailing ``P - 2^m`` stragglers fold
+    their data into a partner first and receive the full result last.
+    """
+    _check(num_ranks)
+    sched = Schedule(num_ranks)
+    if num_ranks == 1:
+        return sched
+    m = 1
+    while m * 2 <= num_ranks:
+        m *= 2
+    extras = num_ranks - m  # ranks m .. num_ranks-1
+    if extras:
+        sched.add_phase(
+            [Transfer(m + e, e, flits) for e in range(extras)]
+        )
+    span = 1
+    while span < m:
+        phase = []
+        for i in range(m):
+            phase.append(Transfer(i, i ^ span, flits))
+        sched.add_phase(phase)
+        span *= 2
+    if extras:
+        sched.add_phase(
+            [Transfer(e, m + e, flits) for e in range(extras)]
+        )
+    return sched
+
+
+def ring_allgather(num_ranks: int, flits: int = 8) -> Schedule:
+    """Ring allgather: P - 1 phases, each rank forwards to its
+    successor (bandwidth-optimal for large payloads)."""
+    _check(num_ranks)
+    sched = Schedule(num_ranks)
+    if num_ranks == 1:
+        return sched
+    for _ in range(num_ranks - 1):
+        sched.add_phase(
+            [Transfer(i, (i + 1) % num_ranks, flits) for i in range(num_ranks)]
+        )
+    return sched
+
+
+def linear_alltoone(num_ranks: int, root: int = 0, flits: int = 8) -> Schedule:
+    """Naive gather: everyone sends to the root in one phase (the
+    hotspot baseline)."""
+    _check(num_ranks, root)
+    sched = Schedule(num_ranks)
+    sched.add_phase(
+        [Transfer(i, root, flits) for i in range(num_ranks) if i != root]
+    )
+    return sched

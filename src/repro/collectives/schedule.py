@@ -1,0 +1,74 @@
+"""Communication schedules for collectives among survivor nodes.
+
+A *schedule* is a list of phases; each phase is a list of point-to-
+point transfers executed concurrently, with a barrier between phases.
+Collective algorithms (broadcast, gather, allreduce) compile to
+schedules over the survivor ranks, and :mod:`repro.collectives.runner`
+executes schedules on the wormhole simulator.
+
+Ranks are indices into a fixed list of participant nodes (the
+survivors of a reconfiguration); algorithms are topology-agnostic —
+the lamb machinery guarantees any survivor can message any survivor in
+k rounds, which is exactly the abstraction collectives need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+
+__all__ = ["Transfer", "Schedule"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point message of a collective phase."""
+
+    src_rank: int
+    dst_rank: int
+    flits: int = 8
+
+
+@dataclass
+class Schedule:
+    """Phased communication plan over ``num_ranks`` participants."""
+
+    num_ranks: int
+    phases: List[List[Transfer]] = field(default_factory=list)
+
+    def add_phase(self, transfers: Sequence[Transfer]) -> None:
+        for t in transfers:
+            if not (0 <= t.src_rank < self.num_ranks):
+                raise ValueError(f"bad source rank {t.src_rank}")
+            if not (0 <= t.dst_rank < self.num_ranks):
+                raise ValueError(f"bad destination rank {t.dst_rank}")
+            if t.src_rank == t.dst_rank:
+                raise ValueError("self-transfer")
+        self.phases.append(list(transfers))
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(len(p) for p in self.phases)
+
+    # ------------------------------------------------------------------
+    # Dataflow semantics, used to verify algorithm correctness without
+    # simulating the network: each rank holds a set of "contributions".
+    # ------------------------------------------------------------------
+    def propagate(self, initial: Dict[int, Set[int]]) -> Dict[int, Set[int]]:
+        """Run set-union dataflow through the schedule.
+
+        ``initial[rank]`` is the rank's starting contribution set; a
+        transfer copies the sender's *current phase-start* set to the
+        receiver (all transfers in a phase read pre-phase state, which
+        models the barrier semantics)."""
+        state = {r: set(initial.get(r, set())) for r in range(self.num_ranks)}
+        for phase in self.phases:
+            snapshot = {r: set(s) for r, s in state.items()}
+            for t in phase:
+                state[t.dst_rank] |= snapshot[t.src_rank]
+        return state

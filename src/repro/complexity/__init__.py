@@ -1,0 +1,26 @@
+"""Computational-complexity artifacts: the Section 9 reduction and
+the paper's adversarial instances."""
+
+from .adversarial import (
+    AdversarialInstance,
+    diagonal_fault_set,
+    lamb1_adversarial_instance,
+    prop65_fault_set,
+)
+from .nphardness import (
+    LambHardnessInstance,
+    build_lamb_instance,
+    cover_to_lamb_set,
+    recover_vertex_cover,
+)
+
+__all__ = [
+    "build_lamb_instance",
+    "LambHardnessInstance",
+    "recover_vertex_cover",
+    "cover_to_lamb_set",
+    "lamb1_adversarial_instance",
+    "AdversarialInstance",
+    "prop65_fault_set",
+    "diagonal_fault_set",
+]

@@ -1,0 +1,135 @@
+"""Adversarial instances from the paper.
+
+- :func:`lamb1_adversarial_instance`: the Section 6.3.1 family on
+  which Lamb1 is nonoptimal by a factor ``2 - 1/(2m)`` (Fig. 15) —
+  two full fault rows split the mesh into three components.
+- :func:`prop65_fault_set`: Proposition 6.5's inductive construction
+  on which Find-SES-Partition returns *exactly* ``B(d, f)`` sets (the
+  Theorem 6.4 bound is tight).
+- :func:`diagonal_fault_set`: one fault at ``(i, i, ..., i)`` for odd
+  ``i`` — makes both the SEC and DEC partition sizes hit
+  ``(2d - 1) f + 1`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Mesh, Node
+
+__all__ = [
+    "AdversarialInstance",
+    "lamb1_adversarial_instance",
+    "prop65_fault_set",
+    "diagonal_fault_set",
+]
+
+
+@dataclass(frozen=True)
+class AdversarialInstance:
+    """A fault set with its known optimal and expected Lamb1 sizes."""
+
+    faults: FaultSet
+    optimal_lamb_size: int
+    lamb1_size: int
+
+    @property
+    def ratio(self) -> float:
+        return self.lamb1_size / self.optimal_lamb_size
+
+
+def lamb1_adversarial_instance(m: int) -> AdversarialInstance:
+    """Section 6.3.1's example on ``M_2(4m + 1)``.
+
+    Fault rows at ``y = m`` and ``y = n - m - 1`` cut the mesh into
+    three components of ``m*n``, ``(2m-1)*n`` and ``m*n`` nodes.  The
+    optimal lamb set is the two outer components (``2mn`` nodes) but
+    Lamb1's bipartite cover takes one full side of the bipartition,
+    ``(4m - 1) n`` nodes — ratio ``2 - 1/(2m)``.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    n = 4 * m + 1
+    mesh = Mesh((n, n))
+    rows = [m, n - m - 1]
+    faults = FaultSet(mesh, [(x, y) for y in rows for x in range(n)])
+    return AdversarialInstance(
+        faults=faults,
+        optimal_lamb_size=2 * m * n,
+        lamb1_size=(4 * m - 1) * n,
+    )
+
+
+def _prop65_place(d: int, n: int, f: int) -> List[Node]:
+    """Recursive fault placement of Proposition 6.5 (node-fault case)."""
+    if f == 0:
+        return []
+    if d == 1:
+        if f > (n - 1) // 2:
+            raise ValueError("too many faults for one dimension")
+        return [(2 * i - 1,) for i in range(1, f + 1)]
+    max_f = n ** (d - 1) * (n - 1) // 2
+    if f > max_f:
+        raise ValueError(f"f must be at most {max_f}")
+    out: List[Node] = []
+    if 2 * f <= n - 1:
+        # One fault in each slab 2i - 1 for i = 1..f.
+        for i in range(1, f + 1):
+            for v in _prop65_place(d - 1, n, 1):
+                out.append(v + (2 * i - 1,))
+        return out
+    # f = q n + r: r slabs get q + 1 faults, n - r slabs get q; odd
+    # slabs 2i - 1 (i <= (n-1)/2) must each get at least one fault.
+    q, r = divmod(f, n)
+    counts = [q] * n
+    odd = [2 * i - 1 for i in range(1, (n - 1) // 2 + 1)]
+    extra = r
+    # Give the +1 first to odd slabs that would otherwise be empty.
+    order = odd + [c for c in range(n) if c not in odd]
+    for c in order:
+        if extra == 0:
+            break
+        counts[c] += 1
+        extra -= 1
+    for c in range(n):
+        for v in _prop65_place(d - 1, n, counts[c]):
+            out.append(v + (c,))
+    return out
+
+
+def prop65_fault_set(d: int, n: int, f: int, link_faults: bool = False) -> FaultSet:
+    """Proposition 6.5's fault set: Find-SES-Partition on it returns an
+    SES partition of size exactly ``B(d, f)``
+    (:func:`repro.core.partition_size_bound`).
+
+    ``n`` must be odd and at least 3; ``f <= n^(d-1) (n-1) / 2``.
+    With ``link_faults=True`` the same construction uses link faults
+    whose left endpoints sit at the node-fault positions.
+    """
+    if n < 3 or n % 2 == 0:
+        raise ValueError("Proposition 6.5 requires odd n >= 3")
+    mesh = Mesh.square(d, n)
+    nodes = _prop65_place(d, n, f)
+    if not link_faults:
+        return FaultSet(mesh, nodes)
+    links = []
+    for v in nodes:
+        # The link whose left endpoint is the node-fault position; the
+        # first coordinate of the construction is always odd, hence
+        # strictly below n - 1, so the +1 neighbor exists.
+        w = (v[0] + 1,) + v[1:]
+        links.append((v, w))
+    return FaultSet(mesh, (), links)
+
+
+def diagonal_fault_set(d: int, n: int, f: int) -> FaultSet:
+    """One fault at ``(i, i, ..., i)`` for each odd ``i <= 2f - 1``
+    (requires ``f <= (n - 1) / 2``): both the SEC and DEC partitions
+    have exactly ``(2d - 1) f + 1`` classes (tightness of the loose
+    Theorem 6.4 bound)."""
+    if 2 * f > n - 1:
+        raise ValueError("requires f <= (n - 1) / 2")
+    mesh = Mesh.square(d, n)
+    return FaultSet(mesh, [((2 * i - 1),) * d for i in range(1, f + 1)])

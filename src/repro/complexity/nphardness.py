@@ -1,0 +1,214 @@
+"""The NP-hardness reduction of Section 9, executable.
+
+Theorem 9.1 reduces Vertex Cover to the (3, 2)-lamb problem: given a
+graph ``G``, build a fault set on ``M_3(n)`` out of *column planes*
+(Fig. 27) and *non-edge planes* (Fig. 28) such that
+
+1. columns of non-adjacent vertices can 2-reach each other,
+2. columns of adjacent vertices cannot (outside outlets),
+3. every column reaches the external region and vice versa,
+
+so a lamb set yields a vertex cover (take vertex ``u_i`` when all
+non-outlet nodes of column ``i`` are lambs) whose size tracks the lamb
+set's.  The paper's ``n`` is astronomically large because it must make
+the *approximation ratio* transfer exact; for executable instances we
+allow any ``n >= max(2|V|, 2 * #non-edges + 1)`` — the combinatorial
+structure (properties 1-3 and cover recovery) is preserved at any such
+``n``, which is what the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Mesh, Node
+
+__all__ = ["LambHardnessInstance", "build_lamb_instance", "recover_vertex_cover", "cover_to_lamb_set"]
+
+
+@dataclass
+class LambHardnessInstance:
+    """A (3, 2)-lamb instance encoding a vertex cover instance.
+
+    Attributes
+    ----------
+    graph_n, edges:
+        The original VC instance (vertices ``0..graph_n-1``).  Vertex
+        ``graph_n`` is the isolated helper ``u_0`` added by the proof;
+        internally vertices are re-indexed with the helper at 0.
+    faults:
+        The constructed fault set on ``M_3(n)``.
+    column_levels:
+        Levels of the column planes.
+    nonedge_levels:
+        Map (i, j) vertex pair (internal indexing, i < j) -> plane
+        level for every *non-edge*.
+    """
+
+    graph_n: int
+    edges: List[Tuple[int, int]]
+    n: int
+    faults: FaultSet
+    column_levels: List[int]
+    nonedge_levels: Dict[Tuple[int, int], int]
+    num_vertices: int  # |V| including the helper
+
+    def column_nodes(self, i: int) -> List[Node]:
+        """All nodes of column-i: ``(2i, y, 2i)`` for every level."""
+        return [(2 * i, y, 2 * i) for y in range(self.n)]
+
+    def outlet_levels(self, i: int) -> Set[int]:
+        """Levels at which column-i has an outlet."""
+        return {
+            y
+            for (a, b), y in self.nonedge_levels.items()
+            if i in (a, b)
+        }
+
+    def non_outlet_nodes(self, i: int) -> List[Node]:
+        """The r-column (restricted) nodes of column-i."""
+        outs = self.outlet_levels(i)
+        return [(2 * i, y, 2 * i) for y in range(self.n) if y not in outs]
+
+    def path_nodes(self) -> Set[Node]:
+        """All internal good nodes that are neither column nodes nor
+        outlets (the 'path nodes' of the proof)."""
+        cols = {2 * i for i in range(self.num_vertices)}
+        out: Set[Node] = set()
+        V2 = 2 * self.num_vertices
+        for (i, j), y in self.nonedge_levels.items():
+            for v in _nonedge_plane_good(self.num_vertices, i, j):
+                node = (v[0], y, v[1])
+                if not (v[0] == v[1] and v[0] in cols):
+                    out.add(node)
+        return out
+
+    def is_internal(self, node: Node) -> bool:
+        x, _, z = node
+        V2 = 2 * self.num_vertices
+        return x < V2 and z < V2
+
+
+def _nonedge_plane_good(V: int, i: int, j: int) -> Set[Tuple[int, int]]:
+    """Good internal (x, z) cells of the non-edge plane for columns
+    ``i < j`` (Fig. 28): the rectangle boundary with corners
+    ``(2i, 2i)`` and ``(2j, 2j)`` plus X and Z escapes from both
+    outlets to the external region."""
+    V2 = 2 * V
+    a, b = 2 * i, 2 * j
+    good: Set[Tuple[int, int]] = set()
+    # Rectangle boundary between the two outlets (both L paths).
+    for z in range(a, b + 1):
+        good.add((a, z))
+        good.add((b, z))
+    for x in range(a, b + 1):
+        good.add((x, a))
+        good.add((x, b))
+    # Escapes to the external region (x >= V2 or z >= V2).
+    for x in range(b, V2):
+        good.add((x, a))
+        good.add((x, b))
+    for z in range(b, V2):
+        good.add((a, z))
+        good.add((b, z))
+    return good
+
+
+def build_lamb_instance(
+    graph_n: int,
+    edges: Iterable[Tuple[int, int]],
+    n: int = 0,
+) -> LambHardnessInstance:
+    """Build the Theorem 9.1 fault set for a VC instance.
+
+    Parameters
+    ----------
+    graph_n:
+        Number of vertices of the VC instance.
+    edges:
+        Undirected edges ``(u, v)`` with ``0 <= u < v < graph_n``.
+    n:
+        Mesh width; defaults to the smallest valid value
+        ``max(2|V| + 2, 2 * #non-edges + 1)`` where ``|V| = graph_n + 1``
+        (the helper vertex is added automatically; the +2 leaves an
+        external shell so escape paths have somewhere to go).
+    """
+    edges = sorted({(min(u, v), max(u, v)) for (u, v) in edges})
+    for (u, v) in edges:
+        if not (0 <= u < v < graph_n):
+            raise ValueError(f"bad edge ({u}, {v})")
+    V = graph_n + 1  # helper u_0 at internal index 0
+    edge_set = {(u + 1, v + 1) for (u, v) in edges}  # internal indexing
+    nonedges = [
+        (i, j)
+        for i in range(V)
+        for j in range(i + 1, V)
+        if (i, j) not in edge_set
+    ]
+    # Need room for external nodes (x or z >= 2|V|) and a plane per
+    # non-edge with column planes between and around them.
+    min_n = max(2 * V + 2, 2 * len(nonedges) + 1)
+    if n == 0:
+        n = min_n
+    if n < min_n:
+        raise ValueError(f"n must be at least {min_n}")
+    mesh = Mesh.square(3, n)
+    V2 = 2 * V
+
+    # Plane schedule: non-edge planes at odd levels 1, 3, 5, ...; all
+    # other levels are column planes (so every non-edge plane has
+    # column planes at both adjacent levels).
+    nonedge_levels: Dict[Tuple[int, int], int] = {}
+    for idx, (i, j) in enumerate(nonedges):
+        nonedge_levels[(i, j)] = 2 * idx + 1
+    nonedge_by_level = {y: pair for pair, y in nonedge_levels.items()}
+    column_levels = [y for y in range(n) if y not in nonedge_by_level]
+
+    node_faults: List[Node] = []
+    column_cells = {(2 * i, 2 * i) for i in range(V)}
+    for y in range(n):
+        pair = nonedge_by_level.get(y)
+        if pair is None:
+            good_cells = column_cells
+        else:
+            good_cells = _nonedge_plane_good(V, *pair) | column_cells
+        for x in range(V2):
+            for z in range(V2):
+                if (x, z) not in good_cells:
+                    node_faults.append((x, y, z))
+    faults = FaultSet(mesh, node_faults)
+    return LambHardnessInstance(
+        graph_n=graph_n,
+        edges=list(edges),
+        n=n,
+        faults=faults,
+        column_levels=column_levels,
+        nonedge_levels=nonedge_levels,
+        num_vertices=V,
+    )
+
+
+def recover_vertex_cover(
+    instance: LambHardnessInstance, lambs: Iterable[Node]
+) -> Set[int]:
+    """The proof's cover extraction: original vertex ``u`` is in the
+    cover iff all non-outlet nodes of its column are lambs."""
+    lamb_set = {tuple(v) for v in lambs}
+    cover: Set[int] = set()
+    for i in range(1, instance.num_vertices):  # skip the helper
+        if all(v in lamb_set for v in instance.non_outlet_nodes(i)):
+            cover.add(i - 1)  # back to original indexing
+    return cover
+
+
+def cover_to_lamb_set(
+    instance: LambHardnessInstance, cover: Iterable[int]
+) -> Set[Node]:
+    """The proof's Λ* construction: all nodes of every covered
+    vertex's column, plus all path nodes."""
+    lambs: Set[Node] = set(instance.path_nodes())
+    for u in cover:
+        lambs.update(instance.column_nodes(u + 1))
+    return lambs

@@ -1,0 +1,60 @@
+"""Closed-form bounds from the paper.
+
+- Theorem 6.4: the size bound (Eq. 1) on the partitions returned by
+  Find-SES/DES-Partition, and its loose form ``(2d - 1) f + 1``.
+- Theorem 3.1: the lower bound on the expected minimum lamb-set size
+  with one round of routing on ``M_3(n)`` — the result that justifies
+  using two rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "partition_size_bound",
+    "partition_size_bound_loose",
+    "one_round_expected_lamb_lower_bound",
+]
+
+
+def partition_size_bound(widths: Sequence[int], f: int) -> int:
+    """Theorem 6.4 / Eq. (1):
+
+    ``B(d, f) = sum_{j=2}^{d} min(2f, n_d n_{d-1} ... n_{j+1} (n_j - 1)) + f + 1``
+
+    (with the ``j = d`` term equal to ``n_d - 1``).  This is the bound
+    plotted against the measured SES counts in Fig. 25.
+
+    >>> partition_size_bound((32, 32, 32), 983)
+    2007
+    """
+    widths = tuple(int(n) for n in widths)
+    d = len(widths)
+    if f < 0:
+        raise ValueError("f must be nonnegative")
+    total = f + 1
+    for j in range(2, d + 1):  # paper's 1-indexed j
+        prod = widths[j - 1] - 1  # (n_j - 1)
+        for m in range(j + 1, d + 1):  # n_{j+1} ... n_d
+            prod *= widths[m - 1]
+        total += min(2 * f, prod)
+    return total
+
+
+def partition_size_bound_loose(d: int, f: int) -> int:
+    """The loose form ``(2d - 1) f + 1`` of Theorem 6.4."""
+    return (2 * d - 1) * f + 1
+
+
+def one_round_expected_lamb_lower_bound(n: int, f: int) -> float:
+    """Theorem 3.1: with ``f <= n`` random node faults on ``M_3(n)``
+    and one round of routing, the expected minimum lamb-set size is at
+    least ``f n^2/4 - f^2 n/4 + f^3/12 - f``.
+
+    >>> int(one_round_expected_lamb_lower_bound(32, 32))
+    2698
+    """
+    if f > n:
+        raise ValueError("Theorem 3.1 requires f <= n")
+    return f * n**2 / 4 - f**2 * n / 4 + f**3 / 12 - f

@@ -1,0 +1,117 @@
+"""Exact equivalence classes: SEC and DEC partitions (Remark 4.1).
+
+The SEC (source equivalence class) partition is the unique
+minimum-size SES partition; likewise DEC for destinations.  Computing
+them requires whole-mesh reachability, so they cost O(d N^2 / 64)-ish
+time and are used only for validation and for the ablation comparing
+SEC sizes with the Fig. 11 rectangular partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Node
+from ..routing.multiround import FaultGrids, reach_set_one_round
+from ..routing.ordering import Ordering
+
+__all__ = [
+    "one_round_reach_matrix",
+    "sec_partition",
+    "dec_partition",
+    "is_ses",
+    "is_des",
+    "is_partition_of_good_nodes",
+]
+
+
+def one_round_reach_matrix(faults: FaultSet, pi: Ordering) -> np.ndarray:
+    """N x N boolean matrix of one-round ``(F, pi)``-reachability."""
+    mesh = faults.mesh
+    grids = FaultGrids(faults)
+    N = mesh.num_nodes
+    out = np.zeros((N, N), dtype=bool)
+    start = np.zeros(mesh.widths, dtype=bool)
+    for v in mesh.nodes():
+        if faults.node_is_faulty(v):
+            continue
+        start[v] = True
+        out[mesh.index_of(v)] = reach_set_one_round(grids, pi, start).reshape(-1)
+        start[v] = False
+    return out
+
+
+def _group_by_signature(
+    faults: FaultSet, signatures: np.ndarray
+) -> List[List[Node]]:
+    mesh = faults.mesh
+    groups: Dict[bytes, List[Node]] = {}
+    order: List[bytes] = []
+    for v in mesh.nodes():
+        if faults.node_is_faulty(v):
+            continue
+        key = signatures[mesh.index_of(v)].tobytes()
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(v)
+    return [groups[k] for k in order]
+
+
+def sec_partition(faults: FaultSet, pi: Ordering) -> List[List[Node]]:
+    """The SEC partition: good nodes grouped by identical reach-sets
+    as sources (the equivalence relation of Remark 4.1)."""
+    R = one_round_reach_matrix(faults, pi)
+    return _group_by_signature(faults, np.packbits(R, axis=1))
+
+
+def dec_partition(faults: FaultSet, pi: Ordering) -> List[List[Node]]:
+    """The DEC partition: good nodes grouped by identical reachability
+    as destinations."""
+    R = one_round_reach_matrix(faults, pi)
+    return _group_by_signature(faults, np.packbits(R.T, axis=1))
+
+
+def is_ses(faults: FaultSet, pi: Ordering, nodes: Sequence[Node]) -> bool:
+    """Definition 4.1.1 check: all members have identical reach-sets."""
+    R = one_round_reach_matrix(faults, pi)
+    mesh = faults.mesh
+    nodes = [tuple(v) for v in nodes]
+    if any(faults.node_is_faulty(v) for v in nodes):
+        return False
+    if not nodes:
+        return True
+    first = R[mesh.index_of(nodes[0])]
+    return all(np.array_equal(R[mesh.index_of(v)], first) for v in nodes[1:])
+
+
+def is_des(faults: FaultSet, pi: Ordering, nodes: Sequence[Node]) -> bool:
+    """Definition 4.1.1 check for destinations."""
+    R = one_round_reach_matrix(faults, pi)
+    mesh = faults.mesh
+    nodes = [tuple(v) for v in nodes]
+    if any(faults.node_is_faulty(v) for v in nodes):
+        return False
+    if not nodes:
+        return True
+    first = R[:, mesh.index_of(nodes[0])]
+    return all(np.array_equal(R[:, mesh.index_of(v)], first) for v in nodes[1:])
+
+
+def is_partition_of_good_nodes(
+    faults: FaultSet, groups: Sequence[Sequence[Node]]
+) -> bool:
+    """Whether the groups are pairwise disjoint and cover exactly the
+    good nodes (Definition 4.1.2's partition requirement)."""
+    seen: Set[Node] = set()
+    for g in groups:
+        for v in g:
+            v = tuple(v)
+            if v in seen:
+                return False
+            seen.add(v)
+    good = {v for v in faults.mesh.nodes() if not faults.node_is_faulty(v)}
+    return seen == good

@@ -1,0 +1,23 @@
+"""Small fault/ordering transformations shared by the core modules."""
+
+from __future__ import annotations
+
+from ..mesh.faults import FaultSet
+
+__all__ = ["flip_link_faults"]
+
+
+def flip_link_faults(faults: FaultSet) -> FaultSet:
+    """The fault set with every directed link fault reversed.
+
+    Node faults are unchanged.  Used by the DES/SES duality (a DES for
+    ``pi`` is an SES for ``pi`` reversed on the link-flipped fault set)
+    and by reverse-reachability computations.
+    """
+    if not faults.link_faults:
+        return faults
+    return FaultSet(
+        faults.mesh,
+        faults.node_faults,
+        [(w, u) for (u, w) in faults.link_faults],
+    )

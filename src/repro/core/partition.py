@@ -1,0 +1,181 @@
+"""Find-SES-Partition and Find-DES-Partition (Section 6.1, Fig. 11).
+
+Partitions the good nodes of a faulty mesh into at most
+``(2d - 1) f + 1`` rectangular source-equivalent (SES) or
+destination-equivalent (DES) sets, in time polynomial in ``d`` and
+``f`` and *independent of the mesh size*.
+
+The implementation works in "pi-space": coordinates are permuted so
+that the routing order becomes ascending, the recursion peels off the
+last-routed dimension (exactly as in the paper, which presents the
+ascending case), and the resulting rectangles are mapped back to
+natural coordinates.  Directed link faults are handled as half-integer
+cuts: a cut *within* a slab contributes that slab to the recursion set
+``H``; a cut *between* two slabs splits the maximal intervals of step
+2(c) without forcing either slab into ``H`` (this preserves both
+Lemma 6.1 — the final segment of a route out of ``S' . c`` is
+identical for all sources in the set — and Lemma 6.3 — the interval
+sets remain internally fault-free).
+
+Every rectangle produced is fault-free, so its minimal corner is a
+valid representative; ``rep(S) = S.lo`` reproduces the paper's
+``rep(S) = (0, ..., 0, l_j, c_{j+1}, ..., c_d)`` convention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Mesh, Node
+from ..mesh.regions import Rect
+from .ordering_utils import flip_link_faults
+from ..routing.ordering import Ordering
+
+__all__ = [
+    "find_ses_partition",
+    "find_des_partition",
+    "partition_representatives",
+]
+
+# In pi-space, a node fault is a coordinate tuple; a link fault is
+# (position, line_coords_without_position, lower_coordinate) meaning a
+# cut between lower and lower+1 along that position (direction is
+# irrelevant for partitioning: we split conservatively on any cut).
+_PNode = Tuple[int, ...]
+_PCut = Tuple[int, Tuple[int, ...], int]
+
+
+def _to_pi_space(
+    faults: FaultSet, pi: Ordering
+) -> Tuple[List[int], List[_PNode], List[_PCut]]:
+    mesh = faults.mesh
+    perm = pi.perm
+    widths = [mesh.widths[j] for j in perm]
+    pnodes = [tuple(v[j] for j in perm) for v in faults.node_faults]
+    pcuts: List[_PCut] = []
+    seen: Set[_PCut] = set()
+    inv = {dim: t for t, dim in enumerate(perm)}
+    for (u, w) in faults.link_faults:
+        j = next(i for i in range(mesh.d) if u[i] != w[i])
+        t = inv[j]
+        pu = tuple(u[dim] for dim in perm)
+        lower = min(u[j], w[j])
+        key = pu[:t] + pu[t + 1 :]
+        cut = (t, key, lower)
+        if cut not in seen:
+            seen.add(cut)
+            pcuts.append(cut)
+    return widths, pnodes, pcuts
+
+
+def _split_intervals(
+    n: int, blocked: Set[int], cuts_between: Set[int]
+) -> List[Tuple[int, int]]:
+    """Maximal intervals of ``[0, n-1] - blocked`` that do not span any
+    cut between ``c`` and ``c+1`` for ``c`` in ``cuts_between``."""
+    out = []
+    start = None
+    for x in range(n):
+        if x in blocked:
+            if start is not None:
+                out.append((start, x - 1))
+                start = None
+            continue
+        if start is None:
+            start = x
+        if x in cuts_between and x + 1 < n:
+            out.append((start, x))
+            start = None
+    if start is not None:
+        out.append((start, n - 1))
+    return out
+
+
+def _find_partition_pi_space(
+    widths: Sequence[int], pnodes: List[_PNode], pcuts: List[_PCut]
+) -> List[Tuple[Tuple[int, int], ...]]:
+    """Recursive Fig. 11 kernel; returns rects as interval tuples in
+    pi-space."""
+    d = len(widths)
+    last = d - 1
+    n_last = widths[last]
+    if d == 1:
+        blocked = {v[0] for v in pnodes}
+        cuts = {lower for (t, _key, lower) in pcuts}
+        return [((a, b),) for (a, b) in _split_intervals(n_last, blocked, cuts)]
+    # Step 2(a): slabs (values of the last coordinate) containing a node
+    # fault or an intra-slab link fault.
+    H: Set[int] = {v[last] for v in pnodes}
+    for (t, key, _lower) in pcuts:
+        if t != last:
+            # key omits position t; the last coordinate sits at index
+            # last - 1 of key (since t < last).
+            H.add(key[-1])
+    out: List[Tuple[Tuple[int, int], ...]] = []
+    # Step 2(b): recurse into each faulty slab.
+    for c in sorted(H):
+        sub_nodes = [v[:last] for v in pnodes if v[last] == c]
+        sub_cuts = [
+            (t, key[:-1], lower)
+            for (t, key, lower) in pcuts
+            if t != last and key[-1] == c
+        ]
+        for rect in _find_partition_pi_space(widths[:last], sub_nodes, sub_cuts):
+            out.append(rect + ((c, c),))
+    # Steps 2(c)-(d): fault-free slab runs, split at inter-slab cuts.
+    last_cuts = {lower for (t, _key, lower) in pcuts if t == last}
+    prefix = tuple((0, w - 1) for w in widths[:last])
+    for (a, b) in _split_intervals(n_last, H, last_cuts):
+        out.append(prefix + ((a, b),))
+    return out
+
+
+def _from_pi_space(
+    mesh: Mesh, pi: Ordering, rects: List[Tuple[Tuple[int, int], ...]]
+) -> List[Rect]:
+    out = []
+    for intervals in rects:
+        lo = [0] * mesh.d
+        hi = [0] * mesh.d
+        for t, dim in enumerate(pi.perm):
+            lo[dim], hi[dim] = intervals[t]
+        out.append(Rect(mesh, lo, hi))
+    return out
+
+
+def find_ses_partition(faults: FaultSet, pi: Ordering) -> List[Rect]:
+    """An SES partition for ``(F, pi)`` of size at most
+    ``(2d - 1) f + 1`` (Theorem 6.4).
+
+    Every returned rectangle is fault-free and the rectangles partition
+    the good nodes.
+    """
+    if pi.d != faults.mesh.d:
+        raise ValueError("ordering dimensionality mismatch")
+    widths, pnodes, pcuts = _to_pi_space(faults, pi)
+    return _from_pi_space(
+        faults.mesh, pi, _find_partition_pi_space(widths, pnodes, pcuts)
+    )
+
+
+def find_des_partition(faults: FaultSet, pi: Ordering) -> List[Rect]:
+    """A DES partition for ``(F, pi)``.
+
+    Uses the duality of Lemma 6.2: a set is a DES for ``pi`` iff it is
+    an SES for the reversed ordering *with all directed link faults
+    flipped* (flipping matters only when link faults fail in a single
+    direction).
+    """
+    flipped = flip_link_faults(faults)
+    return find_ses_partition(flipped, pi.reversed())
+
+
+def partition_representatives(rects: Sequence[Rect]) -> List[Node]:
+    """One representative (the minimal corner) per rectangle.
+
+    Valid because the Fig. 11 rectangles are fault-free, so any member
+    — in particular ``S.lo`` — is a good node (Lemma 4.1 then lets a
+    single member stand in for the whole set).
+    """
+    return [r.lo for r in rects]

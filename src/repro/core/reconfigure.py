@@ -1,0 +1,155 @@
+"""The roll-back / reconfigure loop (Section 1).
+
+"In some modern parallel computers, a system diagnostic program will
+be invoked when new faults are detected.  This will roll back to a
+previous checkpoint of the application, redefine the new set of
+faults, and reconfigure the machine assuming static faults and global
+knowledge.  Our approach and algorithm would be part of the
+reconfiguration step."
+
+:class:`ReconfigurationManager` packages exactly that loop: it holds
+the machine's cumulative fault state, recomputes the lamb set whenever
+faults are reported (keeping surviving previous lambs predetermined so
+placement decisions remain stable across epochs — Section 7's
+extension), and exposes the per-epoch history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Link, Mesh, Node
+from ..routing.ordering import KRoundOrdering
+from .lamb import LambResult, find_lamb_set
+
+__all__ = ["Epoch", "ReconfigurationManager"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One reconfiguration: the fault state and the resulting lambs."""
+
+    index: int
+    new_node_faults: Tuple[Node, ...]
+    new_link_faults: Tuple[Link, ...]
+    result: LambResult
+
+    @property
+    def num_faults(self) -> int:
+        return self.result.faults.f
+
+    @property
+    def num_lambs(self) -> int:
+        return self.result.size
+
+    @property
+    def num_survivors(self) -> int:
+        return (
+            self.result.mesh.num_nodes
+            - self.result.faults.num_node_faults
+            - self.result.size
+        )
+
+
+class ReconfigurationManager:
+    """Tracks fault epochs and recomputes lamb sets.
+
+    Parameters
+    ----------
+    mesh, orderings:
+        The machine and its routing discipline.
+    sticky_lambs:
+        Keep previous lambs predetermined across epochs (default).  A
+        sticky lamb that later fails outright is dropped from the
+        predetermined set (it is now simply faulty).
+    method, engine:
+        Forwarded to :func:`find_lamb_set`.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        orderings: KRoundOrdering,
+        sticky_lambs: bool = True,
+        method: str = "bipartite",
+        engine: str = "lines",
+    ):
+        self.mesh = mesh
+        self.orderings = orderings
+        self.sticky_lambs = sticky_lambs
+        self.method = method
+        self.engine = engine
+        self._node_faults: List[Node] = []
+        self._link_faults: List[Link] = []
+        self.epochs: List[Epoch] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[Epoch]:
+        return self.epochs[-1] if self.epochs else None
+
+    @property
+    def current_lambs(self) -> FrozenSet[Node]:
+        return self.current.result.lambs if self.epochs else frozenset()
+
+    def fault_set(self) -> FaultSet:
+        return FaultSet(self.mesh, self._node_faults, self._link_faults)
+
+    # ------------------------------------------------------------------
+    def report_faults(
+        self,
+        node_faults: Iterable[Sequence[int]] = (),
+        link_faults: Iterable[Tuple[Sequence[int], Sequence[int]]] = (),
+    ) -> Epoch:
+        """Diagnose-and-reconfigure: add the newly detected faults and
+        recompute the lamb set.  Returns the new epoch."""
+        new_nodes = tuple(tuple(int(x) for x in v) for v in node_faults)
+        new_links = tuple(
+            (tuple(int(x) for x in u), tuple(int(x) for x in w))
+            for (u, w) in link_faults
+        )
+        if not new_nodes and not new_links and self.epochs:
+            raise ValueError("no new faults reported")
+        self._node_faults.extend(new_nodes)
+        self._link_faults.extend(new_links)
+        faults = self.fault_set()
+        predetermined: Tuple[Node, ...] = ()
+        if self.sticky_lambs and self.epochs:
+            predetermined = tuple(
+                v for v in self.current_lambs if not faults.node_is_faulty(v)
+            )
+        result = find_lamb_set(
+            faults,
+            self.orderings,
+            method=self.method,
+            predetermined=predetermined,
+            engine=self.engine,
+        )
+        epoch = Epoch(
+            index=len(self.epochs),
+            new_node_faults=new_nodes,
+            new_link_faults=new_links,
+            result=result,
+        )
+        self.epochs.append(epoch)
+        return epoch
+
+    # ------------------------------------------------------------------
+    def lamb_growth(self) -> List[int]:
+        """Lamb-set size per epoch."""
+        return [e.num_lambs for e in self.epochs]
+
+    def monotone_lambs(self) -> bool:
+        """Whether (with sticky lambs) every epoch's lamb set contains
+        the previous epoch's surviving lambs."""
+        for prev, cur in zip(self.epochs, self.epochs[1:]):
+            kept = {
+                v
+                for v in prev.result.lambs
+                if not cur.result.faults.node_is_faulty(v)
+            }
+            if not kept <= set(cur.result.lambs):
+                return False
+        return True

@@ -1,0 +1,93 @@
+"""Definition-level validation of lamb sets and survivor sets.
+
+These are O(N)-per-node brute-force checks (Definition 2.6) used by the
+test suite and small examples to certify outputs of the fast pipeline.
+They are exact for meshes with node and directed-link faults.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+import numpy as np
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Node
+from ..routing.multiround import FaultGrids, reach_set_k_rounds
+from ..routing.ordering import KRoundOrdering
+
+__all__ = [
+    "full_reach_matrix",
+    "is_survivor_set",
+    "is_lamb_set",
+    "survivor_violations",
+]
+
+
+def full_reach_matrix(
+    faults: FaultSet, orderings: KRoundOrdering
+) -> np.ndarray:
+    """The N x N boolean matrix of k-round reachability between all
+    node pairs (index order = ``Mesh.index_of``).  Faulty rows/columns
+    are all False except nothing — a faulty node reaches nothing and is
+    reached by nothing."""
+    mesh = faults.mesh
+    grids = FaultGrids(faults)
+    N = mesh.num_nodes
+    out = np.zeros((N, N), dtype=bool)
+    for v in mesh.nodes():
+        if faults.node_is_faulty(v):
+            continue
+        out[mesh.index_of(v)] = reach_set_k_rounds(grids, orderings, v).reshape(-1)
+    return out
+
+
+def survivor_violations(
+    faults: FaultSet,
+    orderings: KRoundOrdering,
+    survivors: Iterable[Node],
+    limit: int = 10,
+) -> List[Tuple[Node, Node]]:
+    """Pairs ``(v, w)`` of claimed survivors with ``v`` unable to
+    k-round-reach ``w`` (at most ``limit`` reported)."""
+    mesh = faults.mesh
+    grids = FaultGrids(faults)
+    survivors = [tuple(v) for v in survivors]
+    out: List[Tuple[Node, Node]] = []
+    for v in survivors:
+        if faults.node_is_faulty(v):
+            out.append((v, v))
+            if len(out) >= limit:
+                return out
+            continue
+        reach = reach_set_k_rounds(grids, orderings, v)
+        for w in survivors:
+            if not reach[w]:
+                out.append((v, w))
+                if len(out) >= limit:
+                    return out
+    return out
+
+
+def is_survivor_set(
+    faults: FaultSet, orderings: KRoundOrdering, survivors: Iterable[Node]
+) -> bool:
+    """Definition 2.6: every member can k-round-reach every member."""
+    return not survivor_violations(faults, orderings, survivors, limit=1)
+
+
+def is_lamb_set(
+    faults: FaultSet, orderings: KRoundOrdering, lambs: Iterable[Node]
+) -> bool:
+    """Definition 2.6: Λ contains no faulty node and
+    ``nodes(M) - (Λ ∪ F_N)`` is a survivor set."""
+    lamb_set: Set[Node] = {tuple(v) for v in lambs}
+    for v in lamb_set:
+        if faults.node_is_faulty(v):
+            return False
+    survivors = [
+        v
+        for v in faults.mesh.nodes()
+        if v not in lamb_set and not faults.node_is_faulty(v)
+    ]
+    return is_survivor_set(faults, orderings, survivors)

@@ -1,0 +1,68 @@
+"""Engine-crossover measurement: lines vs spanning reachability.
+
+The paper gives two cost models (Section 6.2 + footnote 7): the
+representative-pair kernel at O(k d^3 f^3) — independent of the mesh
+size — and per-representative spanning floods at O(d^2 f N).  This
+experiment measures both engines' wall-clock across a fault sweep on a
+fixed mesh, locating the empirical crossover to sanity-check the
+``engine="auto"`` policy.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.lamb import find_lamb_set
+from ..core.spanning import recommended_engine
+from ..mesh.faults import random_node_faults
+from ..mesh.geometry import Mesh
+from ..routing.ordering import ascending, repeated
+from .harness import SweepResult, TrialSeries, default_trials
+
+__all__ = ["engine_crossover_sweep"]
+
+
+def engine_crossover_sweep(
+    mesh: Mesh,
+    fault_counts: Sequence[int],
+    trials: Optional[int] = None,
+    seed: int = 0,
+) -> SweepResult:
+    """Wall-clock of both reachability engines per fault count.
+
+    Records ``seconds_lines``, ``seconds_spanning``, the lamb-size
+    agreement flag, and what ``engine="auto"`` would pick.
+    """
+    trials = default_trials(3) if trials is None else trials
+    orderings = repeated(ascending(mesh.d), 2)
+    out = SweepResult(
+        figure="engine-crossover",
+        description=f"lines vs spanning engine wall-clock, {mesh}",
+        x_label="faults",
+        meta={"mesh": mesh.widths, "trials": trials},
+    )
+    for i, f in enumerate(fault_counts):
+        series = TrialSeries(x=f)
+        picks = []
+        for t in range(trials):
+            rng = np.random.default_rng((seed, 9500 + i, t))
+            faults = random_node_faults(mesh, f, rng)
+            t0 = time.perf_counter()
+            a = find_lamb_set(faults, orderings, engine="lines")
+            t1 = time.perf_counter()
+            b = find_lamb_set(faults, orderings, engine="spanning")
+            t2 = time.perf_counter()
+            picks.append(recommended_engine(faults, orderings))
+            series.add(
+                seconds_lines=t1 - t0,
+                seconds_spanning=t2 - t1,
+                agree=float(a.lambs == b.lambs),
+            )
+        series.values["auto_picks_spanning"] = [
+            float(p == "spanning") for p in picks
+        ]
+        out.series.append(series)
+    return out

@@ -1,0 +1,73 @@
+"""Fault-geometry experiments (extension).
+
+At a fixed fault *count*, does the geometry of the faults change the
+lamb cost?  The paper studies uniform random faults only; this
+experiment compares uniform dust, Eden-growth clusters, and
+partial-plane (midplane-loss) failures on the same meshes.
+
+Intuition to test: clustered faults behave like one solid region —
+they block the same lines many times over, so they should cost *fewer*
+lambs per fault than scattered dust; a heavily damaged plane behaves
+like the Section 3 pathology and should cost dramatically more.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.lamb import find_lamb_set
+from ..mesh.faults import random_node_faults
+from ..mesh.geometry import Mesh
+from ..mesh.patterns import clustered_faults, partial_plane_faults
+from ..routing.ordering import ascending, repeated
+from .harness import SweepResult, TrialSeries, default_trials
+
+__all__ = ["fault_geometry_sweep"]
+
+
+def fault_geometry_sweep(
+    mesh: Mesh,
+    fault_counts: Sequence[int],
+    trials: Optional[int] = None,
+    cluster_size: int = 8,
+    seed: int = 0,
+) -> SweepResult:
+    """Average lamb counts for uniform vs clustered vs planar faults.
+
+    ``lambs_plane`` uses faults concentrated on the middle hyperplane
+    of the last dimension (fraction chosen to hit the fault count).
+    """
+    trials = default_trials(10) if trials is None else trials
+    orderings = repeated(ascending(mesh.d), 2)
+    plane_dim = mesh.d - 1
+    plane_index = mesh.widths[plane_dim] // 2
+    plane_size = mesh.num_nodes // mesh.widths[plane_dim]
+    out = SweepResult(
+        figure="fault-geometry",
+        description=f"lambs vs fault geometry, {mesh}",
+        x_label="faults",
+        meta={
+            "mesh": mesh.widths,
+            "trials": trials,
+            "cluster_size": cluster_size,
+        },
+    )
+    for i, f in enumerate(fault_counts):
+        series = TrialSeries(x=f)
+        for t in range(trials):
+            rng = np.random.default_rng((seed, 9400 + i, t))
+            uniform = random_node_faults(mesh, f, rng)
+            clustered = clustered_faults(mesh, f, cluster_size, rng)
+            series.add(
+                lambs_uniform=find_lamb_set(uniform, orderings).size,
+                lambs_clustered=find_lamb_set(clustered, orderings).size,
+            )
+            if f <= plane_size:
+                planar = partial_plane_faults(
+                    mesh, plane_dim, plane_index, f / plane_size, rng
+                )
+                series.add(lambs_plane=find_lamb_set(planar, orderings).size)
+        out.series.append(series)
+    return out

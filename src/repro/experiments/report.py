@@ -1,0 +1,115 @@
+"""Plain-text rendering of experiment results.
+
+``render_sweep`` prints the rows the paper's figures plot;
+``run_all`` regenerates every experiment and writes the measured
+numbers next to the paper's into a markdown report (the generator
+behind EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .harness import SweepResult
+
+__all__ = ["render_sweep", "render_matrix", "sweep_to_markdown"]
+
+
+def _fmt(v: float) -> str:
+    if v == int(v) and abs(v) < 1e12:
+        return str(int(v))
+    if abs(v) >= 100:
+        return f"{v:.1f}"
+    return f"{v:.3f}"
+
+
+def _columns(result: SweepResult) -> List[str]:
+    keys: List[str] = []
+    for s in result.series:
+        for k in s.values:
+            if k not in keys:
+                keys.append(k)
+    return keys
+
+
+def render_sweep(
+    result: SweepResult,
+    aggs: Sequence[str] = ("avg", "max"),
+    keys: Optional[Sequence[str]] = None,
+) -> str:
+    """A fixed-width table: one row per sweep point, one column per
+    (measurement, aggregate)."""
+    keys = list(keys) if keys is not None else _columns(result)
+    headers = [result.x_label]
+    for k in keys:
+        for agg in aggs:
+            headers.append(f"{agg}({k})" if len(aggs) > 1 else k)
+    rows: List[List[str]] = []
+    for s in result.series:
+        row = [_fmt(s.x)]
+        for k in keys:
+            for agg in aggs:
+                if k in s.values:
+                    fn = {"avg": s.avg, "max": s.max, "min": s.min,
+                          "std": s.std, "ci95": s.ci95}[agg]
+                    row.append(_fmt(fn(k)))
+                else:
+                    row.append("-")
+        rows.append(row)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    out = io.StringIO()
+    out.write(f"# {result.figure}: {result.description}\n")
+    if result.meta:
+        out.write(f"# meta: {result.meta}\n")
+    out.write("  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+    for r in rows:
+        out.write("  ".join(v.rjust(w) for v, w in zip(r, widths)) + "\n")
+    return out.getvalue()
+
+
+def sweep_to_markdown(
+    result: SweepResult,
+    aggs: Sequence[str] = ("avg", "max"),
+    keys: Optional[Sequence[str]] = None,
+) -> str:
+    """The same table as a GitHub-flavored markdown table."""
+    keys = list(keys) if keys is not None else _columns(result)
+    headers = [result.x_label]
+    for k in keys:
+        for agg in aggs:
+            headers.append(f"{agg}({k})" if len(aggs) > 1 else k)
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for s in result.series:
+        row = [_fmt(s.x)]
+        for k in keys:
+            for agg in aggs:
+                if k in s.values:
+                    fn = {"avg": s.avg, "max": s.max, "min": s.min,
+                          "std": s.std, "ci95": s.ci95}[agg]
+                    row.append(_fmt(fn(k)))
+                else:
+                    row.append("-")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_matrix(matrix: np.ndarray, row_prefix: str = "S", col_prefix: str = "D") -> str:
+    """Render a boolean reachability matrix in the style of the
+    paper's Tables 1-2."""
+    p, q = matrix.shape
+    headers = [f"{col_prefix}{j + 1}" for j in range(q)]
+    out = io.StringIO()
+    out.write("     " + " ".join(h.rjust(3) for h in headers) + "\n")
+    for i in range(p):
+        row = " ".join(("1" if matrix[i, j] else "0").rjust(3) for j in range(q))
+        out.write(f"{row_prefix}{i + 1:<4d}" + row + "\n")
+    return out.getvalue()

@@ -1,0 +1,23 @@
+"""Graph-algorithm substrate: max-flow and vertex cover solvers."""
+
+from .bipartite_vc import min_weight_vertex_cover_bipartite
+from .maxflow import INF, MaxFlow
+from .vertex_cover import (
+    exact_min_vertex_cover,
+    matching_2approx_vertex_cover,
+    random_graph,
+)
+from .wvc import cover_weight, is_vertex_cover, wvc_exact, wvc_local_ratio
+
+__all__ = [
+    "MaxFlow",
+    "INF",
+    "min_weight_vertex_cover_bipartite",
+    "wvc_local_ratio",
+    "wvc_exact",
+    "is_vertex_cover",
+    "cover_weight",
+    "exact_min_vertex_cover",
+    "matching_2approx_vertex_cover",
+    "random_graph",
+]

@@ -1,0 +1,76 @@
+"""Optimal weighted vertex cover on bipartite graphs via max-flow.
+
+This is the solver behind ``Reduce-WVC(Bipartite)`` (Fig. 13, step 2).
+By LP duality / the weighted König theorem, the minimum weight of a
+vertex cover of a bipartite graph equals the maximum flow in the
+network  ``source -> left(w) -> right(inf) -> sink(w)``, and a minimum
+cut directly yields an optimal cover (the paper's reference [10]
+reduction; solvable in O(b^3) for b vertices).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple
+
+from .maxflow import INF, MaxFlow
+
+__all__ = ["min_weight_vertex_cover_bipartite"]
+
+
+def min_weight_vertex_cover_bipartite(
+    left_weights: Sequence[float],
+    right_weights: Sequence[float],
+    edges: Iterable[Tuple[int, int]],
+) -> Tuple[Set[int], Set[int], float]:
+    """Minimum-weight vertex cover of a bipartite graph.
+
+    Parameters
+    ----------
+    left_weights, right_weights:
+        Nonnegative vertex weights of the two sides.
+    edges:
+        Pairs ``(i, j)`` meaning left vertex ``i`` — right vertex ``j``.
+
+    Returns
+    -------
+    (cover_left, cover_right, weight):
+        Index sets of the chosen cover vertices on each side and the
+        total cover weight.
+
+    Examples
+    --------
+    >>> cl, cr, w = min_weight_vertex_cover_bipartite(
+    ...     [1.0, 5.0], [5.0, 1.0], [(0, 0), (0, 1), (1, 1)])
+    >>> sorted(cl), sorted(cr), w
+    ([0], [1], 2.0)
+    """
+    p, q = len(left_weights), len(right_weights)
+    edges = list(edges)
+    for (i, j) in edges:
+        if not (0 <= i < p and 0 <= j < q):
+            raise ValueError(f"edge ({i}, {j}) out of range")
+    if any(w < 0 for w in left_weights) or any(w < 0 for w in right_weights):
+        raise ValueError("weights must be nonnegative")
+    if not edges:
+        return set(), set(), 0.0
+    source = p + q
+    sink = p + q + 1
+    net = MaxFlow(p + q + 2)
+    for i, w in enumerate(left_weights):
+        net.add_edge(source, i, float(w))
+    for j, w in enumerate(right_weights):
+        net.add_edge(p + j, sink, float(w))
+    for (i, j) in edges:
+        net.add_edge(i, p + j, INF)
+    weight = net.max_flow(source, sink)
+    reachable = net.min_cut_side(source)
+    cover_left = {i for i in range(p) if i not in reachable}
+    cover_right = {j for j in range(q) if (p + j) in reachable}
+    # Only keep cover vertices that actually touch an edge (vertices
+    # with no incident edge can never be forced into the cover, but the
+    # cut may formally include unreachable isolated ones).
+    touched_left = {i for (i, _) in edges}
+    touched_right = {j for (_, j) in edges}
+    cover_left &= touched_left
+    cover_right &= touched_right
+    return cover_left, cover_right, weight

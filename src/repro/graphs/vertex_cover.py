@@ -1,0 +1,56 @@
+"""Unweighted vertex cover helpers.
+
+The NP-hardness reduction (Section 9) starts from the classic
+(unweighted) vertex cover problem; these helpers generate, solve, and
+check the VC instances used by :mod:`repro.complexity.nphardness` and
+its tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+import numpy as np
+
+from .wvc import is_vertex_cover, wvc_exact
+
+__all__ = [
+    "exact_min_vertex_cover",
+    "matching_2approx_vertex_cover",
+    "random_graph",
+    "is_vertex_cover",
+]
+
+
+def exact_min_vertex_cover(
+    n: int, edges: Iterable[Tuple[int, int]], max_vertices: int = 40
+) -> Set[int]:
+    """Exact minimum-cardinality vertex cover (small graphs)."""
+    return wvc_exact(n, [1.0] * n, edges, max_vertices=max_vertices)
+
+
+def matching_2approx_vertex_cover(
+    n: int, edges: Iterable[Tuple[int, int]]
+) -> Set[int]:
+    """Classic maximal-matching 2-approximation: take both endpoints
+    of a greedily built maximal matching."""
+    cover: Set[int] = set()
+    for (u, v) in edges:
+        if u not in cover and v not in cover:
+            cover.add(u)
+            cover.add(v)
+    return cover
+
+
+def random_graph(
+    n: int, edge_probability: float, rng: np.random.Generator
+) -> List[Tuple[int, int]]:
+    """An Erdos-Renyi G(n, p) edge list (u < v)."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_probability:
+                edges.append((u, v))
+    return edges

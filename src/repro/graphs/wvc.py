@@ -1,0 +1,144 @@
+"""Weighted vertex cover on general graphs.
+
+``Reduce-WVC(General)`` (Fig. 16) produces a *general* graph whose
+optimal cover yields an optimally small lamb set; since WVC is NP-hard
+on general graphs, the paper pairs it with either
+
+- the linear-time 2-approximation of Bar-Yehuda & Even [3]
+  (:func:`wvc_local_ratio`), giving Lamb2 its r = 2 guarantee
+  (Theorem 6.9), or
+- exact exponential search for small instances
+  (:func:`wvc_exact`, Corollary 6.10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["wvc_local_ratio", "wvc_exact", "is_vertex_cover", "cover_weight"]
+
+
+def _normalize_edges(
+    n: int, edges: Iterable[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    out = []
+    seen = set()
+    for (u, v) in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        if u == v:
+            raise ValueError(f"self-loop at {u} cannot be covered meaningfully")
+        key = (min(u, v), max(u, v))
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    return out
+
+
+def is_vertex_cover(edges: Iterable[Tuple[int, int]], cover: Set[int]) -> bool:
+    """Whether ``cover`` touches every edge."""
+    return all(u in cover or v in cover for (u, v) in edges)
+
+
+def cover_weight(weights: Sequence[float], cover: Iterable[int]) -> float:
+    """Total weight of a cover."""
+    return float(sum(weights[u] for u in cover))
+
+
+def wvc_local_ratio(
+    n: int, weights: Sequence[float], edges: Iterable[Tuple[int, int]]
+) -> Set[int]:
+    """Bar-Yehuda & Even local-ratio 2-approximation for WVC.
+
+    Repeatedly takes an uncovered edge and subtracts the smaller
+    residual weight of its endpoints from both; vertices whose residual
+    weight reaches zero enter the cover.  Runs in time linear in the
+    number of edges and returns a cover of weight at most twice
+    optimal.
+    """
+    edges = _normalize_edges(n, edges)
+    residual = [float(w) for w in weights]
+    if any(w < 0 for w in residual):
+        raise ValueError("weights must be nonnegative")
+    cover: Set[int] = {u for u in range(n) if residual[u] == 0.0}
+    cover &= {u for e in edges for u in e}
+    for (u, v) in edges:
+        if u in cover or v in cover:
+            continue
+        m = min(residual[u], residual[v])
+        residual[u] -= m
+        residual[v] -= m
+        if residual[u] == 0.0:
+            cover.add(u)
+        if residual[v] == 0.0:
+            cover.add(v)
+    return cover
+
+
+def wvc_exact(
+    n: int,
+    weights: Sequence[float],
+    edges: Iterable[Tuple[int, int]],
+    max_vertices: int = 40,
+) -> Set[int]:
+    """Exact minimum-weight vertex cover by branch and bound.
+
+    Exponential time (Corollary 6.10); guarded by ``max_vertices``
+    counting only vertices incident to at least one edge.
+
+    The search branches on an uncovered edge ``(u, v)``: either ``u``
+    is in the cover, or it is not — and then *all* neighbors of ``u``
+    must be.  Prunes with the running best and a matching-based lower
+    bound.
+    """
+    edges = _normalize_edges(n, edges)
+    if not edges:
+        return set()
+    touched = sorted({u for e in edges for u in e})
+    if len(touched) > max_vertices:
+        raise ValueError(
+            f"{len(touched)} edge-incident vertices exceed max_vertices="
+            f"{max_vertices}; use wvc_local_ratio instead"
+        )
+    adj: Dict[int, Set[int]] = {u: set() for u in touched}
+    for (u, v) in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+
+    best_cover: Set[int] = set(touched)
+    best_weight = cover_weight(weights, best_cover)
+
+    def lower_bound(active_edges: List[Tuple[int, int]]) -> float:
+        """Greedy disjoint-edge (matching) bound: each matched edge
+        forces at least min(w_u, w_v) into any cover."""
+        used: Set[int] = set()
+        bound = 0.0
+        for (u, v) in active_edges:
+            if u not in used and v not in used:
+                used.add(u)
+                used.add(v)
+                bound += min(weights[u], weights[v])
+        return bound
+
+    def recurse(chosen: Set[int], excluded: Set[int], weight: float) -> None:
+        nonlocal best_cover, best_weight
+        active = [e for e in edges if e[0] not in chosen and e[1] not in chosen]
+        if not active:
+            if weight < best_weight:
+                best_weight = weight
+                best_cover = set(chosen)
+            return
+        if weight + lower_bound(active) >= best_weight:
+            return
+        # Branch on the endpoint pair of the first uncovered edge.
+        u, v = active[0]
+        if u not in excluded:
+            recurse(chosen | {u}, excluded, weight + weights[u])
+        # u excluded: every neighbor of u still uncovered must be chosen.
+        forced = adj[u] - chosen
+        if not (forced & excluded):
+            add_w = sum(weights[x] for x in forced)
+            recurse(chosen | forced, excluded | {u}, weight + add_w)
+
+    recurse(set(), set(), 0.0)
+    return best_cover

@@ -1,0 +1,124 @@
+"""Structured fault patterns beyond uniform random (extension).
+
+Section 8 uses uniformly random node faults.  Real machines fail in
+clumps: a power/cooling event takes out a contiguous blob, a midplane
+loss takes out (part of) a plane.  These generators produce such
+patterns so the experiments can compare lamb costs across fault
+*geometries* at equal fault counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from .faults import FaultSet
+from .geometry import Mesh, Node
+
+__all__ = [
+    "random_walk_cluster",
+    "clustered_faults",
+    "partial_plane_faults",
+    "dust_and_clusters",
+]
+
+
+def random_walk_cluster(
+    mesh: Mesh,
+    size: int,
+    rng: np.random.Generator,
+    start: Optional[Node] = None,
+    avoid: Sequence[Node] = (),
+) -> List[Node]:
+    """A connected cluster of ``size`` nodes grown by random accretion.
+
+    Starting from ``start`` (random if omitted), repeatedly adds a
+    uniformly chosen good neighbor of the current cluster — the
+    Eden-growth model of a spreading failure.
+    """
+    if size < 1:
+        raise ValueError("size must be positive")
+    avoid_set: Set[Node] = {tuple(v) for v in avoid}
+    if start is None:
+        start = mesh.random_nodes(1, rng, exclude=avoid_set)[0]
+    start = tuple(int(x) for x in start)
+    if start in avoid_set:
+        raise ValueError("start node is excluded")
+    cluster: Set[Node] = {start}
+    frontier: Set[Node] = {
+        w for w in mesh.neighbors(start) if w not in avoid_set
+    }
+    while len(cluster) < size:
+        if not frontier:
+            raise ValueError(
+                f"cluster cannot grow to {size} nodes from {start}"
+            )
+        frontier_list = sorted(frontier)
+        pick = frontier_list[int(rng.integers(len(frontier_list)))]
+        cluster.add(pick)
+        frontier.discard(pick)
+        for w in mesh.neighbors(pick):
+            if w not in cluster and w not in avoid_set:
+                frontier.add(w)
+    return sorted(cluster)
+
+
+def clustered_faults(
+    mesh: Mesh,
+    total: int,
+    cluster_size: int,
+    rng: np.random.Generator,
+) -> FaultSet:
+    """``total`` node faults grown as clusters of ``cluster_size``
+    (the last cluster may be smaller)."""
+    if total < 0 or cluster_size < 1:
+        raise ValueError("bad total/cluster_size")
+    faults: List[Node] = []
+    while len(faults) < total:
+        size = min(cluster_size, total - len(faults))
+        cluster = random_walk_cluster(mesh, size, rng, avoid=faults)
+        faults.extend(cluster)
+    return FaultSet(mesh, faults)
+
+
+def partial_plane_faults(
+    mesh: Mesh,
+    dim: int,
+    index: int,
+    fraction: float,
+    rng: np.random.Generator,
+) -> FaultSet:
+    """A fraction of the hyperplane ``coordinate[dim] == index`` fails
+    (the midplane-loss scenario on 3D machines)."""
+    if not 0 <= dim < mesh.d:
+        raise ValueError("bad dimension")
+    if not 0 <= index < mesh.widths[dim]:
+        raise ValueError("bad plane index")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    plane = [v for v in mesh.nodes() if v[dim] == index]
+    count = int(round(fraction * len(plane)))
+    if count == 0:
+        return FaultSet(mesh)
+    picks = rng.choice(len(plane), size=count, replace=False)
+    return FaultSet(mesh, [plane[int(i)] for i in picks])
+
+
+def dust_and_clusters(
+    mesh: Mesh,
+    dust: int,
+    clusters: int,
+    cluster_size: int,
+    rng: np.random.Generator,
+) -> FaultSet:
+    """A realistic mix: ``dust`` isolated random faults plus
+    ``clusters`` Eden clusters of ``cluster_size``."""
+    faults: List[Node] = []
+    for _ in range(clusters):
+        faults.extend(
+            random_walk_cluster(mesh, cluster_size, rng, avoid=faults)
+        )
+    if dust:
+        faults.extend(mesh.random_nodes(dust, rng, exclude=faults))
+    return FaultSet(mesh, faults)

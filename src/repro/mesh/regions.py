@@ -1,0 +1,199 @@
+"""Rectangular node-set abbreviations (Section 6.1).
+
+The partition algorithms represent SES's and DES's as *rectangles*:
+per-coordinate intervals ``[lo_j, hi_j]`` where a full interval
+``[0, n_j - 1]`` plays the role of the paper's ``*`` and a degenerate
+interval the role of a constant ``c_j``.  A rectangle with ``m``
+nodes is stored in O(d) space; the lamb algorithms never materialize
+node sets until a lamb set has been chosen (keeping the running time
+independent of the mesh size N).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .geometry import Mesh, Node
+
+__all__ = ["Rect", "rect_intersection_matrix", "rects_total_size", "rects_are_disjoint"]
+
+
+class Rect:
+    """An axis-aligned rectangle of mesh nodes.
+
+    Parameters
+    ----------
+    mesh:
+        The enclosing mesh.
+    lo, hi:
+        Inclusive per-dimension bounds, ``lo[j] <= hi[j]``.
+    """
+
+    __slots__ = ("mesh", "lo", "hi")
+
+    def __init__(self, mesh: Mesh, lo: Sequence[int], hi: Sequence[int]):
+        lo = tuple(int(x) for x in lo)
+        hi = tuple(int(x) for x in hi)
+        if len(lo) != mesh.d or len(hi) != mesh.d:
+            raise ValueError("bounds dimensionality mismatch")
+        for j, (a, b) in enumerate(zip(lo, hi)):
+            if not (0 <= a <= b < mesh.widths[j]):
+                raise ValueError(
+                    f"invalid interval [{a}, {b}] in dimension {j} of {mesh}"
+                )
+        self.mesh = mesh
+        self.lo: Tuple[int, ...] = lo
+        self.hi: Tuple[int, ...] = hi
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, mesh: Mesh, spec: Sequence) -> "Rect":
+        """Build from the paper's notation.
+
+        Each coordinate of ``spec`` is ``'*'`` (full range), an ``int``
+        (constant), or an ``(lo, hi)`` pair.
+
+        >>> m = Mesh((12, 12))
+        >>> r = Rect.from_spec(m, ['*', (2, 5)])
+        >>> r.size
+        48
+        """
+        lo, hi = [], []
+        for j, s in enumerate(spec):
+            if s == "*":
+                lo.append(0)
+                hi.append(mesh.widths[j] - 1)
+            elif isinstance(s, (tuple, list)):
+                lo.append(s[0])
+                hi.append(s[1])
+            else:
+                lo.append(int(s))
+                hi.append(int(s))
+        return cls(mesh, lo, hi)
+
+    @classmethod
+    def single(cls, mesh: Mesh, node: Sequence[int]) -> "Rect":
+        """The singleton rectangle ``{node}``."""
+        return cls(mesh, node, node)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of nodes in the rectangle."""
+        out = 1
+        for a, b in zip(self.lo, self.hi):
+            out *= b - a + 1
+        return out
+
+    def contains(self, node: Sequence[int]) -> bool:
+        return all(a <= v <= b for v, a, b in zip(node, self.lo, self.hi))
+
+    def min_corner(self) -> Node:
+        return self.lo
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over the nodes (materialization; use sparingly)."""
+        return itertools.product(*(range(a, b + 1) for a, b in zip(self.lo, self.hi)))
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two rectangles share a node."""
+        return all(
+            max(a1, a2) <= min(b1, b2)
+            for a1, b1, a2, b2 in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """The intersection rectangle (raises if empty)."""
+        lo = tuple(max(a1, a2) for a1, a2 in zip(self.lo, other.lo))
+        hi = tuple(min(b1, b2) for b1, b2 in zip(self.hi, other.hi))
+        if any(a > b for a, b in zip(lo, hi)):
+            raise ValueError("empty intersection")
+        return Rect(self.mesh, lo, hi)
+
+    def intersection_size(self, other: "Rect") -> int:
+        """``|self ∩ other|`` (0 if disjoint), without materializing."""
+        out = 1
+        for a1, b1, a2, b2 in zip(self.lo, self.hi, other.lo, other.hi):
+            w = min(b1, b2) - max(a1, a2) + 1
+            if w <= 0:
+                return 0
+            out *= w
+        return out
+
+    def spec(self) -> Tuple:
+        """Back to the paper's notation (for display)."""
+        out: List = []
+        for j, (a, b) in enumerate(zip(self.lo, self.hi)):
+            if a == 0 and b == self.mesh.widths[j] - 1:
+                out.append("*")
+            elif a == b:
+                out.append(a)
+            else:
+                out.append((a, b))
+        return tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Rect{self.spec()}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Rect)
+            and self.mesh == other.mesh
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.mesh, self.lo, self.hi))
+
+
+# ----------------------------------------------------------------------
+# Vectorized helpers over collections of rectangles
+# ----------------------------------------------------------------------
+def _bounds_arrays(rects: Sequence[Rect]) -> Tuple[np.ndarray, np.ndarray]:
+    if not rects:
+        d = 0
+        return np.empty((0, d), np.int64), np.empty((0, d), np.int64)
+    lo = np.asarray([r.lo for r in rects], dtype=np.int64)
+    hi = np.asarray([r.hi for r in rects], dtype=np.int64)
+    return lo, hi
+
+
+def rect_intersection_matrix(
+    rows: Sequence[Rect], cols: Sequence[Rect], chunk: int = 512
+) -> np.ndarray:
+    """Boolean matrix ``I[i, j] = (rows[i] ∩ cols[j] != ∅)``.
+
+    This is the intersection matrix ``I_t`` of Find-Reachability
+    (Fig. 12, step 2), computed by broadcast interval comparisons in
+    row chunks to bound peak memory.
+    """
+    if not rows or not cols:
+        return np.zeros((len(rows), len(cols)), dtype=bool)
+    rlo, rhi = _bounds_arrays(rows)
+    clo, chi = _bounds_arrays(cols)
+    out = np.empty((len(rows), len(cols)), dtype=bool)
+    for start in range(0, len(rows), chunk):
+        end = min(start + chunk, len(rows))
+        # (chunk, 1, d) vs (1, q, d)
+        lo = np.maximum(rlo[start:end, None, :], clo[None, :, :])
+        hi = np.minimum(rhi[start:end, None, :], chi[None, :, :])
+        out[start:end] = np.all(lo <= hi, axis=2)
+    return out
+
+
+def rects_total_size(rects: Sequence[Rect]) -> int:
+    """Sum of rectangle sizes."""
+    return sum(r.size for r in rects)
+
+
+def rects_are_disjoint(rects: Sequence[Rect]) -> bool:
+    """Whether the rectangles are pairwise disjoint (O(m^2 d))."""
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            if rects[i].intersects(rects[j]):
+                return False
+    return True

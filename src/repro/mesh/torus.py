@@ -1,0 +1,69 @@
+"""Torus topology (Section 7 extension).
+
+A d-dimensional torus is a mesh plus "wrap-around" links between
+``(..., n_j - 1, ...)`` and ``(..., 0, ...)`` in every dimension.  The
+lamb machinery generalizes to tori: a one-round dimension-ordered route
+on a torus may traverse each ring in either direction; this library
+uses the *minimal* direction (ties broken toward increasing
+coordinates), which is the standard deterministic convention for
+dimension-ordered torus routing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .geometry import Mesh, Node
+
+__all__ = ["Torus"]
+
+
+class Torus(Mesh):
+    """The d-dimensional torus with the given widths."""
+
+    __slots__ = ()
+
+    @property
+    def is_torus(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Torus{self.widths}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Torus) and self.widths == other.widths
+
+    def __hash__(self) -> int:
+        return hash(("Torus", self.widths))
+
+    def neighbors(self, node: Sequence[int]) -> Iterator[Node]:
+        node = tuple(node)
+        if not self.contains(node):
+            raise ValueError(f"{node} is not a node of {self}")
+        for j in range(self.d):
+            nj = self.widths[j]
+            for delta in (-1, 1):
+                w = (node[j] + delta) % nj
+                neighbor = node[:j] + (w,) + node[j + 1 :]
+                if neighbor != node:  # nj == 2 would self-loop twice
+                    yield neighbor
+
+    def num_links(self) -> int:
+        total = 0
+        for j, nj in enumerate(self.widths):
+            per_line = 2 * nj if nj > 2 else 2  # nj == 2: one physical link
+            total += per_line * (self.num_nodes // nj)
+        return total
+
+    def ring_step(self, j: int, a: int, b: int) -> int:
+        """Direction (+1/-1) a minimal dimension-``j`` ring route takes
+        from coordinate ``a`` toward ``b`` (0 if ``a == b``).
+
+        Ties (exactly half-way around an even ring) break toward +1.
+        """
+        nj = self.widths[j]
+        if a == b:
+            return 0
+        forward = (b - a) % nj
+        backward = (a - b) % nj
+        return 1 if forward <= backward else -1

@@ -1,0 +1,17 @@
+"""Job placement: healthy-submesh search vs lamb-regime placement."""
+
+from .embedding import (
+    compact_placement,
+    find_free_submeshes,
+    largest_free_cubic_submesh,
+    placement_cost,
+    usable_grid,
+)
+
+__all__ = [
+    "usable_grid",
+    "find_free_submeshes",
+    "largest_free_cubic_submesh",
+    "compact_placement",
+    "placement_cost",
+]

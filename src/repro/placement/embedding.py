@@ -1,0 +1,129 @@
+"""Job placement on the reconfigured machine.
+
+The alternative to fault-tolerant routing that real schedulers reach
+for is *avoidance*: run the job inside a fully healthy axis-aligned
+submesh and ignore the rest.  This module implements both worlds so
+they can be compared:
+
+- :func:`find_free_submeshes` / :func:`largest_free_cubic_submesh` —
+  healthy-submesh search (sliding-window scan over the usable-node
+  indicator);
+- :func:`compact_placement` — a greedy compact blob of survivor nodes
+  for a ``p``-rank job under the lamb regime (survivors need not be
+  contiguous: any survivor can talk to any survivor in k rounds);
+- :func:`placement_cost` — average pairwise L1 distance, the
+  communication-volume proxy used to compare placements.
+
+The headline comparison (see ``benchmarks/bench_placement.py``): with
+a few percent of random faults, the largest healthy submesh collapses
+to a small fraction of the machine, while the lamb approach keeps
+nearly every good node usable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.lamb import LambResult
+from ..mesh.geometry import Node
+
+__all__ = [
+    "usable_grid",
+    "find_free_submeshes",
+    "largest_free_cubic_submesh",
+    "compact_placement",
+    "placement_cost",
+]
+
+
+def usable_grid(result: LambResult) -> np.ndarray:
+    """Boolean grid of survivor nodes (good and not a lamb)."""
+    mesh = result.mesh
+    grid = np.ones(mesh.widths, dtype=bool)
+    for v in result.faults.node_faults:
+        grid[v] = False
+    for v in result.lambs:
+        grid[v] = False
+    return grid
+
+
+def find_free_submeshes(
+    usable: np.ndarray, shape: Sequence[int]
+) -> List[Node]:
+    """All minimal corners of fully usable ``shape`` submeshes.
+
+    A corner qualifies iff every node in its window is usable
+    (vectorized via ``sliding_window_view``).
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != usable.ndim:
+        raise ValueError("shape dimensionality mismatch")
+    if any(s < 1 for s in shape):
+        raise ValueError("submesh extents must be positive")
+    if any(s > n for s, n in zip(shape, usable.shape)):
+        return []
+    windows = np.lib.stride_tricks.sliding_window_view(usable, shape)
+    full = windows.all(axis=tuple(range(usable.ndim, 2 * usable.ndim)))
+    return [tuple(int(x) for x in idx) for idx in np.argwhere(full)]
+
+
+def largest_free_cubic_submesh(usable: np.ndarray) -> int:
+    """Side length of the largest fully usable cubic submesh
+    (binary search over the window test)."""
+    lo, hi = 0, min(usable.shape)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if find_free_submeshes(usable, (mid,) * usable.ndim):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def compact_placement(
+    result: LambResult, p: int, seed: int = 0
+) -> List[Node]:
+    """A compact blob of ``p`` survivor ranks.
+
+    Greedy accretion: start at the survivor closest to the mesh
+    center, repeatedly add the unplaced survivor with minimal total
+    distance to the current blob's centroid.  O(p * |survivors|) — fine
+    for the job sizes the examples use.
+    """
+    survivors = result.survivors()
+    if p > len(survivors):
+        raise ValueError(f"cannot place {p} ranks on {len(survivors)} survivors")
+    if p == 0:
+        return []
+    arr = np.asarray(survivors, dtype=np.float64)
+    center = np.asarray(result.mesh.widths, dtype=np.float64) / 2.0
+    start = int(np.argmin(np.abs(arr - center).sum(axis=1)))
+    chosen = [start]
+    chosen_mask = np.zeros(len(survivors), dtype=bool)
+    chosen_mask[start] = True
+    centroid = arr[start].copy()
+    for _ in range(p - 1):
+        dists = np.abs(arr - centroid).sum(axis=1)
+        dists[chosen_mask] = np.inf
+        nxt = int(np.argmin(dists))
+        chosen.append(nxt)
+        chosen_mask[nxt] = True
+        centroid = arr[chosen_mask].mean(axis=0)
+    return [survivors[i] for i in chosen]
+
+
+def placement_cost(placement: Sequence[Node]) -> float:
+    """Average pairwise L1 distance — the communication proxy."""
+    if len(placement) < 2:
+        return 0.0
+    arr = np.asarray(placement, dtype=np.int64)
+    total = 0
+    for j in range(arr.shape[1]):
+        col = np.sort(arr[:, j])
+        # Sum of pairwise |differences| per dimension in O(p log p).
+        idx = np.arange(len(col))
+        total += int((col * (2 * idx - len(col) + 1)).sum())
+    pairs = len(placement) * (len(placement) - 1) / 2
+    return total / pairs

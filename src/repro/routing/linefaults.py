@@ -1,0 +1,142 @@
+"""Per-line fault indexes.
+
+A one-round dimension-ordered route decomposes into ``d`` axis-aligned
+*segments*; segment ``t`` travels along dimension ``pi[t]`` on a fixed
+*line* (a 1-D slice of the mesh).  A segment is usable iff no obstacle
+lies in its closed coordinate interval, where an obstacle is either
+
+- a faulty node on the line (coordinate ``x``), or
+- a faulty directed link on the line, encoded as a half-integer *cut*:
+  a fault on ``<.., c, ..> -> <.., c+1, ..>`` blocks upward motion
+  through ``c + 0.5`` and a fault on the reverse link blocks downward
+  motion through the same position.
+
+Keeping node faults and cuts in one sorted float array per direction
+makes the segment test two ``bisect`` calls, and gives the vectorized
+reachability kernel its ``searchsorted`` form (see
+:mod:`repro.core.reachability`).  Only lines containing at least one
+obstacle are stored, so the index costs O(d * f) space, independent of
+the mesh size.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Mesh
+
+__all__ = ["LineFaultIndex", "LineKey"]
+
+LineKey = Tuple[int, ...]
+
+_INF = float("inf")
+
+
+def _drop(coords: Tuple[int, ...], j: int) -> LineKey:
+    return coords[:j] + coords[j + 1 :]
+
+
+class LineFaultIndex:
+    """Sorted per-line obstacle arrays for a fault set.
+
+    Parameters
+    ----------
+    faults:
+        The fault set to index.  The index is immutable; build a new
+        one if the fault set changes.
+    """
+
+    __slots__ = ("faults", "mesh", "_up", "_down")
+
+    def __init__(self, faults: FaultSet):
+        self.faults = faults
+        self.mesh: Mesh = faults.mesh
+        d = self.mesh.d
+        up: List[Dict[LineKey, List[float]]] = [dict() for _ in range(d)]
+        down: List[Dict[LineKey, List[float]]] = [dict() for _ in range(d)]
+        for v in faults.node_faults:
+            for j in range(d):
+                key = _drop(v, j)
+                up[j].setdefault(key, []).append(float(v[j]))
+                down[j].setdefault(key, []).append(float(v[j]))
+        for (u, w) in faults.link_faults:
+            j = next(i for i in range(d) if u[i] != w[i])
+            key = _drop(u, j)
+            if w[j] == u[j] + 1:
+                up[j].setdefault(key, []).append(u[j] + 0.5)
+            elif w[j] == u[j] - 1:
+                down[j].setdefault(key, []).append(w[j] + 0.5)
+            else:  # pragma: no cover - torus wrap links are not indexed
+                raise ValueError(
+                    f"link <{u}, {w}> wraps around; LineFaultIndex supports meshes only"
+                )
+        self._up: List[Dict[LineKey, np.ndarray]] = [
+            {k: np.asarray(sorted(vals)) for k, vals in up[j].items()}
+            for j in range(d)
+        ]
+        self._down: List[Dict[LineKey, np.ndarray]] = [
+            {k: np.asarray(sorted(vals)) for k, vals in down[j].items()}
+            for j in range(d)
+        ]
+
+    # ------------------------------------------------------------------
+    def line_has_obstacle(self, j: int, key: LineKey) -> bool:
+        """Whether the dimension-``j`` line ``key`` has any obstacle."""
+        return key in self._up[j] or key in self._down[j]
+
+    def num_faulty_lines(self, j: int) -> int:
+        """Number of dimension-``j`` lines containing an obstacle."""
+        return len(set(self._up[j]) | set(self._down[j]))
+
+    def faulty_lines(
+        self, j: int
+    ) -> Iterator[Tuple[LineKey, np.ndarray, np.ndarray]]:
+        """Iterate ``(key, up_obstacles, down_obstacles)`` for every
+        dimension-``j`` line containing at least one obstacle."""
+        empty = np.empty(0)
+        keys = set(self._up[j]) | set(self._down[j])
+        for key in keys:
+            yield key, self._up[j].get(key, empty), self._down[j].get(key, empty)
+
+    # ------------------------------------------------------------------
+    def segment_blocked(self, j: int, key: LineKey, a: int, b: int) -> bool:
+        """Whether traveling along dimension ``j`` on line ``key`` from
+        coordinate ``a`` to ``b`` (inclusive of both endpoints for node
+        faults) hits an obstacle."""
+        if b >= a:
+            arr = self._up[j].get(key)
+            if arr is None:
+                return False
+            i = bisect_left(arr, float(a))
+            return i < len(arr) and arr[i] <= b
+        arr = self._down[j].get(key)
+        if arr is None:
+            return False
+        i = bisect_left(arr, float(b))
+        return i < len(arr) and arr[i] <= a
+
+    def blocking_bounds(self, j: int, key: LineKey, a: int) -> Tuple[float, float]:
+        """Blocking half-ranges around a *good* position ``a``.
+
+        Returns ``(lo, hi)`` such that a segment from ``a`` to ``w`` on
+        this line is blocked iff ``w <= lo`` or ``w >= hi``.  ``lo`` is
+        the largest down-obstacle ``<= a`` (``-inf`` if none) and ``hi``
+        the smallest up-obstacle ``>= a`` (``+inf`` if none).
+        """
+        lo, hi = -_INF, _INF
+        arr = self._down[j].get(key)
+        if arr is not None:
+            i = bisect_left(arr, float(a))
+            # No node fault equals a (a is good); cuts are half-integers.
+            if i > 0:
+                lo = float(arr[i - 1])
+        arr = self._up[j].get(key)
+        if arr is not None:
+            i = bisect_left(arr, float(a))
+            if i < len(arr):
+                hi = float(arr[i])
+        return lo, hi

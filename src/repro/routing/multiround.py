@@ -1,0 +1,249 @@
+"""k-round dimension-ordered reachability and route materialization.
+
+These are the exact, whole-mesh (O(N) per query) reference semantics
+for Definition 2.5.2: grid-based frontier propagation computes the set
+of nodes ``(k, F, pi)``-reachable from a source, the reverse sets, and
+concrete k-round routes with a choice of intermediate-node policy (the
+"heuristic" remark after Definition 2.3).
+
+The lamb algorithms never call these on large meshes — they use the
+SES/DES machinery whose cost is independent of N — but this module is
+the ground truth they are validated against, and it is what the
+wormhole simulator uses to materialize routes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Node
+from .dor import dor_path
+from .ordering import KRoundOrdering, Ordering
+
+__all__ = [
+    "FaultGrids",
+    "reach_set_one_round",
+    "reverse_reach_set_one_round",
+    "reach_set_k_rounds",
+    "k_round_reachable",
+    "find_k_round_route",
+]
+
+
+class FaultGrids:
+    """Dense boolean grids describing a fault set.
+
+    Attributes
+    ----------
+    good:
+        ``widths``-shaped bool array, True at nonfaulty nodes.
+    up_cut[j], down_cut[j]:
+        Arrays with extent ``n_j - 1`` along axis ``j``;
+        ``up_cut[j][..., i, ...]`` is True when the directed link from
+        coordinate ``i`` to ``i + 1`` along dimension ``j`` is faulty
+        (and symmetrically for ``down_cut``).  Links incident to faulty
+        nodes are *not* marked here; the propagation kernel already
+        refuses to enter faulty nodes.
+    """
+
+    __slots__ = ("mesh", "good", "up_cut", "down_cut")
+
+    def __init__(self, faults: FaultSet):
+        mesh = faults.mesh
+        self.mesh = mesh
+        good = np.ones(mesh.widths, dtype=bool)
+        for v in faults.node_faults:
+            good[v] = False
+        self.good = good
+        d = mesh.d
+        self.up_cut: List[np.ndarray] = []
+        self.down_cut: List[np.ndarray] = []
+        for j in range(d):
+            shape = list(mesh.widths)
+            shape[j] -= 1
+            self.up_cut.append(np.zeros(shape, dtype=bool))
+            self.down_cut.append(np.zeros(shape, dtype=bool))
+        for (u, w) in faults.link_faults:
+            j = next(i for i in range(d) if u[i] != w[i])
+            if w[j] == u[j] + 1:
+                self.up_cut[j][u] = True
+            else:
+                idx = list(w)
+                self.down_cut[j][tuple(idx)] = True
+
+
+def _propagate_axis(
+    frontier: np.ndarray, grids: FaultGrids, axis: int
+) -> np.ndarray:
+    """Extend a frontier along one axis in both directions.
+
+    Returns the set of nodes reachable by an axis-``axis`` segment
+    (possibly of length zero) starting from a frontier node, passing
+    only through good nodes and non-cut links.
+    """
+    good = np.moveaxis(grids.good, axis, 0)
+    up_cut = np.moveaxis(grids.up_cut[axis], axis, 0)
+    down_cut = np.moveaxis(grids.down_cut[axis], axis, 0)
+    src = np.moveaxis(frontier, axis, 0)
+    n = src.shape[0]
+    up = src.copy()
+    for i in range(1, n):
+        up[i] |= up[i - 1] & good[i] & ~up_cut[i - 1]
+    down = src.copy()
+    for i in range(n - 2, -1, -1):
+        down[i] |= down[i + 1] & good[i] & ~down_cut[i]
+    return np.moveaxis(up | down, 0, axis)
+
+
+def reach_set_one_round(
+    grids: FaultGrids, pi: Ordering, start: np.ndarray
+) -> np.ndarray:
+    """All nodes one ``pi``-round reachable from any node in ``start``.
+
+    ``start`` is a boolean grid that must only mark good nodes.
+    """
+    frontier = start & grids.good
+    for j in pi:
+        frontier = _propagate_axis(frontier, grids, j)
+    return frontier
+
+
+def _flipped(grids: FaultGrids) -> FaultGrids:
+    """Grids with every directed link reversed (shares node data)."""
+    out = FaultGrids.__new__(FaultGrids)
+    out.mesh = grids.mesh
+    out.good = grids.good
+    out.up_cut = grids.down_cut
+    out.down_cut = grids.up_cut
+    return out
+
+
+def reverse_reach_set_one_round(
+    grids: FaultGrids, pi: Ordering, target: np.ndarray
+) -> np.ndarray:
+    """All nodes ``u`` that can one-``pi``-round reach some node in
+    ``target``.
+
+    Uses the reversal identity: ``u`` can ``pi``-reach ``w`` iff ``w``
+    can reach ``u`` under the reversed ordering with all directed links
+    flipped.
+    """
+    return reach_set_one_round(_flipped(grids), pi.reversed(), target)
+
+
+def reach_set_k_rounds(
+    grids: FaultGrids, orderings: KRoundOrdering, source: Sequence[int]
+) -> np.ndarray:
+    """The set of nodes ``(k, F, pi_vec)``-reachable from ``source``."""
+    mesh = grids.mesh
+    start = np.zeros(mesh.widths, dtype=bool)
+    start[tuple(source)] = True
+    frontier = start
+    for pi in orderings:
+        frontier = reach_set_one_round(grids, pi, frontier)
+    return frontier
+
+
+def k_round_reachable(
+    grids: FaultGrids,
+    orderings: KRoundOrdering,
+    v: Sequence[int],
+    w: Sequence[int],
+) -> bool:
+    """Exact Definition 2.5.2 test (O(k N) time)."""
+    return bool(reach_set_k_rounds(grids, orderings, v)[tuple(w)])
+
+
+def find_k_round_route(
+    grids: FaultGrids,
+    orderings: KRoundOrdering,
+    v: Sequence[int],
+    w: Sequence[int],
+    policy: str = "shortest",
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[List[List[Node]]]:
+    """Materialize a concrete k-round route from ``v`` to ``w``.
+
+    Returns one node path per round (round ``t``'s path starts where
+    round ``t-1``'s ended), or ``None`` if ``w`` is not
+    ``(k, F, pi_vec)``-reachable from ``v``.
+
+    ``policy`` selects the intermediate nodes (the congestion heuristic
+    discussed after Definition 2.3):
+
+    - ``"shortest"``: minimize the total route length (sum of per-round
+      L1 hops), breaking ties uniformly at random (needs ``rng``) —
+      the paper's suggested heuristic;
+    - ``"first"``: lexicographically smallest intermediates
+      (deterministic);
+    - ``"random"``: uniform choice among feasible intermediates.
+    """
+    mesh = grids.mesh
+    v = tuple(int(x) for x in v)
+    w = tuple(int(x) for x in w)
+    k = orderings.k
+    # Forward sets F_t = nodes reachable from v in t rounds.
+    fwd = [None] * (k + 1)
+    start = np.zeros(mesh.widths, dtype=bool)
+    if not grids.good[v] or not grids.good[w]:
+        return None
+    start[v] = True
+    fwd[0] = start
+    for t in range(1, k + 1):
+        fwd[t] = reach_set_one_round(grids, orderings[t - 1], fwd[t - 1])
+    if not fwd[k][w]:
+        return None
+    # Backward sets B_t = nodes that can reach w in the remaining rounds.
+    bwd = [None] * (k + 1)
+    target = np.zeros(mesh.widths, dtype=bool)
+    target[w] = True
+    bwd[k] = target
+    for t in range(k - 1, -1, -1):
+        bwd[t] = reverse_reach_set_one_round(grids, orderings[t], bwd[t + 1])
+
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    def choose(candidates: np.ndarray, prev: Node, goal: Node) -> Node:
+        coords = np.argwhere(candidates)
+        if policy == "first":
+            order = np.lexsort(coords.T[::-1])
+            return tuple(int(x) for x in coords[order[0]])
+        if policy == "random":
+            return tuple(int(x) for x in coords[rng.integers(len(coords))])
+        if policy == "shortest":
+            # The goal itself, when feasible, is always a minimum-cost
+            # intermediate (triangle equality) and collapses the
+            # remaining rounds to no-ops — prefer it outright.
+            if candidates[goal]:
+                return goal
+            prev_arr = np.asarray(prev)
+            goal_arr = np.asarray(goal)
+            cost = np.abs(coords - prev_arr).sum(axis=1) + np.abs(
+                coords - goal_arr
+            ).sum(axis=1)
+            best = np.flatnonzero(cost == cost.min())
+            pick = best[rng.integers(len(best))]
+            return tuple(int(x) for x in coords[pick])
+        raise ValueError(f"unknown policy {policy!r}")
+
+    paths: List[List[Node]] = []
+    cur = v
+    for t in range(k):
+        if t == k - 1:
+            nxt = w
+        else:
+            # Feasible intermediates after round t+1: one round from cur,
+            # and able to finish within the remaining rounds.
+            here = np.zeros(mesh.widths, dtype=bool)
+            here[cur] = True
+            feasible = reach_set_one_round(grids, orderings[t], here) & bwd[t + 1]
+            if not feasible.any():  # pragma: no cover - fwd/bwd guarantee nonempty
+                return None
+            nxt = choose(feasible, cur, w)
+        paths.append(dor_path(mesh, orderings[t], cur, nxt))
+        cur = nxt
+    return paths

@@ -1,0 +1,125 @@
+"""Dimension orderings for dimension-ordered routing (Definition 2.2).
+
+An ordering is a permutation ``pi`` of the dimensions ``0..d-1``
+(0-indexed here; the paper uses 1-indexed).  ``pi[t]`` is the dimension
+routed during hop-phase ``t``.  The ascending ordering on 2D/3D meshes
+is the paper's XY / XYZ routing; on hypercubes it is e-cube routing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["Ordering", "ascending", "xy", "xyz", "KRoundOrdering", "repeated"]
+
+
+class Ordering:
+    """A permutation of ``{0, ..., d-1}`` giving the routing order."""
+
+    __slots__ = ("perm", "d")
+
+    def __init__(self, perm: Sequence[int]):
+        perm = tuple(int(p) for p in perm)
+        if sorted(perm) != list(range(len(perm))):
+            raise ValueError(f"{perm} is not a permutation of 0..{len(perm) - 1}")
+        self.perm: Tuple[int, ...] = perm
+        self.d = len(perm)
+
+    def __iter__(self):
+        return iter(self.perm)
+
+    def __getitem__(self, t: int) -> int:
+        return self.perm[t]
+
+    def __len__(self) -> int:
+        return self.d
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ordering) and self.perm == other.perm
+
+    def __hash__(self) -> int:
+        return hash(("Ordering", self.perm))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.d <= 3:
+            names = "XYZ"
+            return "Ordering(" + "".join(names[p] for p in self.perm) + ")"
+        return f"Ordering{self.perm}"
+
+    def reversed(self) -> "Ordering":
+        """The reverse ordering.
+
+        A set is a DES for ``pi`` iff it is an SES for ``pi`` reversed
+        (remark before Lemma 6.2).
+        """
+        return Ordering(tuple(reversed(self.perm)))
+
+    def is_ascending(self) -> bool:
+        return self.perm == tuple(range(self.d))
+
+
+def ascending(d: int) -> Ordering:
+    """The ascending (e-cube) ordering ``(0, 1, ..., d-1)``."""
+    return Ordering(range(d))
+
+
+def xy() -> Ordering:
+    """XY routing on a 2D mesh."""
+    return ascending(2)
+
+
+def xyz() -> Ordering:
+    """XYZ routing on a 3D mesh."""
+    return ascending(3)
+
+
+class KRoundOrdering:
+    """A k-round ordering ``(pi_1, ..., pi_k)`` (Definition 2.3)."""
+
+    __slots__ = ("rounds",)
+
+    def __init__(self, rounds: Sequence[Ordering]):
+        rounds = tuple(rounds)
+        if not rounds:
+            raise ValueError("need at least one round")
+        d = rounds[0].d
+        if any(o.d != d for o in rounds):
+            raise ValueError("all rounds must have the same dimensionality")
+        self.rounds: Tuple[Ordering, ...] = rounds
+
+    @property
+    def k(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def d(self) -> int:
+        return self.rounds[0].d
+
+    def __iter__(self):
+        return iter(self.rounds)
+
+    def __getitem__(self, t: int) -> Ordering:
+        return self.rounds[t]
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KRoundOrdering) and self.rounds == other.rounds
+
+    def __hash__(self) -> int:
+        return hash(("KRoundOrdering", self.rounds))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KRoundOrdering({list(self.rounds)})"
+
+    def is_uniform(self) -> bool:
+        """Whether every round uses the same ordering."""
+        return all(o == self.rounds[0] for o in self.rounds)
+
+
+def repeated(pi: Ordering, k: int) -> KRoundOrdering:
+    """The ``pi``-ordered k-round ordering ``(pi, pi, ..., pi)``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return KRoundOrdering((pi,) * k)

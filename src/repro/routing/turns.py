@@ -1,0 +1,80 @@
+"""Turn counting.
+
+One of the Blue Gene design goals motivating the lamb approach
+(requirement (iv) in Section 1) is minimizing the number of *turns* —
+direction changes — per route.  A k-round dimension-ordered route has
+at most ``k*d - 1`` turns, whereas fault-ring schemes can take a
+constant times ``n`` turns around adversarial fault regions; this
+module provides the counters used to quantify that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..mesh.geometry import Node
+
+__all__ = ["count_turns", "count_turns_multiround", "max_turns_bound"]
+
+
+def _direction(
+    u: Sequence[int],
+    v: Sequence[int],
+    wrap_widths: Optional[Sequence[int]] = None,
+) -> Tuple[int, int]:
+    """(dimension, sign) of a unit hop; raises for non-adjacent nodes.
+
+    With ``wrap_widths`` given (torus paths), a hop of ``n_j - 1``
+    along dimension ``j`` is a wrap-around and its sign is normalized
+    to the physical direction of travel.
+    """
+    diff = [(j, b - a) for j, (a, b) in enumerate(zip(u, v)) if a != b]
+    if len(diff) == 1:
+        j, delta = diff[0]
+        if abs(delta) == 1:
+            return (j, delta)
+        if wrap_widths is not None and abs(delta) == wrap_widths[j] - 1:
+            return (j, 1 if delta < 0 else -1)
+    raise ValueError(f"{tuple(u)} -> {tuple(v)} is not a single hop")
+
+
+def count_turns(
+    path: Sequence[Node], wrap_widths: Optional[Sequence[int]] = None
+) -> int:
+    """Number of direction changes along an explicit node path.
+
+    Pass ``wrap_widths`` (the torus widths) to accept wrap-around hops.
+    """
+    turns = 0
+    prev: Optional[Tuple[int, int]] = None
+    for u, v in zip(path, path[1:]):
+        cur = _direction(u, v, wrap_widths)
+        if prev is not None and cur != prev:
+            turns += 1
+        prev = cur
+    return turns
+
+
+def count_turns_multiround(paths: Sequence[Sequence[Node]]) -> int:
+    """Turns of a k-round route given one path per round.
+
+    The message is pipelined through all rounds (Section 1), so a
+    direction change across a round boundary counts as a turn of the
+    single physical route.
+    """
+    merged: List[Node] = []
+    for t, path in enumerate(paths):
+        if t == 0:
+            merged.extend(path)
+        else:
+            if tuple(path[0]) != tuple(merged[-1]):
+                raise ValueError("round paths are not contiguous")
+            merged.extend(path[1:])
+    return count_turns(merged)
+
+
+def max_turns_bound(d: int, k: int) -> int:
+    """Worst-case turns of a k-round dimension-ordered route: each
+    round changes direction at most ``d - 1`` times within the round
+    plus once at each of the ``k - 1`` round boundaries."""
+    return k * (d - 1) + (k - 1)

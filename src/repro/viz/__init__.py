@@ -1,0 +1,5 @@
+"""ASCII visualization of 2D faulty meshes (the paper's figure style)."""
+
+from .ascii_art import render_lambs, render_mesh, render_partition, render_route
+
+__all__ = ["render_mesh", "render_partition", "render_route", "render_lambs"]

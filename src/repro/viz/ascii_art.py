@@ -1,0 +1,140 @@
+"""ASCII rendering of 2D faulty meshes — the library's Figures 1-10.
+
+The paper communicates everything about the worked example through
+pictures of a 12x12 mesh: faults (Fig. 2), SES/DES partitions with
+labels (Figs. 3-6), spanning trees / routes (Figs. 7-8) and the chosen
+lambs (Fig. 10).  These helpers render the same views as fixed-width
+text so examples and docs can show them inline.
+
+Coordinate convention matches the paper: node (0, 0) at the upper
+left, x growing rightward, y growing downward.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Mesh, Node
+from ..mesh.regions import Rect
+
+__all__ = [
+    "render_mesh",
+    "render_partition",
+    "render_route",
+    "render_lambs",
+]
+
+_FAULT = "X"
+_GOOD = "."
+_LAMB = "L"
+#: Label alphabet for partition rendering (62 distinguishable sets).
+_LABELS = "123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _check_2d(mesh: Mesh) -> None:
+    if mesh.d != 2:
+        raise ValueError("ASCII rendering supports 2D meshes only")
+
+
+def _grid(mesh: Mesh, fill: str = _GOOD) -> List[List[str]]:
+    nx, ny = mesh.widths
+    return [[fill for _ in range(nx)] for _ in range(ny)]
+
+
+def _emit(mesh: Mesh, grid: List[List[str]], axes: bool) -> str:
+    nx, ny = mesh.widths
+    lines = []
+    if axes:
+        header = "    " + " ".join(f"{x % 10}" for x in range(nx))
+        lines.append(header)
+    for y in range(ny):
+        prefix = f"{y:>3} " if axes else ""
+        lines.append(prefix + " ".join(grid[y][x] for x in range(nx)))
+    return "\n".join(lines) + "\n"
+
+
+def render_mesh(faults: FaultSet, axes: bool = True) -> str:
+    """Fig. 2-style view: good nodes '.' and faults 'X'.
+
+    >>> from repro.mesh import Mesh, FaultSet
+    >>> print(render_mesh(FaultSet(Mesh((3, 3)), [(1, 1)]), axes=False))
+    . . .
+    . X .
+    . . .
+    <BLANKLINE>
+    """
+    _check_2d(faults.mesh)
+    grid = _grid(faults.mesh)
+    for (x, y) in faults.node_faults:
+        grid[y][x] = _FAULT
+    return _emit(faults.mesh, grid, axes)
+
+
+def render_partition(
+    faults: FaultSet,
+    rects: Sequence[Rect],
+    show_representatives: bool = False,
+    axes: bool = True,
+) -> str:
+    """Figs. 3-6-style view: each partition set drawn with its own
+    label character; faults 'X'; representatives upper-cased (or '@'
+    for digit labels) when ``show_representatives``."""
+    mesh = faults.mesh
+    _check_2d(mesh)
+    if len(rects) > len(_LABELS):
+        raise ValueError(f"cannot label more than {len(_LABELS)} sets")
+    grid = _grid(mesh, fill=" ")
+    for (x, y) in faults.node_faults:
+        grid[y][x] = _FAULT
+    for i, r in enumerate(rects):
+        label = _LABELS[i]
+        for (x, y) in r.nodes():
+            grid[y][x] = label
+        if show_representatives:
+            rx, ry = r.lo
+            grid[ry][rx] = label.upper() if label.isalpha() else "@"
+    return _emit(mesh, grid, axes)
+
+
+def render_route(
+    faults: FaultSet,
+    paths: Sequence[Sequence[Node]],
+    axes: bool = True,
+) -> str:
+    """Figs. 7-8-style view of a k-round route: round ``t`` drawn with
+    digit ``t + 1``, source 'S', destination 'D', faults 'X'."""
+    mesh = faults.mesh
+    _check_2d(mesh)
+    if not paths or not paths[0]:
+        raise ValueError("need at least one non-empty round path")
+    grid = _grid(mesh)
+    for (x, y) in faults.node_faults:
+        grid[y][x] = _FAULT
+    for t, path in enumerate(paths):
+        mark = str((t + 1) % 10)
+        for (x, y) in path:
+            grid[y][x] = mark
+    sx, sy = paths[0][0]
+    dx, dy = paths[-1][-1]
+    grid[sy][sx] = "S"
+    grid[dy][dx] = "D"
+    return _emit(mesh, grid, axes)
+
+
+def render_lambs(
+    faults: FaultSet,
+    lambs: Iterable[Node],
+    axes: bool = True,
+) -> str:
+    """Fig. 10-style view: faults 'X', lamb nodes 'L', survivors '.'."""
+    mesh = faults.mesh
+    _check_2d(mesh)
+    grid = _grid(mesh)
+    for (x, y) in faults.node_faults:
+        grid[y][x] = _FAULT
+    for (x, y) in lambs:
+        if grid[y][x] == _FAULT:
+            raise ValueError(f"lamb ({x}, {y}) is faulty")
+        grid[y][x] = _LAMB
+    return _emit(mesh, grid, axes)

@@ -1,0 +1,33 @@
+"""Flit-level wormhole network simulator with virtual channels."""
+
+from .deadlock import DeadlockError, build_wait_graph, find_deadlock_cycle
+from .network import VirtualNetwork
+from .packets import Hop, Message
+from .simulator import WormholeSimulator
+from .stats import SimStats
+from .trace import TraceEvent, Tracer
+from .traffic import (
+    Injection,
+    hotspot_traffic,
+    permutation_traffic,
+    transpose_traffic,
+    uniform_random_traffic,
+)
+
+__all__ = [
+    "WormholeSimulator",
+    "VirtualNetwork",
+    "Hop",
+    "Message",
+    "SimStats",
+    "Tracer",
+    "TraceEvent",
+    "DeadlockError",
+    "build_wait_graph",
+    "find_deadlock_cycle",
+    "Injection",
+    "uniform_random_traffic",
+    "permutation_traffic",
+    "hotspot_traffic",
+    "transpose_traffic",
+]

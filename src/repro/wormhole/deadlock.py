@@ -1,0 +1,80 @@
+"""Deadlock detection via the message wait-for graph.
+
+Wormhole deadlock is a cycle of messages each blocked waiting for a
+(link, VC) resource owned by the next (Dally & Seitz [8]).  k-round
+dimension-ordered routing with one VC per round is provably
+deadlock-free (Section 1); the simulator uses this detector both as a
+correctness assertion for the proper VC discipline and to *exhibit*
+deadlock when the discipline is deliberately violated (see
+``examples/deadlock_demo.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .network import VirtualNetwork
+from .packets import Message
+
+__all__ = ["build_wait_graph", "find_deadlock_cycle", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """Raised by the simulator when a wait-for cycle is detected."""
+
+    def __init__(self, cycle: List[int]):
+        self.cycle = cycle
+        super().__init__(
+            f"wormhole deadlock: wait-for cycle among messages {cycle}"
+        )
+
+
+def build_wait_graph(
+    messages: Iterable[Message], net: VirtualNetwork
+) -> Dict[int, int]:
+    """Edges ``m -> m'``: the head of in-flight message ``m`` is blocked
+    on a resource owned by ``m'``.
+
+    Messages blocked only on buffer space of a resource they own (or
+    that is free) have no outgoing edge — they are throttled, not
+    deadlocked.
+    """
+    graph: Dict[int, int] = {}
+    for m in messages:
+        if m.is_delivered:
+            continue
+        nxt = m.next_hop_index()
+        if nxt is None:
+            continue
+        hop = m.hops[nxt]
+        holder = net.owner(hop)
+        if holder is not None and holder != m.msg_id:
+            graph[m.msg_id] = holder
+    return graph
+
+
+def find_deadlock_cycle(graph: Dict[int, int]) -> Optional[List[int]]:
+    """A cycle in the (functional) wait-for graph, or None.
+
+    Each node has at most one outgoing edge, so cycle detection is a
+    pointer chase with a visited-epoch marker.
+    """
+    color: Dict[int, int] = {}  # 0 in progress, 1 done
+    for start in graph:
+        if color.get(start) == 1:
+            continue
+        path: List[int] = []
+        u: Optional[int] = start
+        while u is not None and u in graph and color.get(u) is None:
+            color[u] = 0
+            path.append(u)
+            u = graph[u]
+        if u is not None and color.get(u) == 0:
+            # Found a node already on the current path: cycle.
+            i = path.index(u)
+            for v in path:
+                color[v] = 1
+            return path[i:]
+        for v in path:
+            color[v] = 1
+    return None

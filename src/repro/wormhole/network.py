@@ -1,0 +1,115 @@
+"""Virtual-channel bookkeeping for the wormhole simulator.
+
+A *resource* is a (physical directed link, virtual channel) pair.  In
+wormhole switching a resource is owned exclusively by one message from
+the time its head flit is routed onto it until its tail flit has
+crossed it; each resource also has a small downstream flit buffer and
+a bandwidth of one flit per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Node
+from .packets import Hop
+
+__all__ = ["ResourceKey", "VirtualNetwork"]
+
+ResourceKey = Tuple[Node, Node, int]  # (src, dst, vc)
+
+
+def _key(hop: Hop) -> ResourceKey:
+    return (hop.src, hop.dst, hop.vc)
+
+
+class VirtualNetwork:
+    """Ownership, buffer occupancy and per-cycle bandwidth state.
+
+    Parameters
+    ----------
+    faults:
+        Fault set; routing over a faulty node or link is rejected at
+        hop validation time (routes are supposed to be fault-free by
+        construction — this is a safety net, not a routing layer).
+    num_vcs:
+        Number of virtual channels per physical link.
+    buffer_flits:
+        Downstream buffer capacity per resource, in flits.
+    """
+
+    def __init__(self, faults: FaultSet, num_vcs: int, buffer_flits: int = 2):
+        if num_vcs < 1:
+            raise ValueError("need at least one virtual channel")
+        if buffer_flits < 1:
+            raise ValueError("need at least one flit of buffering")
+        self.faults = faults
+        self.mesh = faults.mesh
+        self.num_vcs = num_vcs
+        self.buffer_flits = buffer_flits
+        self._owner: Dict[ResourceKey, int] = {}
+        self._occupancy: Dict[ResourceKey, int] = {}
+        self._used_this_cycle: Set[ResourceKey] = set()
+
+    # ------------------------------------------------------------------
+    def validate_hop(self, hop: Hop) -> None:
+        """Reject hops that use faulty hardware or unknown VCs."""
+        if hop.vc < 0 or hop.vc >= self.num_vcs:
+            raise ValueError(f"hop uses VC {hop.vc}, have {self.num_vcs}")
+        if not self.mesh.are_adjacent(hop.src, hop.dst):
+            raise ValueError(f"hop {hop.src} -> {hop.dst} is not a link")
+        if self.faults.node_is_faulty(hop.src) or self.faults.node_is_faulty(hop.dst):
+            raise ValueError(f"hop {hop.src} -> {hop.dst} touches a faulty node")
+        if (hop.src, hop.dst) in set(self.faults.link_faults):
+            raise ValueError(f"hop {hop.src} -> {hop.dst} uses a faulty link")
+
+    # ------------------------------------------------------------------
+    def owner(self, hop: Hop) -> Optional[int]:
+        return self._owner.get(_key(hop))
+
+    def try_acquire(self, hop: Hop, msg_id: int) -> bool:
+        """Acquire the resource for ``msg_id`` if free."""
+        key = _key(hop)
+        holder = self._owner.get(key)
+        if holder is None:
+            self._owner[key] = msg_id
+            return True
+        return holder == msg_id
+
+    def release(self, hop: Hop, msg_id: int) -> None:
+        key = _key(hop)
+        if self._owner.get(key) != msg_id:
+            raise RuntimeError(f"message {msg_id} does not own {key}")
+        del self._owner[key]
+
+    # ------------------------------------------------------------------
+    def buffer_has_space(self, hop: Hop) -> bool:
+        return self._occupancy.get(_key(hop), 0) < self.buffer_flits
+
+    def buffer_push(self, hop: Hop) -> None:
+        key = _key(hop)
+        n = self._occupancy.get(key, 0)
+        if n >= self.buffer_flits:
+            raise RuntimeError(f"buffer overflow on {key}")
+        self._occupancy[key] = n + 1
+
+    def buffer_pop(self, hop: Hop) -> None:
+        key = _key(hop)
+        n = self._occupancy.get(key, 0)
+        if n <= 0:
+            raise RuntimeError(f"buffer underflow on {key}")
+        if n == 1:
+            del self._occupancy[key]
+        else:
+            self._occupancy[key] = n - 1
+
+    # ------------------------------------------------------------------
+    def channel_free_this_cycle(self, hop: Hop) -> bool:
+        return _key(hop) not in self._used_this_cycle
+
+    def mark_channel_used(self, hop: Hop) -> None:
+        self._used_this_cycle.add(_key(hop))
+
+    def new_cycle(self) -> None:
+        self._used_this_cycle.clear()

@@ -1,0 +1,98 @@
+"""Messages and their wormhole state.
+
+A message is a sequence of *flits* (flow control units, Section 1)
+that follow the same path in a pipelined manner.  The path is a
+k-round dimension-ordered route materialized by
+:func:`repro.routing.find_k_round_route`; each hop is annotated with
+the virtual channel of its round (round ``t`` uses VC ``t``), which is
+exactly the paper's deadlock-avoidance discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..mesh.geometry import Node
+
+__all__ = ["Hop", "Message"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One physical-link traversal of a route.
+
+    Attributes
+    ----------
+    src, dst:
+        Link endpoints.
+    vc:
+        Virtual channel used on this hop (= the routing round).
+    """
+
+    src: Node
+    dst: Node
+    vc: int
+
+
+@dataclass
+class Message:
+    """A wormhole message in flight.
+
+    The flit occupancy is tracked as ``flit_pos[f]``: the index of the
+    last hop flit ``f`` has crossed (-1 = still queued at the source).
+    ``flit_pos`` is non-increasing in ``f`` and adjacent flits are at
+    most ``buffer_flits`` hops apart (wormhole back-pressure).
+    """
+
+    msg_id: int
+    source: Node
+    dest: Node
+    num_flits: int
+    hops: List[Hop]
+    inject_cycle: int
+    flit_pos: List[int] = field(default_factory=list)
+    owned_upto: int = -1  # highest hop index whose (link, vc) we hold
+    delivered_flits: int = 0
+    deliver_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_flits < 1:
+            raise ValueError("a message needs at least one flit")
+        if not self.flit_pos:
+            self.flit_pos = [-1] * self.num_flits
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def head_pos(self) -> int:
+        return self.flit_pos[0]
+
+    @property
+    def tail_pos(self) -> int:
+        return self.flit_pos[-1]
+
+    @property
+    def is_delivered(self) -> bool:
+        return self.deliver_cycle is not None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Injection-to-tail-delivery latency in cycles."""
+        if self.deliver_cycle is None:
+            return None
+        return self.deliver_cycle - self.inject_cycle
+
+    def next_hop_index(self) -> Optional[int]:
+        """Index of the hop the head wants next, or None if the head
+        has crossed every hop (zero-hop messages deliver instantly)."""
+        nxt = self.head_pos + 1
+        return nxt if nxt < self.num_hops else None
+
+    def path_nodes(self) -> List[Node]:
+        """The full node path (source first)."""
+        out = [self.source]
+        out.extend(h.dst for h in self.hops)
+        return out

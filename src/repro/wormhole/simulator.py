@@ -1,0 +1,278 @@
+"""Cycle-driven flit-level wormhole simulator.
+
+Simulates deterministic k-round dimension-ordered wormhole routing on
+a faulty mesh with one virtual channel per round (the paper's
+deadlock-free discipline) — the simulated stand-in for the Blue Gene
+3D-mesh hardware the paper targets.
+
+Model (standard wormhole switching, Dally & Seitz [8]):
+
+- a message's flits follow one path in a pipelined manner;
+- each (link, VC) resource carries one flit per cycle, is exclusively
+  owned from head arrival to tail departure, and has a small
+  downstream buffer (``buffer_flits``);
+- a blocked head leaves all flits in place (no buffering of whole
+  messages at intermediate nodes — crucially, a message *continues in
+  a pipelined fashion through all k rounds*, Section 1);
+- ejection consumes flits immediately at the destination; injection
+  waits until the first hop's resource is acquired.
+
+Arbitration is oldest-first (by injection cycle, then message id),
+which is deterministic and starvation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Node
+from ..routing.multiround import FaultGrids, find_k_round_route
+from ..routing.ordering import KRoundOrdering
+from .deadlock import DeadlockError, build_wait_graph, find_deadlock_cycle
+from .network import VirtualNetwork
+from .packets import Hop, Message
+from .stats import SimStats
+from .trace import TraceEvent, Tracer
+
+__all__ = ["WormholeSimulator"]
+
+
+class WormholeSimulator:
+    """Flit-level simulator of k-round DOR wormhole routing.
+
+    Parameters
+    ----------
+    faults:
+        The faulty mesh.
+    orderings:
+        k-round ordering; round ``t`` travels on VC ``t`` by default.
+    buffer_flits:
+        Per-resource downstream buffer depth.
+    policy:
+        Intermediate-node policy for route materialization (see
+        :func:`repro.routing.find_k_round_route`).
+    vc_of_round:
+        Maps round index -> VC.  The default (identity) is the paper's
+        deadlock-free discipline; pass ``lambda t: 0`` to deliberately
+        break it and watch :class:`DeadlockError` fire.
+    deadlock_check_every:
+        How often (cycles without any flit movement) to run the
+        wait-graph cycle detector.
+    tracer:
+        Optional :class:`repro.wormhole.Tracer` recording the event
+        stream (injections, acquisitions, flit hops, deliveries).
+    """
+
+    def __init__(
+        self,
+        faults: FaultSet,
+        orderings: KRoundOrdering,
+        buffer_flits: int = 2,
+        policy: str = "shortest",
+        vc_of_round: Optional[Callable[[int], int]] = None,
+        num_vcs: Optional[int] = None,
+        seed: int = 0,
+        deadlock_check_every: int = 4,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.faults = faults
+        self.mesh = faults.mesh
+        self.orderings = orderings
+        self.policy = policy
+        self._vc_of_round = vc_of_round or (lambda t: t)
+        self.net = VirtualNetwork(
+            faults,
+            num_vcs=(orderings.k if num_vcs is None else num_vcs),
+            buffer_flits=buffer_flits,
+        )
+        self.grids = FaultGrids(faults)
+        self.rng = np.random.default_rng(seed)
+        self.cycle = 0
+        self.messages: Dict[int, Message] = {}
+        self._next_id = 0
+        self._deadlock_check_every = deadlock_check_every
+        self._idle_cycles = 0
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Route construction and message submission
+    # ------------------------------------------------------------------
+    def build_hops(self, src: Node, dst: Node) -> Optional[List[Hop]]:
+        """Materialize a k-round route as VC-annotated hops, or None if
+        unreachable."""
+        paths = find_k_round_route(
+            self.grids, self.orderings, src, dst, policy=self.policy, rng=self.rng
+        )
+        if paths is None:
+            return None
+        hops: List[Hop] = []
+        for t, path in enumerate(paths):
+            vc = self._vc_of_round(t)
+            for u, v in zip(path, path[1:]):
+                hops.append(Hop(tuple(u), tuple(v), vc))
+        for hop in hops:
+            self.net.validate_hop(hop)
+        return hops
+
+    def send(
+        self,
+        src: Node,
+        dst: Node,
+        num_flits: int = 16,
+        inject_cycle: Optional[int] = None,
+        hops: Optional[List[Hop]] = None,
+    ) -> Message:
+        """Queue a message; raises ValueError if ``dst`` is not
+        k-round reachable from ``src``."""
+        src = tuple(int(x) for x in src)
+        dst = tuple(int(x) for x in dst)
+        if hops is None:
+            hops = self.build_hops(src, dst)
+            if hops is None:
+                raise ValueError(f"{dst} is not k-round reachable from {src}")
+        else:
+            for hop in hops:
+                self.net.validate_hop(hop)
+        when = self.cycle if inject_cycle is None else int(inject_cycle)
+        if when < self.cycle:
+            raise ValueError("cannot inject in the past")
+        msg = Message(
+            msg_id=self._next_id,
+            source=src,
+            dest=dst,
+            num_flits=int(num_flits),
+            hops=hops,
+            inject_cycle=when,
+        )
+        self._next_id += 1
+        if not hops:  # src == dst: delivered without entering the network
+            msg.delivered_flits = msg.num_flits
+            msg.deliver_cycle = when
+        self.messages[msg.msg_id] = msg
+        if self.tracer is not None:
+            self.tracer.record(
+                TraceEvent(when, "inject", msg.msg_id, src=src, dst=dst)
+            )
+        return msg
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+    def _active_messages(self) -> List[Message]:
+        """Messages eligible to move this cycle, oldest first."""
+        out = [
+            m
+            for m in self.messages.values()
+            if not m.is_delivered and m.inject_cycle <= self.cycle
+        ]
+        out.sort(key=lambda m: (m.inject_cycle, m.msg_id))
+        return out
+
+    def _try_advance_flit(self, m: Message, f: int) -> bool:
+        """Attempt to move flit ``f`` one hop; returns True on motion."""
+        pos = m.flit_pos[f]
+        nxt = pos + 1
+        if nxt >= m.num_hops:
+            return False  # already at destination (delivered elsewhere)
+        if f > 0 and m.flit_pos[f - 1] < nxt:
+            return False  # cannot pass the preceding flit
+        hop = m.hops[nxt]
+        if not self.net.channel_free_this_cycle(hop):
+            return False
+        if f == 0:
+            if not self.net.buffer_has_space(hop) and nxt != m.num_hops - 1:
+                # Head can always eject at the final hop.
+                return False
+            newly_acquired = self.net.owner(hop) is None
+            if not self.net.try_acquire(hop, m.msg_id):
+                return False
+            if newly_acquired and self.tracer is not None:
+                self.tracer.record(
+                    TraceEvent(self.cycle, "acquire", m.msg_id,
+                               src=hop.src, dst=hop.dst, vc=hop.vc)
+                )
+            if nxt != m.num_hops - 1 and not self.net.buffer_has_space(hop):
+                return False
+        else:
+            if self.net.owner(hop) != m.msg_id:
+                return False  # resource already released? cannot happen
+            if nxt != m.num_hops - 1 and not self.net.buffer_has_space(hop):
+                return False
+        # Move: leave old buffer (if we were in one), enter the new.
+        self.net.mark_channel_used(hop)
+        if pos >= 0 and pos < m.num_hops - 1:
+            self.net.buffer_pop(m.hops[pos])
+        if nxt != m.num_hops - 1:
+            self.net.buffer_push(hop)
+        else:
+            m.delivered_flits += 1
+        m.flit_pos[f] = nxt
+        if self.tracer is not None:
+            self.tracer.record(
+                TraceEvent(self.cycle, "flit", m.msg_id, flit=f,
+                           src=hop.src, dst=hop.dst, vc=hop.vc)
+            )
+        # Tail crossed hop `nxt`: release it.
+        if f == m.num_flits - 1:
+            self.net.release(hop, m.msg_id)
+            if self.tracer is not None:
+                self.tracer.record(
+                    TraceEvent(self.cycle, "release", m.msg_id,
+                               src=hop.src, dst=hop.dst, vc=hop.vc)
+                )
+        return True
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of flits that moved."""
+        self.net.new_cycle()
+        moved = 0
+        for m in self._active_messages():
+            # Head first, then body flits in order (each over a
+            # distinct hop, so per-message ordering is conflict-free).
+            for f in range(m.num_flits):
+                if self._try_advance_flit(m, f):
+                    moved += 1
+            if m.delivered_flits == m.num_flits and m.deliver_cycle is None:
+                m.deliver_cycle = self.cycle + 1
+                if self.tracer is not None:
+                    self.tracer.record(
+                        TraceEvent(self.cycle, "deliver", m.msg_id,
+                                   src=m.source, dst=m.dest)
+                    )
+        self.cycle += 1
+        if moved == 0 and any(
+            not m.is_delivered and m.inject_cycle < self.cycle
+            for m in self.messages.values()
+        ):
+            self._idle_cycles += 1
+            if self._idle_cycles >= self._deadlock_check_every:
+                graph = build_wait_graph(self.messages.values(), self.net)
+                cycle = find_deadlock_cycle(graph)
+                if cycle is not None:
+                    raise DeadlockError(cycle)
+        else:
+            self._idle_cycles = 0
+        return moved
+
+    def run(self, max_cycles: int = 100000) -> SimStats:
+        """Run until every message is delivered (or ``max_cycles``).
+
+        Raises :class:`DeadlockError` if a wait-for cycle forms, and
+        ``RuntimeError`` on non-deadlock timeout.
+        """
+        while self.cycle < max_cycles:
+            if all(m.is_delivered for m in self.messages.values()):
+                break
+            self.step()
+        if not all(m.is_delivered for m in self.messages.values()):
+            raise RuntimeError(
+                f"simulation did not drain within {max_cycles} cycles"
+            )
+        return self.stats()
+
+    def stats(self) -> SimStats:
+        """Aggregate statistics over all delivered messages."""
+        return SimStats.from_messages(self.cycle, list(self.messages.values()))

@@ -1,0 +1,67 @@
+"""Aggregate statistics for wormhole simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..routing.turns import count_turns
+from .packets import Message
+
+__all__ = ["SimStats"]
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """Summary of a drained (or partially drained) simulation.
+
+    Attributes
+    ----------
+    cycles:
+        Total simulated cycles.
+    delivered:
+        Number of fully delivered messages.
+    total_messages:
+        Number of messages submitted.
+    avg_latency, p95_latency, max_latency:
+        Injection-to-tail-delivery latency statistics (cycles) over
+        delivered messages.
+    throughput_flits_per_cycle:
+        Delivered flits divided by simulated cycles.
+    avg_hops, avg_turns, max_turns:
+        Route-shape statistics (turns are the paper's requirement (iv)
+        metric).
+    """
+
+    cycles: int
+    delivered: int
+    total_messages: int
+    avg_latency: float
+    p95_latency: float
+    max_latency: int
+    throughput_flits_per_cycle: float
+    avg_hops: float
+    avg_turns: float
+    max_turns: int
+
+    @classmethod
+    def from_messages(cls, cycles: int, messages: Sequence[Message]) -> "SimStats":
+        done = [m for m in messages if m.is_delivered]
+        latencies = [m.latency for m in done if m.latency is not None]
+        flits = sum(m.num_flits for m in done)
+        turns = [count_turns(m.path_nodes()) for m in done if m.num_hops > 0]
+        hops = [m.num_hops for m in done]
+        return cls(
+            cycles=cycles,
+            delivered=len(done),
+            total_messages=len(messages),
+            avg_latency=float(np.mean(latencies)) if latencies else 0.0,
+            p95_latency=float(np.percentile(latencies, 95)) if latencies else 0.0,
+            max_latency=int(max(latencies)) if latencies else 0,
+            throughput_flits_per_cycle=(flits / cycles) if cycles else 0.0,
+            avg_hops=float(np.mean(hops)) if hops else 0.0,
+            avg_turns=float(np.mean(turns)) if turns else 0.0,
+            max_turns=int(max(turns)) if turns else 0,
+        )

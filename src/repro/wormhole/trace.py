@@ -1,0 +1,100 @@
+"""Flit-event tracing for the wormhole simulator.
+
+Attaching a :class:`Tracer` records a structured event stream —
+injections, per-flit hop traversals, channel acquisitions/releases,
+deliveries — that the tests use to assert microarchitectural
+invariants (one flit per channel per cycle, exclusive ownership
+windows, pipelined flit spacing) and that users can dump for debugging
+congestion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..mesh.geometry import Node
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulator event.
+
+    ``kind`` is one of ``inject``, ``acquire``, ``release``, ``flit``
+    (a flit crossing a hop), ``deliver``.
+    """
+
+    cycle: int
+    kind: str
+    msg_id: int
+    flit: Optional[int] = None
+    src: Optional[Node] = None
+    dst: Optional[Node] = None
+    vc: Optional[int] = None
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from a simulator.
+
+    Pass to :class:`repro.wormhole.WormholeSimulator` via
+    ``tracer=``.  Querying helpers power the invariant tests.
+    """
+
+    def __init__(self, capacity: int = 1_000_000):
+        self.events: List[TraceEvent] = []
+        self.capacity = capacity
+
+    def record(self, event: TraceEvent) -> None:
+        if len(self.events) < self.capacity:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def channel_loads(self) -> Counter:
+        """(src, dst, vc) -> number of flit traversals (congestion map)."""
+        return Counter(
+            (e.src, e.dst, e.vc) for e in self.events if e.kind == "flit"
+        )
+
+    def max_flits_per_channel_cycle(self) -> int:
+        """The microarchitectural invariant: must be <= 1."""
+        counts = Counter(
+            (e.cycle, e.src, e.dst, e.vc)
+            for e in self.events
+            if e.kind == "flit"
+        )
+        return max(counts.values(), default=0)
+
+    def ownership_windows(self) -> Dict[Tuple[Node, Node, int], List[Tuple[int, int, int]]]:
+        """Per channel: list of (acquire_cycle, release_cycle, msg_id)
+        ownership windows (release -1 if never released)."""
+        open_windows: Dict[Tuple[Node, Node, int], Tuple[int, int]] = {}
+        out: Dict[Tuple[Node, Node, int], List[Tuple[int, int, int]]] = {}
+        for e in self.events:
+            if e.kind not in ("acquire", "release"):
+                continue
+            key = (e.src, e.dst, e.vc)
+            if e.kind == "acquire":
+                open_windows[key] = (e.cycle, e.msg_id)
+            else:
+                start, mid = open_windows.pop(key, (-1, e.msg_id))
+                out.setdefault(key, []).append((start, e.cycle, mid))
+        for key, (start, mid) in open_windows.items():
+            out.setdefault(key, []).append((start, -1, mid))
+        return out
+
+    def windows_are_exclusive(self) -> bool:
+        """No two ownership windows of a channel overlap in time."""
+        for windows in self.ownership_windows().values():
+            spans = sorted(
+                (s, e if e >= 0 else float("inf")) for (s, e, _) in windows
+            )
+            for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+                if s2 < e1:
+                    return False
+        return True

@@ -1,0 +1,129 @@
+"""Traffic pattern generators for the wormhole simulator.
+
+All generators respect the lamb discipline: sources and destinations
+are drawn only from a caller-supplied endpoint pool (the survivor
+nodes); lambs and faulty nodes never inject or eject (Section 1's
+definition of a lamb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..mesh.geometry import Mesh, Node
+
+__all__ = [
+    "Injection",
+    "uniform_random_traffic",
+    "permutation_traffic",
+    "hotspot_traffic",
+    "transpose_traffic",
+]
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One message request for the simulator."""
+
+    source: Node
+    dest: Node
+    num_flits: int
+    inject_cycle: int
+
+
+def _as_list(endpoints: Sequence[Node]) -> List[Node]:
+    out = [tuple(v) for v in endpoints]
+    if len(out) < 2:
+        raise ValueError("need at least two endpoints")
+    return out
+
+
+def uniform_random_traffic(
+    endpoints: Sequence[Node],
+    num_messages: int,
+    rng: np.random.Generator,
+    num_flits: int = 16,
+    inject_window: int = 0,
+) -> List[Injection]:
+    """Uniformly random (source, destination) pairs, src != dst.
+
+    ``inject_window`` spreads injection cycles uniformly over
+    ``[0, inject_window]`` (0 = all at cycle 0).
+    """
+    pool = _as_list(endpoints)
+    out = []
+    for _ in range(num_messages):
+        i = int(rng.integers(len(pool)))
+        j = int(rng.integers(len(pool) - 1))
+        if j >= i:
+            j += 1
+        when = int(rng.integers(inject_window + 1)) if inject_window else 0
+        out.append(Injection(pool[i], pool[j], num_flits, when))
+    return out
+
+
+def permutation_traffic(
+    endpoints: Sequence[Node],
+    rng: np.random.Generator,
+    num_flits: int = 16,
+) -> List[Injection]:
+    """A random permutation workload: every endpoint sends to a
+    distinct endpoint (a derangement, so nobody sends to itself)."""
+    pool = _as_list(endpoints)
+    n = len(pool)
+    while True:
+        perm = rng.permutation(n)
+        if not np.any(perm == np.arange(n)):
+            break
+    return [
+        Injection(pool[i], pool[int(perm[i])], num_flits, 0) for i in range(n)
+    ]
+
+
+def hotspot_traffic(
+    endpoints: Sequence[Node],
+    num_messages: int,
+    rng: np.random.Generator,
+    hotspot: Optional[Node] = None,
+    hotspot_fraction: float = 0.5,
+    num_flits: int = 16,
+) -> List[Injection]:
+    """Uniform traffic where a fraction of messages targets one hot
+    node (classic congestion stressor)."""
+    pool = _as_list(endpoints)
+    hot = tuple(hotspot) if hotspot is not None else pool[0]
+    if hot not in pool:
+        raise ValueError("hotspot must be an endpoint")
+    out = []
+    for _ in range(num_messages):
+        i = int(rng.integers(len(pool)))
+        if rng.random() < hotspot_fraction and pool[i] != hot:
+            dst = hot
+        else:
+            j = int(rng.integers(len(pool) - 1))
+            if j >= i:
+                j += 1
+            dst = pool[j]
+        out.append(Injection(pool[i], dst, num_flits, 0))
+    return out
+
+
+def transpose_traffic(
+    mesh: Mesh,
+    endpoints: Sequence[Node],
+    num_flits: int = 16,
+) -> List[Injection]:
+    """Matrix-transpose pattern on square 2D meshes: ``(x, y)`` sends
+    to ``(y, x)`` whenever both ends are usable endpoints."""
+    if mesh.d != 2 or mesh.widths[0] != mesh.widths[1]:
+        raise ValueError("transpose traffic needs a square 2D mesh")
+    pool = set(_as_list(endpoints))
+    out = []
+    for (x, y) in sorted(pool):
+        dst = (y, x)
+        if dst != (x, y) and dst in pool:
+            out.append(Injection((x, y), dst, num_flits, 0))
+    return out

@@ -1,0 +1,112 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.mesh import FaultSet, Mesh
+from repro.routing import Ordering, ascending, repeated, xy, xyz
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def mesh12() -> Mesh:
+    return Mesh((12, 12))
+
+
+@pytest.fixture
+def paper_faults(mesh12: Mesh) -> FaultSet:
+    """The Section 5 worked example fault set."""
+    return FaultSet(mesh12, [(9, 1), (11, 6), (10, 10)])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_meshes(draw, max_d: int = 3, min_width: int = 2, max_width: int = 7):
+    """A small mesh suitable for brute-force cross-checking."""
+    d = draw(st.integers(1, max_d))
+    widths = tuple(
+        draw(st.integers(min_width, max_width), label=f"width[{j}]")
+        for j in range(d)
+    )
+    return Mesh(widths)
+
+
+@st.composite
+def faulty_meshes(
+    draw,
+    max_d: int = 3,
+    max_width: int = 7,
+    max_node_faults: int = 6,
+    max_link_faults: int = 4,
+    allow_link_faults: bool = True,
+):
+    """A small mesh plus a random fault set (nodes and directed links)."""
+    mesh = draw(small_meshes(max_d=max_d, max_width=max_width))
+    all_nodes = list(mesh.nodes())
+    nf = draw(st.integers(0, min(max_node_faults, len(all_nodes) - 2)))
+    node_idx = draw(
+        st.lists(
+            st.integers(0, len(all_nodes) - 1),
+            min_size=nf,
+            max_size=nf,
+            unique=True,
+        )
+    )
+    node_faults = [all_nodes[i] for i in node_idx]
+    link_faults: List[Tuple] = []
+    if allow_link_faults:
+        all_links = list(mesh.links())
+        lf = draw(st.integers(0, min(max_link_faults, len(all_links))))
+        link_idx = draw(
+            st.lists(
+                st.integers(0, len(all_links) - 1),
+                min_size=lf,
+                max_size=lf,
+                unique=True,
+            )
+        )
+        link_faults = [all_links[i] for i in link_idx]
+    return FaultSet(mesh, node_faults, link_faults)
+
+
+@st.composite
+def orderings_for(draw, d: int):
+    """A random permutation ordering of d dimensions."""
+    perm = draw(st.permutations(list(range(d))))
+    return Ordering(perm)
+
+
+@st.composite
+def faulty_meshes_with_ordering(draw, **kwargs):
+    faults = draw(faulty_meshes(**kwargs))
+    pi = draw(orderings_for(faults.mesh.d))
+    return faults, pi
+
+
+def good_node_pairs(faults: FaultSet, count: int, seed: int = 0):
+    """Deterministic sample of good (v, w) pairs for a faulty mesh."""
+    rng = np.random.default_rng(seed)
+    good = faults.good_nodes()
+    if len(good) < 2:
+        return []
+    out = []
+    for _ in range(count):
+        i = int(rng.integers(len(good)))
+        j = int(rng.integers(len(good)))
+        out.append((good[i], good[j]))
+    return out

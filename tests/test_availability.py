@@ -1,0 +1,71 @@
+"""Tests for the availability model (repro.analysis.availability)."""
+
+import math
+
+import pytest
+
+from repro.analysis import capacity_timeline, effective_utilization, young_interval
+
+
+class TestYoungInterval:
+    def test_formula(self):
+        assert young_interval(30.0, 6 * 3600) == pytest.approx(
+            math.sqrt(2 * 30 * 6 * 3600)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0, 100)
+        with pytest.raises(ValueError):
+            young_interval(10, -1)
+
+
+class TestUtilization:
+    def test_reliable_machine_near_one(self):
+        u = effective_utilization(checkpoint_cost=10, mtbf=1e9)
+        assert 0.99 < u <= 1.0
+
+    def test_decreases_with_failure_rate(self):
+        us = [
+            effective_utilization(checkpoint_cost=30, mtbf=m)
+            for m in (1e6, 1e5, 1e4, 1e3)
+        ]
+        assert us == sorted(us, reverse=True)
+
+    def test_reconfiguration_cost_hurts_slightly(self):
+        base = effective_utilization(30, 10_000)
+        with_reconf = effective_utilization(30, 10_000, reconfigure_cost=50)
+        assert with_reconf < base
+        # But the lamb recomputation (seconds) is negligible next to
+        # rollback rework (the paper's point about fast reconfiguration).
+        assert base - with_reconf < 0.01
+
+    def test_explicit_interval(self):
+        u = effective_utilization(10, 1000, interval=100)
+        assert u == pytest.approx((100 / 110) * (1 - 50 / 1000))
+
+    def test_bounded(self):
+        assert 0.0 <= effective_utilization(10, 21) <= 1.0
+
+
+class TestCapacityTimeline:
+    def test_monotone_decay(self):
+        tl = capacity_timeline(
+            num_nodes=32768, fault_rate=1.0, horizon=983.0, steps=10,
+            lamb_per_fault=0.07,
+        )
+        fracs = [u for _, u in tl]
+        assert fracs[0] == 1.0
+        assert fracs == sorted(fracs, reverse=True)
+        # At the horizon: 983 faults * 1.07 lost nodes each.
+        assert fracs[-1] == pytest.approx(1 - 983 * 1.07 / 32768)
+
+    def test_floor_at_zero(self):
+        tl = capacity_timeline(10, 100.0, 10.0, 5, lamb_per_fault=1.0)
+        assert tl[-1][1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capacity_timeline(0, 1, 1, 1, 0.1)
+        with pytest.raises(ValueError):
+            capacity_timeline(10, 1, 1, 1, -0.5)

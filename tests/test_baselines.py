@@ -1,0 +1,164 @@
+"""Tests for the baseline comparators (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BlockFaultRouter,
+    FaultBlock,
+    compare_one_vs_two_rounds,
+    inactivated_nodes,
+    one_round_lamb,
+    rectangularize,
+    staircase_blocks,
+)
+from repro.baselines.block_fault import comb_blocks
+from repro.core import is_lamb_set
+from repro.mesh import FaultSet, Mesh
+from repro.routing import count_turns, path_is_fault_free, repeated, xy
+
+
+class TestOneRound:
+    def test_one_round_lamb_is_valid(self):
+        mesh = Mesh((10, 10))
+        faults = FaultSet(mesh, [(3, 3), (6, 2), (2, 7)])
+        result = one_round_lamb(faults, xy())
+        assert is_lamb_set(faults, repeated(xy(), 1), result.lambs)
+
+    def test_comparison_shape(self):
+        """Section 3: k=1 needs far more lambs than k=2."""
+        rows = compare_one_vs_two_rounds(8, 8, trials=3, d=3, seed=1)
+        assert len(rows) == 3
+        for r in rows:
+            assert r.lambs_k1 >= r.lambs_k2
+            assert r.k1_optimum_lower_bound == r.lambs_k1 / 2
+        # On average the gap is enormous (hundreds vs ~0).
+        assert np.mean([r.lambs_k1 for r in rows]) > 10 * max(
+            1, np.mean([r.lambs_k2 for r in rows])
+        )
+
+
+class TestFaultBlocks:
+    def test_ring_nodes(self):
+        m = Mesh((8, 8))
+        b = FaultBlock(3, 4, 3, 4)
+        ring = b.ring_nodes(m)
+        assert (2, 2) in ring and (5, 5) in ring and (2, 4) in ring
+        assert (3, 3) not in ring
+        assert len(ring) == 12
+
+    def test_router_rejects_boundary_blocks(self):
+        m = Mesh((8, 8))
+        with pytest.raises(ValueError):
+            BlockFaultRouter(m, [FaultBlock(0, 1, 3, 3)])
+
+    def test_router_rejects_overlapping_rings(self):
+        m = Mesh((10, 10))
+        with pytest.raises(ValueError):
+            BlockFaultRouter(m, [FaultBlock(2, 2, 2, 2), FaultBlock(4, 4, 2, 2)])
+
+    def test_router_rejects_3d(self):
+        with pytest.raises(ValueError):
+            BlockFaultRouter(Mesh((4, 4, 4)), [])
+
+    def test_routes_are_fault_free(self):
+        m = Mesh((16, 16))
+        router = BlockFaultRouter(m, staircase_blocks(m, 4, size=2, gap=3))
+        faults = router.fault_set()
+        rng = np.random.default_rng(0)
+        good = faults.good_nodes()
+        for _ in range(40):
+            v = good[int(rng.integers(len(good)))]
+            w = good[int(rng.integers(len(good)))]
+            path = router.route(v, w)
+            assert path[0] == v and path[-1] == w
+            assert path_is_fault_free(faults, path)
+            for a, b in zip(path, path[1:]):
+                assert m.are_adjacent(a, b)
+
+    def test_rejects_faulty_endpoint(self):
+        m = Mesh((8, 8))
+        router = BlockFaultRouter(m, [FaultBlock(3, 3, 3, 3)])
+        with pytest.raises(ValueError):
+            router.route((3, 3), (0, 0))
+
+    def test_comb_turns_grow_linearly(self):
+        turns = {}
+        for n in (16, 32):
+            m = Mesh((n, n))
+            router = BlockFaultRouter(m, comb_blocks(m, column=n // 2))
+            path = router.route((n // 2, 0), (n // 2, n - 1))
+            assert path_is_fault_free(router.fault_set(), path)
+            turns[n] = count_turns(path)
+        assert turns[32] >= 2 * turns[16] - 4  # ~linear growth
+        assert turns[16] >= 8  # far beyond the lamb bound of 3
+
+    def test_comb_requires_margin(self):
+        with pytest.raises(ValueError):
+            comb_blocks(Mesh((6, 12)), column=5)
+        with pytest.raises(ValueError):
+            comb_blocks(Mesh((12, 12)), column=5, vgap=1)
+
+
+class TestInactivation:
+    def test_isolated_faults_no_inactivation(self):
+        m = Mesh((8, 8))
+        faults = FaultSet(m, [(1, 1), (6, 6)])
+        res = inactivated_nodes(faults)
+        assert res.num_inactivated == 0
+        assert len(res.boxes) == 2
+
+    def test_l_shape_fills_bounding_box(self):
+        m = Mesh((8, 8))
+        faults = FaultSet(m, [(2, 2), (3, 2), (2, 3)])
+        res = inactivated_nodes(faults)
+        assert res.inactivated == {(3, 3)}
+
+    def test_nearby_boxes_merge_for_ring_gap(self):
+        m = Mesh((10, 10))
+        # Two single faults with one clear node between: their
+        # distance-1 rings share the nodes (4, 2), (4, 3), (4, 4).
+        faults = FaultSet(m, [(3, 3), (5, 3)])
+        boxes = rectangularize(faults)  # default ring_gap=2
+        assert len(boxes) == 1
+        assert inactivated_nodes(faults).num_inactivated == 1  # (4,3)
+        # Without the ring requirement they stay separate.
+        assert len(rectangularize(faults, ring_gap=0)) == 2
+        # Diagonal-distance pair at range 3: rings are disjoint.
+        far = FaultSet(m, [(3, 3), (6, 6)])
+        assert len(rectangularize(far)) == 2
+
+    def test_boxes_cover_all_faults(self, rng):
+        m = Mesh((12, 12))
+        faults = FaultSet(m, m.random_nodes(15, rng))
+        boxes = rectangularize(faults)
+        for v in faults.node_faults:
+            assert any(
+                all(lo <= c <= hi for c, (lo, hi) in zip(v, box))
+                for box in boxes
+            )
+
+    def test_boxes_are_ring_disjoint(self, rng):
+        m = Mesh((12, 12))
+        faults = FaultSet(m, m.random_nodes(15, rng))
+        boxes = rectangularize(faults, ring_gap=1)
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert not all(
+                    alo - 1 <= bhi and blo - 1 <= ahi
+                    for (alo, ahi), (blo, bhi) in zip(a, b)
+                )
+
+    def test_3d_inactivation(self, rng):
+        m = Mesh((6, 6, 6))
+        faults = FaultSet(m, m.random_nodes(8, rng))
+        res = inactivated_nodes(faults)
+        assert res.num_inactivated >= 0
+        for v in res.inactivated:
+            assert not faults.node_is_faulty(v)
+
+    def test_rejects_link_faults(self):
+        m = Mesh((6, 6))
+        faults = FaultSet(m, (), [((0, 0), (1, 0))])
+        with pytest.raises(ValueError):
+            rectangularize(faults)

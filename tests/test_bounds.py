@@ -1,0 +1,121 @@
+"""Tests for the closed-form bounds and their tightness
+(repro.core.bounds + repro.complexity.adversarial)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity import diagonal_fault_set, prop65_fault_set
+from repro.core import (
+    dec_partition,
+    find_des_partition,
+    find_ses_partition,
+    one_round_expected_lamb_lower_bound,
+    partition_size_bound,
+    partition_size_bound_loose,
+    sec_partition,
+)
+from repro.routing import ascending
+
+
+class TestFormulas:
+    def test_paper_value_m3_32(self):
+        # Quoted in DESIGN/Fig 25 discussion: B((32,32,32), 983) = 2007.
+        assert partition_size_bound((32, 32, 32), 983) == 992 + 31 + 983 + 1
+
+    def test_small_f_equals_loose(self):
+        # For small f, every min picks 2f: B = (2d-1) f + 1.
+        assert partition_size_bound((32, 32, 32), 5) == partition_size_bound_loose(3, 5)
+
+    def test_one_dimension(self):
+        assert partition_size_bound((9,), 4) == 5  # f + 1
+
+    def test_zero_faults(self):
+        assert partition_size_bound((5, 5), 0) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            partition_size_bound((5, 5), -1)
+
+    @given(
+        st.integers(1, 4),
+        st.integers(2, 9),
+        st.integers(0, 40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_loose_bound_dominates(self, d, n, f):
+        widths = (n,) * d
+        assert partition_size_bound(widths, f) <= partition_size_bound_loose(d, f)
+
+
+class TestTheorem31:
+    def test_paper_value(self):
+        # n = f = 32 gives 2698.67 ("the lower bound ... is 2698").
+        assert int(one_round_expected_lamb_lower_bound(32, 32)) == 2698
+
+    def test_requires_f_le_n(self):
+        with pytest.raises(ValueError):
+            one_round_expected_lamb_lower_bound(8, 9)
+
+    def test_grows_with_f(self):
+        vals = [one_round_expected_lamb_lower_bound(32, f) for f in (1, 8, 16, 32)]
+        assert vals == sorted(vals)
+
+
+class TestProposition65:
+    """Find-SES-Partition returns exactly B(d, f) sets on the
+    constructed fault sets."""
+
+    @pytest.mark.parametrize(
+        "d,n,f",
+        [
+            (1, 9, 3),
+            (2, 5, 2),
+            (2, 5, 9),     # 2f > n-1 branch
+            (2, 7, 3),
+            (3, 3, 2),
+            (3, 5, 7),
+            (3, 5, 30),
+            (2, 9, 36),    # max allowed: n^{d-1}(n-1)/2
+        ],
+    )
+    def test_node_fault_tightness(self, d, n, f):
+        faults = prop65_fault_set(d, n, f)
+        assert faults.f == f
+        ses = find_ses_partition(faults, ascending(d))
+        assert len(ses) == partition_size_bound((n,) * d, f)
+
+    @pytest.mark.parametrize("d,n,f", [(1, 9, 3), (2, 5, 2), (2, 7, 6), (3, 5, 7)])
+    def test_link_fault_tightness(self, d, n, f):
+        faults = prop65_fault_set(d, n, f, link_faults=True)
+        assert faults.num_link_faults == f and faults.num_node_faults == 0
+        ses = find_ses_partition(faults, ascending(d))
+        assert len(ses) == partition_size_bound((n,) * d, f)
+
+    def test_rejects_even_n(self):
+        with pytest.raises(ValueError):
+            prop65_fault_set(2, 6, 2)
+
+    def test_rejects_too_many_faults(self):
+        with pytest.raises(ValueError):
+            prop65_fault_set(2, 5, 11)
+
+
+class TestDiagonalTightness:
+    """Faults on the diagonal make BOTH the SEC and DEC partitions hit
+    (2d - 1) f + 1 exactly (remark after Proposition 6.5)."""
+
+    @pytest.mark.parametrize("d,n,f", [(2, 7, 2), (2, 9, 4), (3, 7, 3)])
+    def test_sec_and_dec_sizes(self, d, n, f):
+        faults = diagonal_fault_set(d, n, f)
+        expected = partition_size_bound_loose(d, f)
+        assert len(sec_partition(faults, ascending(d))) == expected
+        assert len(dec_partition(faults, ascending(d))) == expected
+        # The rectangular algorithm is sandwiched between SEC size and
+        # the bound, so it is also exactly at the bound.
+        assert len(find_ses_partition(faults, ascending(d))) == expected
+        assert len(find_des_partition(faults, ascending(d))) == expected
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            diagonal_fault_set(2, 5, 3)

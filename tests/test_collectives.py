@@ -1,0 +1,190 @@
+"""Tests for collective schedules and their execution
+(repro.collectives)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveStats,
+    Schedule,
+    Transfer,
+    binomial_broadcast,
+    binomial_gather,
+    linear_alltoone,
+    recursive_doubling_allgather,
+    ring_allgather,
+    run_collective,
+)
+from repro.core import find_lamb_set
+from repro.mesh import FaultSet, Mesh
+from repro.routing import repeated, xy
+
+
+class TestSchedule:
+    def test_add_phase_validation(self):
+        s = Schedule(4)
+        with pytest.raises(ValueError):
+            s.add_phase([Transfer(0, 4)])
+        with pytest.raises(ValueError):
+            s.add_phase([Transfer(-1, 0)])
+        with pytest.raises(ValueError):
+            s.add_phase([Transfer(2, 2)])
+
+    def test_counters(self):
+        s = Schedule(4)
+        s.add_phase([Transfer(0, 1), Transfer(2, 3)])
+        s.add_phase([Transfer(1, 2)])
+        assert s.num_phases == 2
+        assert s.total_transfers == 3
+
+    def test_propagate_barrier_semantics(self):
+        """Transfers within a phase read pre-phase state: a chain
+        0->1, 1->2 in ONE phase moves 0's data only to 1."""
+        s = Schedule(3)
+        s.add_phase([Transfer(0, 1), Transfer(1, 2)])
+        state = s.propagate({0: {0}, 1: {1}, 2: {2}})
+        assert state[1] == {0, 1}
+        assert state[2] == {1, 2}  # not {0, 1, 2}
+
+
+class TestAlgorithmsDataflow:
+    @given(st.integers(1, 33), st.integers(0, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_broadcast_reaches_everyone(self, p, root):
+        root = root % p
+        sched = binomial_broadcast(p, root)
+        assert sched.num_phases == math.ceil(math.log2(p)) if p > 1 else sched.num_phases == 0
+        state = sched.propagate({r: {r} for r in range(p)})
+        for r in range(p):
+            assert root in state[r], (p, root, r)
+
+    @given(st.integers(1, 33), st.integers(0, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_gather_collects_everything(self, p, root):
+        root = root % p
+        sched = binomial_gather(p, root)
+        state = sched.propagate({r: {r} for r in range(p)})
+        assert state[root] == set(range(p))
+
+    @given(st.integers(1, 33))
+    @settings(max_examples=30, deadline=None)
+    def test_allgather_recursive_doubling(self, p):
+        sched = recursive_doubling_allgather(p)
+        state = sched.propagate({r: {r} for r in range(p)})
+        for r in range(p):
+            assert state[r] == set(range(p)), (p, r)
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_allgather_ring(self, p):
+        sched = ring_allgather(p)
+        assert sched.num_phases == max(0, p - 1)
+        state = sched.propagate({r: {r} for r in range(p)})
+        for r in range(p):
+            assert state[r] == set(range(p))
+
+    def test_alltoone(self):
+        sched = linear_alltoone(7, root=3)
+        state = sched.propagate({r: {r} for r in range(7)})
+        assert state[3] == set(range(7))
+        assert sched.num_phases == 1
+
+    def test_phase_count_scaling(self):
+        """Binomial tree is logarithmic, ring is linear."""
+        assert binomial_broadcast(64).num_phases == 6
+        assert ring_allgather(64).num_phases == 63
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_broadcast(0)
+        with pytest.raises(ValueError):
+            binomial_broadcast(4, root=4)
+
+
+class TestRunner:
+    @pytest.fixture
+    def machine(self):
+        mesh = Mesh((8, 8))
+        # The diagonal corner cut guarantees a nonempty lamb set (the
+        # corner pocket cannot 2-round-reach the rest of the mesh).
+        faults = FaultSet(mesh, [(2, 0), (1, 1), (0, 2), (5, 5)])
+        result = find_lamb_set(faults, repeated(xy(), 2))
+        assert result.lambs
+        return result
+
+    def test_broadcast_runs(self, machine):
+        survivors = machine.survivors()[:16]
+        sched = binomial_broadcast(len(survivors))
+        stats = run_collective(machine, sched, survivors)
+        assert stats.makespan_cycles > 0
+        assert stats.num_phases == sched.num_phases
+        assert stats.total_messages == sched.total_transfers
+
+    def test_binomial_beats_naive_gather(self, machine):
+        """The hotspot baseline serializes at the root; the binomial
+        tree parallelizes: fewer cycles for the same payload."""
+        survivors = machine.survivors()[:24]
+        p = len(survivors)
+        tree = run_collective(machine, binomial_gather(p), survivors)
+        naive = run_collective(machine, linear_alltoone(p), survivors)
+        assert tree.total_messages >= naive.total_messages
+        assert tree.makespan_cycles < naive.makespan_cycles * 2  # sanity
+        # The root's ejection serializes the naive gather.
+        assert naive.makespan_cycles >= p - 1
+
+    def test_rejects_lamb_participant(self, machine):
+        if not machine.lambs:
+            pytest.skip("instance has no lambs")
+        lamb = next(iter(machine.lambs))
+        participants = machine.survivors()[:3] + [lamb]
+        sched = binomial_broadcast(4)
+        with pytest.raises(ValueError):
+            run_collective(machine, sched, participants)
+
+    def test_rejects_duplicate_participant(self, machine):
+        s = machine.survivors()[:3]
+        with pytest.raises(ValueError):
+            run_collective(machine, binomial_broadcast(4), s + [s[0]])
+
+    def test_rank_count_mismatch(self, machine):
+        with pytest.raises(ValueError):
+            run_collective(
+                machine, binomial_broadcast(4), machine.survivors()[:5]
+            )
+
+    def test_default_participants_all_survivors(self):
+        mesh = Mesh((4, 4))
+        result = find_lamb_set(FaultSet(mesh, [(1, 1)]), repeated(xy(), 2))
+        p = len(result.survivors())
+        stats = run_collective(result, binomial_broadcast(p))
+        assert stats.makespan_cycles > 0
+
+
+class TestSchedulesFuzz:
+    """Property fuzz over rank counts for all algorithms."""
+
+    @given(st.integers(1, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_all_algorithms_dataflow(self, p):
+        init = {r: {r} for r in range(p)}
+        bcast = binomial_broadcast(p).propagate(init)
+        assert all(0 in bcast[r] for r in range(p))
+        gathered = binomial_gather(p, root=p - 1).propagate(init)
+        assert gathered[p - 1] == set(range(p))
+        ag = recursive_doubling_allgather(p).propagate(init)
+        assert all(ag[r] == set(range(p)) for r in range(p))
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_phase_counts(self, p):
+        assert binomial_broadcast(p).num_phases == math.ceil(math.log2(p))
+        rd = recursive_doubling_allgather(p)
+        m = 1
+        while m * 2 <= p:
+            m *= 2
+        extra = 2 if p != m else 0
+        assert rd.num_phases == int(math.log2(m)) + extra

@@ -1,0 +1,150 @@
+"""Tests for one-round dimension-ordered routing (repro.routing.dor)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import FaultSet, Mesh, Torus
+from repro.routing import (
+    LineFaultIndex,
+    Ordering,
+    ascending,
+    dor_path,
+    dor_segments,
+    one_round_reachable,
+    path_is_fault_free,
+    torus_dor_path,
+    torus_one_round_reachable,
+    xy,
+    xyz,
+)
+
+from conftest import faulty_meshes_with_ordering, good_node_pairs
+
+
+class TestDorPath:
+    def test_paper_example_route(self):
+        # Section 2.1: XY route (0,0) -> (3,2) passes (1,0),(2,0),(3,0),(3,1).
+        m = Mesh((12, 12))
+        path = dor_path(m, xy(), (0, 0), (3, 2))
+        assert path == [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2)]
+
+    def test_reverse_route_differs(self):
+        # ...while (3,2) -> (0,0) passes (2,2),(1,2),(0,2),(0,1).
+        m = Mesh((12, 12))
+        path = dor_path(m, xy(), (3, 2), (0, 0))
+        assert path == [(3, 2), (2, 2), (1, 2), (0, 2), (0, 1), (0, 0)]
+
+    def test_xyz_route(self):
+        m = Mesh((4, 4, 4))
+        path = dor_path(m, xyz(), (0, 0, 0), (1, 1, 1))
+        assert path == [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1)]
+
+    def test_trivial_route(self):
+        m = Mesh((4, 4))
+        assert dor_path(m, xy(), (2, 2), (2, 2)) == [(2, 2)]
+
+    def test_custom_ordering(self):
+        m = Mesh((4, 4))
+        path = dor_path(m, Ordering((1, 0)), (0, 0), (2, 2))
+        assert path == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+
+    def test_rejects_bad_endpoints(self):
+        with pytest.raises(ValueError):
+            dor_path(Mesh((3, 3)), xy(), (0, 0), (3, 0))
+
+    @given(faulty_meshes_with_ordering(max_node_faults=0, max_link_faults=0))
+    @settings(max_examples=25, deadline=None)
+    def test_path_properties(self, fm):
+        faults, pi = fm
+        mesh = faults.mesh
+        for v, w in good_node_pairs(faults, 5):
+            path = dor_path(mesh, pi, v, w)
+            assert path[0] == v and path[-1] == w
+            assert len(path) == mesh.l1_distance(v, w) + 1  # minimal
+            for a, b in zip(path, path[1:]):
+                assert mesh.are_adjacent(a, b)
+
+
+class TestSegments:
+    def test_segment_decomposition(self):
+        segs = dor_segments(xy(), (0, 3), (5, 1))
+        assert segs == [(0, (3,), 0, 5), (1, (5,), 3, 1)]
+
+    def test_segments_cover_path(self):
+        m = Mesh((6, 6, 6))
+        v, w = (1, 4, 2), (3, 0, 5)
+        segs = dor_segments(xyz(), v, w)
+        assert len(segs) == 3
+        # Total travel equals L1 distance.
+        assert sum(abs(b - a) for _, _, a, b in segs) == m.l1_distance(v, w)
+
+
+class TestOneRoundReachable:
+    def test_paper_blocking_example(self):
+        # (3,2) is not XY-reachable from (0,0) if (2,0) is faulty...
+        m = Mesh((12, 12))
+        faults = FaultSet(m, [(2, 0)])
+        idx = LineFaultIndex(faults)
+        assert not one_round_reachable(idx, xy(), (0, 0), (3, 2))
+        # ...but (0,0) IS reachable from (3,2).
+        assert one_round_reachable(idx, xy(), (3, 2), (0, 0))
+
+    def test_endpoint_faults_block(self):
+        m = Mesh((6, 6))
+        faults = FaultSet(m, [(0, 0), (5, 5)])
+        idx = LineFaultIndex(faults)
+        assert not one_round_reachable(idx, xy(), (0, 0), (1, 1))
+        assert not one_round_reachable(idx, xy(), (1, 1), (5, 5))
+
+    def test_self_reachability(self):
+        m = Mesh((6, 6))
+        idx = LineFaultIndex(FaultSet(m, [(3, 3)]))
+        assert one_round_reachable(idx, xy(), (1, 1), (1, 1))
+        assert not one_round_reachable(idx, xy(), (3, 3), (3, 3))
+
+    def test_directed_link_fault(self):
+        m = Mesh((6, 6))
+        faults = FaultSet(m, (), [((2, 0), (3, 0))])
+        idx = LineFaultIndex(faults)
+        assert not one_round_reachable(idx, xy(), (0, 0), (4, 0))
+        assert one_round_reachable(idx, xy(), (4, 0), (0, 0))  # reverse ok
+
+    @given(faulty_meshes_with_ordering())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_explicit_path_check(self, fm):
+        """one_round_reachable must agree with walking the explicit
+        route and checking every node and link."""
+        faults, pi = fm
+        mesh = faults.mesh
+        idx = LineFaultIndex(faults)
+        for v, w in good_node_pairs(faults, 8):
+            expected = path_is_fault_free(faults, dor_path(mesh, pi, v, w))
+            assert one_round_reachable(idx, pi, v, w) == expected
+
+
+class TestTorusRouting:
+    def test_wraps_minimally(self):
+        t = Torus((8, 8))
+        path = torus_dor_path(t, xy(), (7, 0), (1, 0))
+        # Wrap through 0 (2 hops) instead of going back 6 hops.
+        assert path == [(7, 0), (0, 0), (1, 0)]
+
+    def test_tie_breaks_forward(self):
+        t = Torus((4, 4))
+        path = torus_dor_path(t, xy(), (0, 0), (2, 0))
+        assert path == [(0, 0), (1, 0), (2, 0)]
+
+    def test_reachability(self):
+        t = Torus((6, 6))
+        faults = FaultSet(t, [(0, 0)])
+        # (5,1) -> (1,1): minimal route wraps through x=0 at y=1 (clear).
+        assert torus_one_round_reachable(faults, xy(), (5, 1), (1, 1))
+        # (5,0) -> (1,0): wraps through the faulty (0,0).
+        assert not torus_one_round_reachable(faults, xy(), (5, 0), (1, 0))
+
+    def test_requires_torus(self):
+        m = Mesh((4, 4))
+        faults = FaultSet(m)
+        with pytest.raises(TypeError):
+            torus_one_round_reachable(faults, xy(), (0, 0), (1, 1))

@@ -1,0 +1,123 @@
+"""Tests for exact SEC/DEC partitions (repro.core.equivalence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    dec_partition,
+    find_des_partition,
+    find_ses_partition,
+    is_des,
+    is_partition_of_good_nodes,
+    is_ses,
+    one_round_reach_matrix,
+    sec_partition,
+)
+from repro.mesh import FaultSet, Mesh
+from repro.routing import LineFaultIndex, one_round_reachable, xy
+
+from conftest import faulty_meshes_with_ordering
+
+
+class TestReachMatrix:
+    def test_no_faults_all_reachable(self):
+        m = Mesh((4, 4))
+        R = one_round_reach_matrix(FaultSet(m), xy())
+        assert R.all()
+
+    def test_faulty_rows_and_cols_empty(self):
+        m = Mesh((4, 4))
+        faults = FaultSet(m, [(1, 1)])
+        R = one_round_reach_matrix(faults, xy())
+        i = m.index_of((1, 1))
+        assert not R[i].any()
+        assert not R[:, i].any()
+
+    @given(faulty_meshes_with_ordering(max_width=5))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_scalar(self, fm):
+        faults, pi = fm
+        mesh = faults.mesh
+        R = one_round_reach_matrix(faults, pi)
+        idx = LineFaultIndex(faults)
+        rng = np.random.default_rng(0)
+        nodes = list(mesh.nodes())
+        for _ in range(10):
+            v = nodes[int(rng.integers(len(nodes)))]
+            w = nodes[int(rng.integers(len(nodes)))]
+            if faults.node_is_faulty(v) or faults.node_is_faulty(w):
+                assert not R[mesh.index_of(v), mesh.index_of(w)]
+            else:
+                assert R[mesh.index_of(v), mesh.index_of(w)] == one_round_reachable(
+                    idx, pi, v, w
+                )
+
+
+class TestSECDEC:
+    def test_paper_example_sizes(self, paper_faults):
+        """Figures 3-4 show the SEC and DEC partitions: 9 and 7 sets
+        (Remark 4.1 says they are the minimum-size partitions; the
+        rectangular algorithm happens to achieve them here)."""
+        assert len(sec_partition(paper_faults, xy())) == 9
+        assert len(dec_partition(paper_faults, xy())) == 7
+
+    @given(faulty_meshes_with_ordering(max_width=5))
+    @settings(max_examples=20, deadline=None)
+    def test_sec_is_valid_partition_of_ses(self, fm):
+        faults, pi = fm
+        secs = sec_partition(faults, pi)
+        assert is_partition_of_good_nodes(faults, secs)
+        for group in secs:
+            assert is_ses(faults, pi, group)
+
+    @given(faulty_meshes_with_ordering(max_width=5))
+    @settings(max_examples=20, deadline=None)
+    def test_dec_is_valid_partition_of_des(self, fm):
+        faults, pi = fm
+        decs = dec_partition(faults, pi)
+        assert is_partition_of_good_nodes(faults, decs)
+        for group in decs:
+            assert is_des(faults, pi, group)
+
+    @given(faulty_meshes_with_ordering(max_width=5))
+    @settings(max_examples=20, deadline=None)
+    def test_sec_minimality(self, fm):
+        """SEC is the minimum SES partition, so the rectangular
+        algorithm can never produce fewer sets (Remark 4.1)."""
+        faults, pi = fm
+        assert len(sec_partition(faults, pi)) <= len(find_ses_partition(faults, pi))
+        assert len(dec_partition(faults, pi)) <= len(find_des_partition(faults, pi))
+
+    @given(faulty_meshes_with_ordering(max_width=5))
+    @settings(max_examples=15, deadline=None)
+    def test_algorithm_rects_refine_secs(self, fm):
+        """Every rectangle of Find-SES-Partition lies inside one SEC
+        (equivalence classes are maximal SES's)."""
+        faults, pi = fm
+        secs = sec_partition(faults, pi)
+        node_to_class = {}
+        for ci, group in enumerate(secs):
+            for v in group:
+                node_to_class[v] = ci
+        for rect in find_ses_partition(faults, pi):
+            classes = {node_to_class[v] for v in rect.nodes()}
+            assert len(classes) == 1, rect.spec()
+
+
+class TestIsSesIsDes:
+    def test_empty_set_is_ses(self, paper_faults):
+        assert is_ses(paper_faults, xy(), [])
+        assert is_des(paper_faults, xy(), [])
+
+    def test_faulty_member_rejected(self, paper_faults):
+        assert not is_ses(paper_faults, xy(), [(9, 1)])
+        assert not is_des(paper_faults, xy(), [(9, 1)])
+
+    def test_mixed_reachability_not_ses(self, paper_faults):
+        # (8, 1) can X-reach (0,1)..(8,1); (10, 1) cannot cross (9,1).
+        assert not is_ses(paper_faults, xy(), [(8, 1), (10, 1)])
+
+    def test_partition_checker_rejects_overlap(self, paper_faults):
+        groups = [[(0, 0)], [(0, 0)]]
+        assert not is_partition_of_good_nodes(paper_faults, groups)

@@ -1,0 +1,39 @@
+"""Tests for the EXPERIMENTS.md generator (quick sections only)."""
+
+import pytest
+
+from repro.experiments.generate import ALL_SECTIONS, generate
+
+
+class TestGenerate:
+    def test_tables_section(self, tmp_path):
+        path = tmp_path / "out.md"
+        text = generate(str(path), sections=("tables",))
+        assert path.read_text() == text
+        assert "Tables 1 & 2" in text
+        assert "bit-exact | True" in text
+        assert "| lamb set | {(11,10), (10,11)} | [(10, 11), (11, 10)] | True |" in text
+        # Unselected sections are absent.
+        assert "Fig. 17" not in text
+
+    def test_section3_quick(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "1")
+        text = generate(str(tmp_path / "out.md"), sections=("section3",))
+        assert "one round vs two rounds" in text
+        assert "2698" in text
+
+    def test_artifacts_section_no_compute(self, tmp_path):
+        text = generate(str(tmp_path / "out.md"), sections=("artifacts",))
+        assert "Combinatorial artifacts" in text
+
+    def test_unknown_section_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate(str(tmp_path / "out.md"), sections=("fig99",))
+
+    def test_no_write_when_path_empty(self):
+        text = generate("", sections=("artifacts",))
+        assert text.startswith("# EXPERIMENTS")
+
+    def test_all_sections_constant(self):
+        assert "tables" in ALL_SECTIONS and "fig26" in ALL_SECTIONS
+        assert len(ALL_SECTIONS) == len(set(ALL_SECTIONS))

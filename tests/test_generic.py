@@ -1,0 +1,117 @@
+"""Tests for the generic-topology lamb solver and torus extension
+(repro.core.generic)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    find_lamb_set,
+    full_reach_matrix,
+    generic_lamb_set,
+    k_round_matrix_from_relation,
+    torus_lamb_set,
+    torus_reach_matrix,
+)
+from repro.mesh import FaultSet, Mesh, Torus
+from repro.routing import repeated, torus_one_round_reachable, xy
+
+
+class TestMatrixFromRelation:
+    def test_two_round_composition(self):
+        # Tiny chain topology: 0 -> 1 -> 2 one-round; 0 reaches 2 in two.
+        nodes = [0, 1, 2]
+        rel = lambda v, w: w == v or w == v + 1
+        R2 = k_round_matrix_from_relation(nodes, [rel, rel])
+        assert R2[0, 2] and R2[0, 1] and R2[0, 0]
+        assert not R2[2, 0]
+
+    def test_relation_cached_per_round(self):
+        calls = []
+
+        def rel(v, w):
+            calls.append(1)
+            return True
+
+        k_round_matrix_from_relation([0, 1], [rel, rel])
+        assert len(calls) == 4  # evaluated once, reused for round 2
+
+
+class TestGenericLambSet:
+    def test_matches_mesh_pipeline(self):
+        """On a mesh, the generic singleton-set solver must produce a
+        valid lamb set of the same optimal size as general-exact."""
+        mesh = Mesh((6, 6))
+        faults = FaultSet(mesh, [(2, 1), (4, 4), (1, 3)])
+        orderings = repeated(xy(), 2)
+        full = full_reach_matrix(faults, orderings)
+        good = faults.good_nodes()
+        idx = [mesh.index_of(v) for v in good]
+        Rk = full[np.ix_(idx, idx)]
+        generic_exact = generic_lamb_set(good, Rk, method="general-exact")
+        mesh_exact = find_lamb_set(faults, orderings, method="general-exact")
+        assert len(generic_exact) == mesh_exact.size
+
+    def test_no_zeros_no_lambs(self):
+        nodes = ["a", "b"]
+        Rk = np.ones((2, 2), dtype=bool)
+        assert generic_lamb_set(nodes, Rk) == set()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            generic_lamb_set([1, 2], np.ones((3, 3), dtype=bool))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            generic_lamb_set([1, 2], np.zeros((2, 2), bool), method="nope")
+
+    def test_weights_steer_choice(self):
+        # 0 cannot reach 1 (and vice versa): one of them must go.
+        nodes = ["cheap", "dear"]
+        Rk = np.array([[True, False], [False, True]])
+        out = generic_lamb_set(nodes, Rk, method="general-exact", weights=[1.0, 10.0])
+        assert out == {"cheap"}
+
+
+class TestTorus:
+    def test_reach_matrix_diagonal(self):
+        t = Torus((5, 5))
+        faults = FaultSet(t, [(2, 2)])
+        good, Rk = torus_reach_matrix(faults, repeated(xy(), 2))
+        assert len(good) == 24
+        assert Rk.diagonal().all()
+
+    def test_lamb_set_is_valid_survivor_set(self):
+        t = Torus((6, 6))
+        rng = np.random.default_rng(9)
+        faults = FaultSet(t, t.random_nodes(6, rng))
+        orderings = repeated(xy(), 2)
+        lambs = torus_lamb_set(faults, orderings)
+        good, Rk = torus_reach_matrix(faults, orderings)
+        surv = [i for i, v in enumerate(good) if v not in lambs]
+        assert Rk[np.ix_(surv, surv)].all()
+
+    def test_wraparound_usually_avoids_lambs(self):
+        """A single fault never needs lambs on a torus with 2 rounds
+        (wrap links give alternate routes)."""
+        t = Torus((6, 6))
+        faults = FaultSet(t, [(3, 3)])
+        assert torus_lamb_set(faults, repeated(xy(), 2)) == set()
+
+    def test_requires_torus(self):
+        m = Mesh((4, 4))
+        with pytest.raises(TypeError):
+            torus_reach_matrix(FaultSet(m), repeated(xy(), 2))
+
+    def test_torus_vs_mesh_lamb_counts(self):
+        """Same fault pattern: the torus (more links) never needs more
+        lambs than the mesh when both use exact solving."""
+        widths = (6, 6)
+        fault_nodes = [(1, 1), (4, 2), (2, 4)]
+        orderings = repeated(xy(), 2)
+        mesh_res = find_lamb_set(
+            FaultSet(Mesh(widths), fault_nodes), orderings, method="general-exact"
+        )
+        torus_lambs = torus_lamb_set(
+            FaultSet(Torus(widths), fault_nodes), orderings, method="general-exact"
+        )
+        assert len(torus_lambs) <= mesh_res.size

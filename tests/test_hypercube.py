@@ -1,0 +1,89 @@
+"""Tests for hypercube helpers (repro.mesh.hypercube) and their
+consistency with the general mesh machinery (Section 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import find_lamb_set, is_lamb_set
+from repro.mesh import (
+    FaultSet,
+    Mesh,
+    address_to_node,
+    ecube_route_addresses,
+    gray_code_ring,
+    hamming_distance,
+    node_to_address,
+)
+from repro.routing import ascending, dor_path, repeated
+
+
+class TestAddressing:
+    @given(st.integers(1, 8), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, d, addr):
+        addr = addr % (1 << d)
+        assert node_to_address(address_to_node(addr, d)) == addr
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            node_to_address((0, 2))
+        with pytest.raises(ValueError):
+            address_to_node(16, 4)
+
+    @given(st.integers(1, 8), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_hamming_equals_l1(self, d, a, b):
+        a, b = a % (1 << d), b % (1 << d)
+        mesh = Mesh.hypercube(d)
+        assert hamming_distance(a, b) == mesh.l1_distance(
+            address_to_node(a, d), address_to_node(b, d)
+        )
+
+
+class TestEcubeRoute:
+    @given(st.integers(1, 7), st.integers(0, 127), st.integers(0, 127))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_mesh_dor(self, d, a, b):
+        """Bit-level e-cube = dimension-ordered routing on M_d(2)."""
+        a, b = a % (1 << d), b % (1 << d)
+        mesh = Mesh.hypercube(d)
+        bit_route = ecube_route_addresses(a, b, d)
+        mesh_route = dor_path(
+            mesh, ascending(d), address_to_node(a, d), address_to_node(b, d)
+        )
+        assert [node_to_address(v) for v in mesh_route] == bit_route
+
+    def test_route_length(self):
+        assert len(ecube_route_addresses(0b000, 0b111, 3)) == 4
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            ecube_route_addresses(0, 8, 3)
+
+
+class TestGrayRing:
+    @given(st.integers(1, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_hamiltonian_ring(self, d):
+        ring = gray_code_ring(d)
+        assert sorted(ring) == list(range(1 << d))
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            assert hamming_distance(a, b) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            gray_code_ring(0)
+
+
+class TestLambOnHypercube:
+    def test_two_round_ecube_lambs(self):
+        """Section 7: the whole pipeline on M_5(2) with faults."""
+        mesh = Mesh.hypercube(5)
+        faults = FaultSet(
+            mesh,
+            [address_to_node(a, 5) for a in (0b00101, 0b11010, 0b01111)],
+        )
+        orderings = repeated(ascending(5), 2)
+        result = find_lamb_set(faults, orderings)
+        assert is_lamb_set(faults, orderings, result.lambs)

@@ -1,0 +1,108 @@
+"""Tests for the Dinic max-flow solver (repro.graphs.maxflow)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import INF, MaxFlow
+
+
+class TestBasics:
+    def test_single_edge(self):
+        g = MaxFlow(2)
+        g.add_edge(0, 1, 5)
+        assert g.max_flow(0, 1) == 5
+
+    def test_diamond(self):
+        g = MaxFlow(4)
+        g.add_edge(0, 1, 3)
+        g.add_edge(0, 2, 2)
+        g.add_edge(1, 3, 2)
+        g.add_edge(2, 3, 3)
+        assert g.max_flow(0, 3) == 4
+
+    def test_bottleneck(self):
+        g = MaxFlow(3)
+        g.add_edge(0, 1, 10)
+        g.add_edge(1, 2, 1)
+        assert g.max_flow(0, 2) == 1
+
+    def test_disconnected(self):
+        g = MaxFlow(3)
+        g.add_edge(0, 1, 5)
+        assert g.max_flow(0, 2) == 0
+
+    def test_infinite_capacity_path(self):
+        g = MaxFlow(3)
+        g.add_edge(0, 1, INF)
+        g.add_edge(1, 2, 7)
+        assert g.max_flow(0, 2) == 7
+
+    def test_edge_flow_query(self):
+        g = MaxFlow(3)
+        e0 = g.add_edge(0, 1, 5)
+        e1 = g.add_edge(1, 2, 3)
+        g.max_flow(0, 2)
+        assert g.edge_flow(e0) == 3
+        assert g.edge_flow(e1) == 3
+
+    def test_rejects_bad_input(self):
+        g = MaxFlow(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 5, 1)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1)
+        with pytest.raises(ValueError):
+            g.max_flow(0, 0)
+        with pytest.raises(ValueError):
+            MaxFlow(0)
+
+
+class TestMinCut:
+    def test_cut_separates(self):
+        g = MaxFlow(4)
+        g.add_edge(0, 1, 1)
+        g.add_edge(0, 2, 1)
+        g.add_edge(1, 3, 5)
+        g.add_edge(2, 3, 5)
+        g.max_flow(0, 3)
+        side = g.min_cut_side(0)
+        assert 0 in side and 3 not in side
+
+    def test_cut_capacity_equals_flow(self):
+        rng = np.random.default_rng(7)
+        for trial in range(10):
+            n = 8
+            g = MaxFlow(n)
+            edges = []
+            for u in range(n):
+                for v in range(n):
+                    if u != v and rng.random() < 0.3:
+                        c = float(rng.integers(1, 10))
+                        edges.append((u, v, c))
+                        g.add_edge(u, v, c)
+            flow = g.max_flow(0, n - 1)
+            side = g.min_cut_side(0)
+            cut_cap = sum(c for (u, v, c) in edges if u in side and v not in side)
+            assert flow == pytest.approx(cut_cap)
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 10))
+        G = nx.DiGraph()
+        G.add_nodes_from(range(n))
+        mine = MaxFlow(n)
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.35:
+                    c = int(rng.integers(1, 12))
+                    G.add_edge(u, v, capacity=c)
+                    mine.add_edge(u, v, c)
+        expected = nx.maximum_flow_value(G, 0, n - 1) if G.number_of_edges() else 0
+        assert mine.max_flow(0, n - 1) == pytest.approx(expected)

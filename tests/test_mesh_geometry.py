@@ -1,0 +1,160 @@
+"""Tests for repro.mesh.geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh
+
+from conftest import small_meshes
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = Mesh((3, 4, 5))
+        assert m.d == 3
+        assert m.num_nodes == 60
+        assert m.widths == (3, 4, 5)
+
+    def test_square(self):
+        m = Mesh.square(3, 32)
+        assert m.widths == (32, 32, 32)
+        assert m.num_nodes == 32768
+
+    def test_hypercube(self):
+        m = Mesh.hypercube(4)
+        assert m.widths == (2, 2, 2, 2)
+        assert m.num_nodes == 16
+
+    def test_rejects_width_one(self):
+        with pytest.raises(ValueError):
+            Mesh((3, 1))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mesh(())
+
+    def test_equality_and_hash(self):
+        assert Mesh((3, 4)) == Mesh((3, 4))
+        assert Mesh((3, 4)) != Mesh((4, 3))
+        assert hash(Mesh((3, 4))) == hash(Mesh((3, 4)))
+
+
+class TestMembership:
+    def test_contains(self):
+        m = Mesh((12, 12))
+        assert m.contains((0, 0))
+        assert m.contains((11, 11))
+        assert not m.contains((12, 0))
+        assert not m.contains((0, -1))
+        assert not m.contains((0, 0, 0))
+
+    def test_nodes_iteration(self):
+        m = Mesh((2, 3))
+        nodes = list(m.nodes())
+        assert len(nodes) == 6
+        assert len(set(nodes)) == 6
+        assert all(m.contains(v) for v in nodes)
+
+
+class TestNeighbors:
+    def test_interior_degree(self):
+        m = Mesh((5, 5))
+        assert sorted(m.neighbors((2, 2))) == [(1, 2), (2, 1), (2, 3), (3, 2)]
+
+    def test_corner_degree(self):
+        m = Mesh((5, 5))
+        assert m.degree((0, 0)) == 2
+        assert m.degree((4, 4)) == 2
+        assert m.degree((0, 2)) == 3
+
+    def test_rejects_non_node(self):
+        with pytest.raises(ValueError):
+            list(Mesh((3, 3)).neighbors((5, 5)))
+
+    def test_num_links_2d(self):
+        # 3x3 mesh: 2*(2*3)*2 = 24 directed links.
+        assert Mesh((3, 3)).num_links() == 24
+        assert Mesh((3, 3)).num_links() == len(list(Mesh((3, 3)).links()))
+
+    @given(small_meshes())
+    @settings(max_examples=25, deadline=None)
+    def test_num_links_matches_enumeration(self, mesh):
+        assert mesh.num_links() == len(list(mesh.links()))
+
+
+class TestIndexing:
+    @given(small_meshes())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, mesh):
+        for v in mesh.nodes():
+            assert mesh.node_at(mesh.index_of(v)) == v
+
+    @given(small_meshes())
+    @settings(max_examples=15, deadline=None)
+    def test_indices_are_bijection(self, mesh):
+        idx = sorted(mesh.index_of(v) for v in mesh.nodes())
+        assert idx == list(range(mesh.num_nodes))
+
+    def test_vectorized_matches_scalar(self):
+        m = Mesh((4, 5, 6))
+        nodes = np.asarray(list(m.nodes()))
+        idx = m.indices_of(nodes)
+        assert [m.index_of(tuple(v)) for v in nodes] == list(idx)
+        back = m.nodes_at(idx)
+        assert np.array_equal(back, nodes)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            Mesh((3, 3)).node_at(9)
+        with pytest.raises(ValueError):
+            Mesh((3, 3)).index_of((3, 0))
+
+
+class TestDistances:
+    def test_l1(self):
+        m = Mesh((10, 10))
+        assert m.l1_distance((0, 0), (3, 4)) == 7
+
+    def test_adjacency(self):
+        m = Mesh((4, 4))
+        assert m.are_adjacent((1, 1), (1, 2))
+        assert not m.are_adjacent((1, 1), (2, 2))
+        assert not m.are_adjacent((0, 0), (0, 0))
+
+
+class TestBisection:
+    def test_square_meshes(self):
+        assert Mesh.square(2, 32).bisection_width == 32
+        assert Mesh.square(3, 32).bisection_width == 1024
+        assert Mesh.square(2, 181).bisection_width == 181
+
+    def test_rectangular(self):
+        # Smallest axis-aligned cut of a 4x8 mesh crosses 4 nodes.
+        assert Mesh((4, 8)).bisection_width == 4
+
+
+class TestRandomNodes:
+    def test_distinct(self, rng):
+        m = Mesh((6, 6))
+        picks = m.random_nodes(10, rng)
+        assert len(set(picks)) == 10
+        assert all(m.contains(v) for v in picks)
+
+    def test_exclusion(self, rng):
+        m = Mesh((3, 3))
+        excluded = [(0, 0), (1, 1)]
+        picks = m.random_nodes(7, rng, exclude=excluded)
+        assert len(picks) == 7
+        assert not set(picks) & set(excluded)
+
+    def test_too_many(self, rng):
+        with pytest.raises(ValueError):
+            Mesh((2, 2)).random_nodes(5, rng)
+
+    def test_deterministic_per_seed(self):
+        m = Mesh((8, 8))
+        a = m.random_nodes(5, np.random.default_rng(3))
+        b = m.random_nodes(5, np.random.default_rng(3))
+        assert a == b

@@ -1,0 +1,64 @@
+"""Tests for repro.routing.ordering."""
+
+import pytest
+
+from repro.routing import KRoundOrdering, Ordering, ascending, repeated, xy, xyz
+
+
+class TestOrdering:
+    def test_ascending(self):
+        assert ascending(3).perm == (0, 1, 2)
+        assert ascending(3).is_ascending()
+
+    def test_named(self):
+        assert xy() == ascending(2)
+        assert xyz() == ascending(3)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Ordering((0, 0, 1))
+        with pytest.raises(ValueError):
+            Ordering((1, 2, 3))
+
+    def test_reversed(self):
+        assert Ordering((0, 1, 2)).reversed() == Ordering((2, 1, 0))
+        assert Ordering((1, 0)).reversed() == Ordering((0, 1))
+
+    def test_iteration_and_indexing(self):
+        pi = Ordering((2, 0, 1))
+        assert list(pi) == [2, 0, 1]
+        assert pi[0] == 2
+        assert len(pi) == 3
+
+    def test_hashable(self):
+        assert len({ascending(2), xy(), Ordering((1, 0))}) == 2
+
+
+class TestKRoundOrdering:
+    def test_repeated(self):
+        kr = repeated(xyz(), 2)
+        assert kr.k == 2
+        assert kr.d == 3
+        assert kr.is_uniform()
+        assert kr[0] == kr[1] == xyz()
+
+    def test_mixed(self):
+        kr = KRoundOrdering([Ordering((0, 1)), Ordering((1, 0))])
+        assert not kr.is_uniform()
+        assert kr.k == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KRoundOrdering([])
+
+    def test_rejects_mixed_dims(self):
+        with pytest.raises(ValueError):
+            KRoundOrdering([xy(), xyz()])
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            repeated(xy(), 0)
+
+    def test_equality(self):
+        assert repeated(xy(), 2) == repeated(xy(), 2)
+        assert repeated(xy(), 2) != repeated(xy(), 3)

@@ -1,0 +1,152 @@
+"""Tests for Find-SES-Partition / Find-DES-Partition
+(repro.core.partition)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    find_des_partition,
+    find_ses_partition,
+    is_des,
+    is_partition_of_good_nodes,
+    is_ses,
+    partition_representatives,
+    partition_size_bound,
+    partition_size_bound_loose,
+)
+from repro.mesh import FaultSet, Mesh
+from repro.routing import Ordering, ascending, xy
+
+from conftest import faulty_meshes_with_ordering
+
+
+class TestWorkedExample:
+    """The 12x12 example of Section 5 / Figures 3-4."""
+
+    def test_ses_partition_matches_figure3(self, paper_faults):
+        ses = find_ses_partition(paper_faults, xy())
+        specs = {r.spec() for r in ses}
+        assert specs == {
+            ("*", 0),
+            ((0, 8), 1),
+            ((10, 11), 1),
+            ("*", (2, 5)),
+            ((0, 10), 6),
+            ("*", (7, 9)),
+            ((0, 9), 10),
+            (11, 10),
+            ("*", 11),
+        }
+
+    def test_des_partition_matches_figure4(self, paper_faults):
+        des = find_des_partition(paper_faults, xy())
+        specs = {r.spec() for r in des}
+        assert specs == {
+            ((0, 8), "*"),
+            (9, 0),
+            (9, (2, 11)),
+            (10, (0, 9)),
+            (10, 11),
+            (11, (0, 5)),
+            (11, (7, 11)),
+        }
+
+    def test_representatives_match_paper_convention(self, paper_faults):
+        ses = find_ses_partition(paper_faults, xy())
+        reps = partition_representatives(ses)
+        # rep(S) is the minimal corner, e.g. rep((*, [2,5])) = (0, 2).
+        by_spec = {r.spec(): rep for r, rep in zip(ses, reps)}
+        assert by_spec[("*", (2, 5))] == (0, 2)
+        assert by_spec[((10, 11), 1)] == (10, 1)
+
+
+class TestPartitionProperties:
+    @given(faulty_meshes_with_ordering(max_width=6))
+    @settings(max_examples=40, deadline=None)
+    def test_ses_partition_is_valid(self, fm):
+        """Every output set is an SES (definition-level check) and the
+        sets partition the good nodes."""
+        faults, pi = fm
+        ses = find_ses_partition(faults, pi)
+        assert is_partition_of_good_nodes(
+            faults, [list(r.nodes()) for r in ses]
+        )
+        for r in ses:
+            assert is_ses(faults, pi, list(r.nodes())), r.spec()
+
+    @given(faulty_meshes_with_ordering(max_width=6))
+    @settings(max_examples=40, deadline=None)
+    def test_des_partition_is_valid(self, fm):
+        faults, pi = fm
+        des = find_des_partition(faults, pi)
+        assert is_partition_of_good_nodes(
+            faults, [list(r.nodes()) for r in des]
+        )
+        for r in des:
+            assert is_des(faults, pi, list(r.nodes())), r.spec()
+
+    @given(faulty_meshes_with_ordering())
+    @settings(max_examples=40, deadline=None)
+    def test_rects_are_fault_free(self, fm):
+        """The algorithm's rectangles contain no faulty node, so any
+        member can serve as representative."""
+        faults, pi = fm
+        for r in find_ses_partition(faults, pi) + find_des_partition(faults, pi):
+            for v in r.nodes():
+                assert not faults.node_is_faulty(v)
+
+    @given(faulty_meshes_with_ordering())
+    @settings(max_examples=40, deadline=None)
+    def test_size_bound_theorem64(self, fm):
+        """|Sigma| <= B(d, f) <= (2d-1) f + 1 (Theorem 6.4)."""
+        faults, pi = fm
+        widths = faults.mesh.widths
+        # The Eq. (1) bound is stated for the ascending ordering; under
+        # a permuted ordering the widths enter in permuted order.
+        perm_widths = tuple(widths[j] for j in pi.perm)
+        for part in (find_ses_partition(faults, pi),):
+            assert len(part) <= partition_size_bound(perm_widths, faults.f)
+            assert len(part) <= partition_size_bound_loose(
+                faults.mesh.d, faults.f
+            )
+
+    def test_no_faults_single_set(self):
+        m = Mesh((5, 7))
+        faults = FaultSet(m)
+        ses = find_ses_partition(faults, xy())
+        assert len(ses) == 1
+        assert ses[0].size == 35
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            find_ses_partition(FaultSet(Mesh((4, 4))), ascending(3))
+
+
+class TestLinkFaults:
+    def test_intra_slab_link_fault_forces_recursion(self):
+        m = Mesh((6, 6))
+        # A link fault along x within row y=2.
+        faults = FaultSet(m, (), [((2, 2), (3, 2))])
+        ses = find_ses_partition(faults, xy())
+        specs = {r.spec() for r in ses}
+        # Row 2 must be split at the cut; other rows merge into bands.
+        assert ((0, 2), 2) in specs
+        assert ((3, 5), 2) in specs
+
+    def test_inter_slab_link_fault_splits_interval(self):
+        m = Mesh((6, 6))
+        # A link fault along y between rows 2 and 3.
+        faults = FaultSet(m, (), [((4, 2), (4, 3))])
+        ses = find_ses_partition(faults, xy())
+        specs = {r.spec() for r in ses}
+        assert ("*", (0, 2)) in specs
+        assert ("*", (3, 5)) in specs
+        assert len(ses) == 2
+
+    def test_one_dimensional_mesh(self):
+        m = Mesh((9,))
+        faults = FaultSet(m, [(4,)], [((6,), (7,))])
+        ses = find_ses_partition(faults, Ordering((0,)))
+        specs = {r.spec() for r in ses}
+        assert specs == {((0, 3),), ((5, 6),), ((7, 8),)}

@@ -1,0 +1,123 @@
+"""Tests for job placement (repro.placement)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import find_lamb_set
+from repro.mesh import FaultSet, Mesh, random_node_faults
+from repro.placement import (
+    compact_placement,
+    find_free_submeshes,
+    largest_free_cubic_submesh,
+    placement_cost,
+    usable_grid,
+)
+from repro.routing import repeated, xy, xyz
+
+
+@pytest.fixture
+def machine():
+    mesh = Mesh((10, 10))
+    faults = FaultSet(mesh, [(2, 2), (7, 5), (4, 8)])
+    return find_lamb_set(faults, repeated(xy(), 2))
+
+
+class TestUsableGrid:
+    def test_excludes_faults_and_lambs(self, machine):
+        grid = usable_grid(machine)
+        assert grid.sum() == len(machine.survivors())
+        for v in machine.faults.node_faults:
+            assert not grid[v]
+        for v in machine.lambs:
+            assert not grid[v]
+
+
+class TestFreeSubmeshes:
+    def test_brute_force_agreement(self, machine):
+        """Erosion-based search vs exhaustive window scan."""
+        grid = usable_grid(machine)
+        for shape in ((2, 2), (3, 2), (4, 4), (1, 5)):
+            got = set(find_free_submeshes(grid, shape))
+            expect = set()
+            for x in range(grid.shape[0] - shape[0] + 1):
+                for y in range(grid.shape[1] - shape[1] + 1):
+                    if grid[x : x + shape[0], y : y + shape[1]].all():
+                        expect.add((x, y))
+            assert got == expect, shape
+
+    def test_oversized_shape(self, machine):
+        assert find_free_submeshes(usable_grid(machine), (11, 11)) == []
+
+    def test_validation(self, machine):
+        grid = usable_grid(machine)
+        with pytest.raises(ValueError):
+            find_free_submeshes(grid, (2,))
+        with pytest.raises(ValueError):
+            find_free_submeshes(grid, (0, 2))
+
+    def test_largest_cubic(self):
+        mesh = Mesh((8, 8))
+        result = find_lamb_set(FaultSet(mesh, [(4, 4)]), repeated(xy(), 2))
+        grid = usable_grid(result)
+        s = largest_free_cubic_submesh(grid)
+        assert s == 4  # the 4x4 quadrant clear of (4,4)
+        assert find_free_submeshes(grid, (s, s))
+        assert not find_free_submeshes(grid, (s + 1, s + 1))
+
+    def test_largest_cubic_full_mesh(self):
+        mesh = Mesh((6, 6))
+        result = find_lamb_set(FaultSet(mesh), repeated(xy(), 2))
+        assert largest_free_cubic_submesh(usable_grid(result)) == 6
+
+    def test_3d(self):
+        mesh = Mesh((6, 6, 6))
+        faults = random_node_faults(mesh, 5, np.random.default_rng(1))
+        result = find_lamb_set(faults, repeated(xyz(), 2))
+        grid = usable_grid(result)
+        s = largest_free_cubic_submesh(grid)
+        assert 1 <= s <= 6
+        assert find_free_submeshes(grid, (s,) * 3)
+
+
+class TestCompactPlacement:
+    def test_placement_size_and_validity(self, machine):
+        placement = compact_placement(machine, 12)
+        assert len(placement) == 12
+        assert len(set(placement)) == 12
+        for v in placement:
+            assert machine.is_survivor(v)
+
+    def test_too_many_ranks(self, machine):
+        with pytest.raises(ValueError):
+            compact_placement(machine, 1000)
+
+    def test_empty(self, machine):
+        assert compact_placement(machine, 0) == []
+
+    def test_compactness_beats_random(self, machine):
+        rng = np.random.default_rng(0)
+        survivors = machine.survivors()
+        compact = compact_placement(machine, 16)
+        picks = rng.choice(len(survivors), size=16, replace=False)
+        scattered = [survivors[int(i)] for i in picks]
+        assert placement_cost(compact) < placement_cost(scattered)
+
+
+class TestPlacementCost:
+    def test_degenerate(self):
+        assert placement_cost([]) == 0.0
+        assert placement_cost([(0, 0)]) == 0.0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        nodes = [tuple(int(x) for x in rng.integers(0, 9, size=3)) for _ in range(10)]
+        fast = placement_cost(nodes)
+        slow = np.mean(
+            [
+                sum(abs(a - b) for a, b in zip(u, v))
+                for u, v in itertools.combinations(nodes, 2)
+            ]
+        )
+        assert fast == pytest.approx(float(slow))

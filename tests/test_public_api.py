@@ -1,0 +1,81 @@
+"""Public API surface tests: exports exist, docstrings present, and
+the package-level doctests run."""
+
+import doctest
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro",
+    "repro.mesh",
+    "repro.routing",
+    "repro.graphs",
+    "repro.core",
+    "repro.wormhole",
+    "repro.baselines",
+    "repro.complexity",
+    "repro.experiments",
+    "repro.viz",
+]
+
+#: Modules whose docstring examples are executed as doctests.
+DOCTEST_MODULES = [
+    "repro",
+    "repro.mesh.geometry",
+    "repro.mesh.regions",
+    "repro.routing.dor",
+    "repro.graphs.maxflow",
+    "repro.graphs.bipartite_vc",
+    "repro.core.lamb",
+    "repro.core.bounds",
+    "repro.viz.ascii_art",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("name", MODULES)
+    def test_all_exports_resolve(self, name):
+        mod = importlib.import_module(name)
+        assert hasattr(mod, "__all__"), f"{name} has no __all__"
+        for symbol in mod.__all__:
+            assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", MODULES)
+    def test_module_docstrings(self, name):
+        mod = importlib.import_module(name)
+        assert mod.__doc__ and mod.__doc__.strip(), f"{name} undocumented"
+
+    def test_public_callables_documented(self):
+        """Every public function/class reachable from the top-level
+        package must carry a docstring."""
+        for symbol in repro.__all__:
+            obj = getattr(repro, symbol)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"repro.{symbol} undocumented"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("name", DOCTEST_MODULES)
+    def test_module_doctests(self, name):
+        mod = importlib.import_module(name)
+        results = doctest.testmod(mod, verbose=False)
+        assert results.failed == 0, f"{results.failed} doctest failures in {name}"
+
+
+class TestQuickstartContract:
+    def test_readme_quickstart(self):
+        """The README's quickstart code, executed verbatim."""
+        from repro import FaultSet, Mesh, find_lamb_set, repeated, xy
+
+        mesh = Mesh((12, 12))
+        faults = FaultSet(mesh, [(9, 1), (11, 6), (10, 10)])
+        result = find_lamb_set(faults, repeated(xy(), 2))
+        assert sorted(result.lambs) == [(10, 11), (11, 10)]
+        assert (result.num_ses, result.num_des) == (9, 7)

@@ -1,0 +1,230 @@
+"""Tests for the vectorized reachability kernel and matrix products
+(repro.core.reachability)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    bool_matmul,
+    density,
+    find_des_partition,
+    find_reachability,
+    find_ses_partition,
+    full_reach_matrix,
+    one_round_reachability_matrix,
+)
+from repro.mesh import FaultSet, Mesh
+from repro.routing import (
+    KRoundOrdering,
+    LineFaultIndex,
+    Ordering,
+    dor_path,
+    path_is_fault_free,
+    repeated,
+    xy,
+)
+
+from conftest import faulty_meshes_with_ordering
+
+
+def _reps(rects, mesh):
+    if not rects:
+        return np.empty((0, mesh.d), dtype=np.int64)
+    return np.asarray([r.lo for r in rects], dtype=np.int64)
+
+
+class TestOneRoundMatrix:
+    @given(faulty_meshes_with_ordering())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_route_walking(self, fm):
+        """The vectorized kernel must agree with explicit route checks
+        for every pair of good nodes (not just partition reps)."""
+        faults, pi = fm
+        mesh = faults.mesh
+        good = faults.good_nodes()
+        if not good:
+            return
+        nodes = np.asarray(good, dtype=np.int64)
+        idx = LineFaultIndex(faults)
+        R = one_round_reachability_matrix(idx, pi, nodes, nodes)
+        for i, v in enumerate(good):
+            for j, w in enumerate(good):
+                expected = path_is_fault_free(faults, dor_path(mesh, pi, v, w))
+                assert R[i, j] == expected, (v, w)
+
+    def test_rejects_faulty_reps(self):
+        m = Mesh((4, 4))
+        faults = FaultSet(m, [(1, 1)])
+        idx = LineFaultIndex(faults)
+        bad = np.asarray([(1, 1)])
+        good = np.asarray([(0, 0)])
+        with pytest.raises(ValueError):
+            one_round_reachability_matrix(idx, xy(), bad, good)
+        with pytest.raises(ValueError):
+            one_round_reachability_matrix(idx, xy(), good, bad)
+
+    def test_empty_inputs(self):
+        m = Mesh((4, 4))
+        idx = LineFaultIndex(FaultSet(m))
+        empty = np.empty((0, 2), dtype=np.int64)
+        some = np.asarray([(0, 0)])
+        assert one_round_reachability_matrix(idx, xy(), empty, some).shape == (0, 1)
+        assert one_round_reachability_matrix(idx, xy(), some, empty).shape == (1, 0)
+
+
+class TestBoolMatmul:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n, k = (int(x) for x in rng.integers(1, 12, size=3))
+        A = rng.random((m, n)) < rng.uniform(0.02, 0.9)
+        B = rng.random((n, k)) < rng.uniform(0.02, 0.9)
+        expected = (A @ B) > 0
+        assert np.array_equal(bool_matmul(A, B), expected)
+        assert np.array_equal(bool_matmul(A, sp.csr_matrix(B)), expected)
+
+    def test_empty(self):
+        A = np.zeros((0, 3), dtype=bool)
+        B = np.zeros((3, 2), dtype=bool)
+        assert bool_matmul(A, B).shape == (0, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bool_matmul(np.ones((2, 3), bool), np.ones((2, 3), bool))
+
+    def test_density(self):
+        A = np.asarray([[True, False], [False, False]])
+        assert density(A) == 0.25
+        assert density(sp.csr_matrix(A)) == 0.25
+        assert density(np.zeros((0, 3), bool)) == 0.0
+
+
+class TestFindReachability:
+    @given(faulty_meshes_with_ordering(max_width=6))
+    @settings(max_examples=30, deadline=None)
+    def test_rk_matches_brute_force(self, fm):
+        """R^(k) between reps must equal brute-force k-round
+        reachability (k = 2, same ordering per round)."""
+        faults, pi = fm
+        mesh = faults.mesh
+        orderings = repeated(pi, 2)
+        ses = find_ses_partition(faults, pi)
+        des = find_des_partition(faults, pi)
+        index = LineFaultIndex(faults)
+        data = find_reachability(
+            index, orderings, [ses, ses], [des, des],
+            [_reps(ses, mesh)] * 2, [_reps(des, mesh)] * 2,
+        )
+        full = full_reach_matrix(faults, orderings)
+        for i, S in enumerate(ses):
+            vi = mesh.index_of(S.lo)
+            for j, D in enumerate(des):
+                wj = mesh.index_of(D.lo)
+                assert data.Rk[i, j] == full[vi, wj], (S.spec(), D.spec())
+
+    @given(faulty_meshes_with_ordering(max_width=5, max_d=2))
+    @settings(max_examples=15, deadline=None)
+    def test_rk_extends_to_whole_sets(self, fm):
+        """Lemma 4.1 + Lemma 5.1: R^(k)(i, j) answers for *every*
+        member of S_i x D_j, not just the representatives."""
+        faults, pi = fm
+        mesh = faults.mesh
+        orderings = repeated(pi, 2)
+        ses = find_ses_partition(faults, pi)
+        des = find_des_partition(faults, pi)
+        index = LineFaultIndex(faults)
+        data = find_reachability(
+            index, orderings, [ses, ses], [des, des],
+            [_reps(ses, mesh)] * 2, [_reps(des, mesh)] * 2,
+        )
+        full = full_reach_matrix(faults, orderings)
+        for i, S in enumerate(ses):
+            for j, D in enumerate(des):
+                for v in S.nodes():
+                    for w in D.nodes():
+                        assert (
+                            full[mesh.index_of(v), mesh.index_of(w)]
+                            == data.Rk[i, j]
+                        ), (v, w)
+
+    def test_mixed_round_orderings(self):
+        m = Mesh((6, 6))
+        faults = FaultSet(m, [(2, 1), (4, 3)])
+        pis = [Ordering((0, 1)), Ordering((1, 0))]
+        orderings = KRoundOrdering(pis)
+        parts_s = [find_ses_partition(faults, pi) for pi in pis]
+        parts_d = [find_des_partition(faults, pi) for pi in pis]
+        index = LineFaultIndex(faults)
+        data = find_reachability(
+            index, orderings, parts_s, parts_d,
+            [_reps(p, m) for p in parts_s], [_reps(p, m) for p in parts_d],
+        )
+        full = full_reach_matrix(faults, orderings)
+        for i, S in enumerate(parts_s[0]):
+            for j, D in enumerate(parts_d[-1]):
+                assert data.Rk[i, j] == full[m.index_of(S.lo), m.index_of(D.lo)]
+
+    def test_partial_products_are_monotone(self, paper_faults):
+        pi = xy()
+        orderings = repeated(pi, 3)
+        ses = find_ses_partition(paper_faults, pi)
+        des = find_des_partition(paper_faults, pi)
+        index = LineFaultIndex(paper_faults)
+        data = find_reachability(
+            index, orderings, [ses] * 3, [des] * 3,
+            [_reps(ses, paper_faults.mesh)] * 3,
+            [_reps(des, paper_faults.mesh)] * 3,
+        )
+        assert len(data.partial) == 3
+        assert (data.partial[0] <= data.partial[1]).all()
+        assert (data.partial[1] <= data.partial[2]).all()
+        # Three rounds heal everything in the worked example.
+        assert data.partial[2].all()
+
+    def test_stats_present(self, paper_faults):
+        pi = xy()
+        orderings = repeated(pi, 2)
+        ses = find_ses_partition(paper_faults, pi)
+        des = find_des_partition(paper_faults, pi)
+        index = LineFaultIndex(paper_faults)
+        data = find_reachability(
+            index, orderings, [ses] * 2, [des] * 2,
+            [_reps(ses, paper_faults.mesh)] * 2,
+            [_reps(des, paper_faults.mesh)] * 2,
+        )
+        for key in ("R1_density", "Rk_density", "I1_density", "R1I1_density"):
+            assert 0.0 <= data.stats[key] <= 1.0
+
+
+class TestBoolMatmulOverflowRegression:
+    """Regression for the int8-overflow bug: scipy sparse products keep
+    the input dtype, so int8 accumulation wrapped once the inner
+    dimension exceeded 127 and silently zeroed true entries."""
+
+    def test_row_sum_256_sparse_rhs(self):
+        A = np.ones((1, 300), dtype=bool)
+        B = np.zeros((300, 1), dtype=bool)
+        B[:256] = True  # int8 row sum would wrap to exactly 0
+        assert bool_matmul(A, sp.csr_matrix(B))[0, 0]
+
+    def test_row_sum_200_both_sparse_path(self):
+        # Densities ~3% trigger the sparse-sparse path; sums in
+        # [128, 255] wrapped to negative int8 (also lost by "> 0").
+        n = 4000
+        A = np.zeros((4, n), dtype=bool)
+        B = np.zeros((n, 4), dtype=bool)
+        A[0, :200] = True
+        B[:200, 0] = True
+        out = bool_matmul(A, B)
+        assert out[0, 0]
+        assert not out[1, 1]
+
+    def test_large_dense_inner_dimension(self):
+        rng = np.random.default_rng(0)
+        A = rng.random((8, 1000)) < 0.9
+        B = rng.random((1000, 8)) < 0.9
+        assert np.array_equal(bool_matmul(A, B), (A @ B) > 0)

@@ -1,0 +1,139 @@
+"""Tests for repro.mesh.regions (rectangle abbreviations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh, Rect, rect_intersection_matrix, rects_are_disjoint, rects_total_size
+
+from conftest import small_meshes
+
+
+@st.composite
+def rects_in(draw, mesh):
+    lo, hi = [], []
+    for j in range(mesh.d):
+        a = draw(st.integers(0, mesh.widths[j] - 1))
+        b = draw(st.integers(a, mesh.widths[j] - 1))
+        lo.append(a)
+        hi.append(b)
+    return Rect(mesh, lo, hi)
+
+
+@st.composite
+def mesh_with_rects(draw, count=2):
+    mesh = draw(small_meshes())
+    return mesh, [draw(rects_in(mesh)) for _ in range(count)]
+
+
+class TestRectBasics:
+    def test_from_spec(self):
+        m = Mesh((12, 12))
+        r = Rect.from_spec(m, ["*", (2, 5)])
+        assert r.lo == (0, 2)
+        assert r.hi == (11, 5)
+        assert r.size == 48
+        assert r.spec() == ("*", (2, 5))
+
+    def test_from_spec_constant(self):
+        m = Mesh((12, 12))
+        r = Rect.from_spec(m, [7, "*"])
+        assert r.size == 12
+        assert r.spec() == (7, "*")
+
+    def test_single(self):
+        m = Mesh((5, 5))
+        r = Rect.single(m, (2, 3))
+        assert r.size == 1
+        assert list(r.nodes()) == [(2, 3)]
+
+    def test_invalid_bounds(self):
+        m = Mesh((5, 5))
+        with pytest.raises(ValueError):
+            Rect(m, (3, 0), (2, 0))
+        with pytest.raises(ValueError):
+            Rect(m, (0, 0), (5, 0))
+        with pytest.raises(ValueError):
+            Rect(m, (0,), (0,))
+
+    def test_contains(self):
+        m = Mesh((10, 10))
+        r = Rect(m, (2, 3), (5, 7))
+        assert r.contains((2, 3)) and r.contains((5, 7)) and r.contains((4, 5))
+        assert not r.contains((1, 5)) and not r.contains((6, 5))
+
+    @given(mesh_with_rects(count=1))
+    @settings(max_examples=30, deadline=None)
+    def test_size_matches_enumeration(self, mr):
+        _, (r,) = mr
+        assert r.size == len(list(r.nodes()))
+
+    @given(mesh_with_rects(count=1))
+    @settings(max_examples=20, deadline=None)
+    def test_nodes_all_contained(self, mr):
+        _, (r,) = mr
+        assert all(r.contains(v) for v in r.nodes())
+
+
+class TestIntersection:
+    @given(mesh_with_rects(count=2))
+    @settings(max_examples=40, deadline=None)
+    def test_intersects_matches_enumeration(self, mr):
+        _, (a, b) = mr
+        truth = bool(set(a.nodes()) & set(b.nodes()))
+        assert a.intersects(b) == truth
+        assert b.intersects(a) == truth
+
+    @given(mesh_with_rects(count=2))
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_size(self, mr):
+        _, (a, b) = mr
+        assert a.intersection_size(b) == len(set(a.nodes()) & set(b.nodes()))
+
+    @given(mesh_with_rects(count=2))
+    @settings(max_examples=25, deadline=None)
+    def test_intersection_rect(self, mr):
+        _, (a, b) = mr
+        if a.intersects(b):
+            inter = a.intersection(b)
+            assert set(inter.nodes()) == set(a.nodes()) & set(b.nodes())
+        else:
+            with pytest.raises(ValueError):
+                a.intersection(b)
+
+    def test_intersection_matrix(self):
+        m = Mesh((6, 6))
+        rows = [Rect.from_spec(m, ["*", 0]), Rect.from_spec(m, [(0, 2), (1, 3)])]
+        cols = [Rect.from_spec(m, [0, "*"]), Rect.from_spec(m, [(4, 5), (4, 5)])]
+        I = rect_intersection_matrix(rows, cols)
+        assert I.shape == (2, 2)
+        assert I[0, 0] and not I[0, 1]
+        assert I[1, 0] and not I[1, 1]
+
+    @given(mesh_with_rects(count=4))
+    @settings(max_examples=20, deadline=None)
+    def test_intersection_matrix_matches_pairwise(self, mr):
+        _, rects = mr
+        rows, cols = rects[:2], rects[2:]
+        I = rect_intersection_matrix(rows, cols, chunk=1)
+        for i, r in enumerate(rows):
+            for j, c in enumerate(cols):
+                assert I[i, j] == r.intersects(c)
+
+    def test_empty_matrix(self):
+        assert rect_intersection_matrix([], []).shape == (0, 0)
+
+
+class TestHelpers:
+    def test_total_size(self):
+        m = Mesh((4, 4))
+        rects = [Rect.from_spec(m, ["*", 0]), Rect.from_spec(m, [0, (1, 2)])]
+        assert rects_total_size(rects) == 6
+
+    def test_disjoint(self):
+        m = Mesh((4, 4))
+        a = Rect.from_spec(m, ["*", 0])
+        b = Rect.from_spec(m, ["*", 1])
+        assert rects_are_disjoint([a, b])
+        assert not rects_are_disjoint([a, a])

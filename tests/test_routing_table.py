@@ -1,0 +1,148 @@
+"""Tests for routing-table generation (repro.core.routing_table) and
+the reconfiguration manager (repro.core.reconfigure)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReconfigurationManager,
+    RoutingTable,
+    build_routing_table,
+    find_lamb_set,
+    is_lamb_set,
+)
+from repro.mesh import FaultSet, Mesh
+from repro.routing import max_turns_bound, repeated, xy
+
+
+@pytest.fixture
+def reconfigured():
+    mesh = Mesh((10, 10))
+    faults = FaultSet(mesh, [(3, 2), (6, 6), (2, 7)])
+    orderings = repeated(xy(), 2)
+    return find_lamb_set(faults, orderings)
+
+
+class TestRoutingTable:
+    def test_lookup_properties(self, reconfigured):
+        table = RoutingTable(reconfigured)
+        entry = table.lookup((0, 0), (9, 9))
+        assert entry.source == (0, 0) and entry.dest == (9, 9)
+        assert 1 <= entry.rounds_used <= 2
+        assert len(entry.intermediates) == 1  # k - 1
+        assert entry.hops >= 18  # at least the L1 distance
+        assert entry.turns <= max_turns_bound(2, 2)
+
+    def test_lookup_caches(self, reconfigured):
+        table = RoutingTable(reconfigured)
+        a = table.lookup((0, 0), (5, 5))
+        b = table.lookup((0, 0), (5, 5))
+        assert a is b
+        assert len(table) == 1
+
+    def test_rejects_non_survivors(self, reconfigured):
+        table = RoutingTable(reconfigured)
+        with pytest.raises(ValueError):
+            table.lookup((3, 2), (0, 0))  # faulty source
+        lamb = next(iter(reconfigured.lambs), None)
+        if lamb is not None:
+            with pytest.raises(ValueError):
+                table.lookup((0, 0), lamb)
+
+    def test_one_round_pairs_use_one_round(self, reconfigured):
+        table = RoutingTable(reconfigured)
+        # (0,0) -> (1,0): trivially one-round reachable.
+        entry = table.lookup((0, 0), (1, 0))
+        assert entry.rounds_used == 1
+        assert entry.hops == 1
+
+    def test_full_table_small_mesh(self):
+        mesh = Mesh((4, 4))
+        faults = FaultSet(mesh, [(1, 1)])
+        result = find_lamb_set(faults, repeated(xy(), 2))
+        table = build_routing_table(result)
+        survivors = result.survivors()
+        assert len(table) == len(survivors) * (len(survivors) - 1)
+        hist = table.round_usage_histogram()
+        assert sum(hist.values()) == len(table)
+        assert hist.get(1, 0) > hist.get(2, 0)  # most pairs stay 1-round
+        assert table.max_turns() <= max_turns_bound(2, 2)
+
+    def test_selected_pairs(self, reconfigured):
+        pairs = [((0, 0), (9, 0)), ((9, 9), (0, 9))]
+        table = build_routing_table(reconfigured, pairs=pairs)
+        assert len(table) == 2
+
+
+class TestReconfigurationManager:
+    def test_epochs_accumulate(self):
+        mesh = Mesh((10, 10))
+        mgr = ReconfigurationManager(mesh, repeated(xy(), 2))
+        e1 = mgr.report_faults(node_faults=[(2, 2)])
+        e2 = mgr.report_faults(node_faults=[(7, 3), (4, 8)])
+        assert e1.index == 0 and e2.index == 1
+        assert e2.num_faults == 3
+        assert mgr.current is e2
+        assert len(mgr.lamb_growth()) == 2
+
+    def test_sticky_lambs_monotone(self):
+        mesh = Mesh((12, 12))
+        mgr = ReconfigurationManager(mesh, repeated(xy(), 2))
+        mgr.report_faults(node_faults=[(9, 1), (11, 6), (10, 10)])
+        first = set(mgr.current_lambs)
+        mgr.report_faults(node_faults=[(2, 2)])
+        assert first <= set(mgr.current_lambs)
+        assert mgr.monotone_lambs()
+
+    def test_lamb_that_fails_is_dropped(self):
+        mesh = Mesh((12, 12))
+        mgr = ReconfigurationManager(mesh, repeated(xy(), 2))
+        mgr.report_faults(node_faults=[(9, 1), (11, 6), (10, 10)])
+        lamb = sorted(mgr.current_lambs)[0]
+        epoch = mgr.report_faults(node_faults=[lamb])
+        assert lamb not in epoch.result.lambs
+        assert epoch.result.faults.node_is_faulty(lamb)
+
+    def test_each_epoch_is_valid(self):
+        mesh = Mesh((8, 8))
+        orderings = repeated(xy(), 2)
+        mgr = ReconfigurationManager(mesh, orderings)
+        rng = np.random.default_rng(4)
+        pool = list(mesh.nodes())
+        used = set()
+        for _ in range(3):
+            new = []
+            while len(new) < 2:
+                v = pool[int(rng.integers(len(pool)))]
+                if v not in used:
+                    used.add(v)
+                    new.append(v)
+            epoch = mgr.report_faults(node_faults=new)
+            assert is_lamb_set(epoch.result.faults, orderings, epoch.result.lambs)
+            assert epoch.num_survivors == (
+                mesh.num_nodes - epoch.result.faults.num_node_faults - epoch.num_lambs
+            )
+
+    def test_link_fault_epoch(self):
+        mesh = Mesh((8, 8))
+        mgr = ReconfigurationManager(mesh, repeated(xy(), 2))
+        epoch = mgr.report_faults(link_faults=[((2, 2), (3, 2))])
+        assert epoch.result.faults.num_link_faults == 1
+
+    def test_rejects_empty_report_after_first(self):
+        mesh = Mesh((8, 8))
+        mgr = ReconfigurationManager(mesh, repeated(xy(), 2))
+        mgr.report_faults(node_faults=[(1, 1)])
+        with pytest.raises(ValueError):
+            mgr.report_faults()
+
+    def test_non_sticky_mode(self):
+        mesh = Mesh((12, 12))
+        mgr = ReconfigurationManager(mesh, repeated(xy(), 2), sticky_lambs=False)
+        mgr.report_faults(node_faults=[(9, 1), (11, 6), (10, 10)])
+        epoch = mgr.report_faults(node_faults=[(0, 0)])
+        # Without stickiness the solver is free to pick a fresh set;
+        # the result must still be a valid lamb set.
+        assert is_lamb_set(
+            epoch.result.faults, repeated(xy(), 2), epoch.result.lambs
+        )

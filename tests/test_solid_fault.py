@@ -1,0 +1,188 @@
+"""Tests for solid-fault f-ring routing (repro.baselines.solid_fault)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.solid_fault import SolidFaultRouter, trace_fault_ring
+from repro.core import find_lamb_set
+from repro.mesh import (
+    FaultSet,
+    Mesh,
+    cross_block,
+    l_shaped_block,
+    rectangular_block,
+    t_shaped_block,
+)
+from repro.routing import count_turns, max_turns_bound, path_is_fault_free, repeated, xy
+
+
+class TestRingTracing:
+    def test_single_node_ring(self):
+        m = Mesh((8, 8))
+        ring = trace_fault_ring(m, {(3, 3)})
+        assert len(ring) == 8
+        # Consecutive ring nodes are mesh neighbors; cycle closes.
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            assert m.are_adjacent(a, b)
+
+    def test_block_ring_size(self):
+        m = Mesh((10, 10))
+        region = set(rectangular_block(m, (3, 3), (2, 3)))
+        ring = trace_fault_ring(m, region)
+        # Perimeter of a 2x3 block ring: 2*(2+3) + 4 = 14.
+        assert len(ring) == 14
+
+    def test_cross_ring_is_cycle(self):
+        m = Mesh((11, 11))
+        region = set(cross_block(m, (5, 5), 2))
+        ring = trace_fault_ring(m, region)
+        assert len(set(ring)) == len(ring)
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            assert m.are_adjacent(a, b)
+        # Ring nodes are good and adjacent (L-inf) to the region.
+        for v in ring:
+            assert v not in region
+
+    def test_rejects_boundary_region(self):
+        m = Mesh((8, 8))
+        with pytest.raises(ValueError):
+            trace_fault_ring(m, {(0, 3)})
+
+    def test_rejects_region_with_hole(self):
+        m = Mesh((10, 10))
+        # A 3x3 donut: ring of the outer boundary is fine but the
+        # inner hole makes good node (4,4) have 4 ring... the inner
+        # hole node's neighbors are all faulty: the ring is not a
+        # simple cycle.
+        region = {
+            (x, y)
+            for x in range(3, 6)
+            for y in range(3, 6)
+            if (x, y) != (4, 4)
+        }
+        with pytest.raises(ValueError):
+            trace_fault_ring(m, region)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trace_fault_ring(Mesh((8, 8)), set())
+
+
+class TestSolidRouting:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            lambda m: cross_block(m, (7, 7), 3),
+            lambda m: l_shaped_block(m, (5, 5), 5, 4),
+            lambda m: t_shaped_block(m, (4, 4), 5, 4),
+            lambda m: rectangular_block(m, (6, 6), (3, 4)),
+        ],
+        ids=["cross", "L", "T", "block"],
+    )
+    def test_routes_around_solid_shapes(self, shape):
+        m = Mesh((16, 16))
+        router = SolidFaultRouter(m, shape(m))
+        faults = router.fault_set()
+        rng = np.random.default_rng(0)
+        good = faults.good_nodes()
+        for _ in range(60):
+            v = good[int(rng.integers(len(good)))]
+            w = good[int(rng.integers(len(good)))]
+            path = router.route(v, w)
+            assert path[0] == v and path[-1] == w
+            assert path_is_fault_free(faults, path)
+            for a, b in zip(path, path[1:]):
+                assert m.are_adjacent(a, b)
+
+    def test_multiple_regions(self):
+        m = Mesh((20, 20))
+        nodes = cross_block(m, (5, 5), 2) + l_shaped_block(m, (13, 12), 4, 4)
+        router = SolidFaultRouter(m, nodes)
+        assert len(router.regions) == 2
+        path = router.route((0, 5), (19, 14))
+        assert path_is_fault_free(router.fault_set(), path)
+
+    def test_rejects_touching_rings(self):
+        m = Mesh((16, 16))
+        with pytest.raises(ValueError):
+            SolidFaultRouter(m, [(4, 4), (7, 4)])  # rings touch at (5..6, 4)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            SolidFaultRouter(Mesh((4, 4, 4)), [(1, 1, 1)])
+
+    def test_rejects_faulty_endpoint(self):
+        m = Mesh((10, 10))
+        router = SolidFaultRouter(m, [(4, 4)])
+        with pytest.raises(ValueError):
+            router.route((4, 4), (0, 0))
+
+    def test_concave_cavity_progress(self):
+        """A C-shaped region whose cavity traps naive greedy routing:
+        the ring traversal must still deliver."""
+        m = Mesh((14, 14))
+        region = []
+        for y in range(3, 9):
+            region.append((4, y))
+            region.append((8, y))
+        for x in range(4, 9):
+            region.append((x, 8))
+        router = SolidFaultRouter(m, region)
+        # Route into/through the cavity mouth from above.
+        path = router.route((6, 1), (6, 12))
+        assert path_is_fault_free(router.fault_set(), path)
+        assert path[-1] == (6, 12)
+
+    def test_turns_exceed_lamb_routing(self):
+        """Solid-fault detours cost turns; lamb routing stays within
+        the k-round bound on the same fault set."""
+        m = Mesh((16, 16))
+        nodes = cross_block(m, (8, 8), 4)
+        router = SolidFaultRouter(m, nodes)
+        path = router.route((8, 1), (8, 15))  # straight through the cross
+        ring_turns = count_turns(path)
+        assert ring_turns > max_turns_bound(2, 2)
+        faults = router.fault_set()
+        result = find_lamb_set(faults, repeated(xy(), 2))
+        # Lamb routing sacrifices nothing or little here and keeps the
+        # turn bound (checked structurally elsewhere); the endpoints
+        # must remain survivors.
+        assert result.is_survivor((8, 1)) and result.is_survivor((8, 15))
+
+
+class TestSolidRoutingFuzz:
+    """Property-style fuzz: random Eden-grown solid regions, random
+    endpoint pairs — every route must deliver fault-free."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_solid_regions(self, seed):
+        from repro.mesh.patterns import random_walk_cluster
+
+        rng = np.random.default_rng(seed)
+        m = Mesh((18, 18))
+        # Grow a cluster away from the boundary; retry until its ring
+        # is a simple cycle (Eden growth can pinch).
+        for attempt in range(20):
+            start = (int(rng.integers(4, 14)), int(rng.integers(4, 14)))
+            cluster = random_walk_cluster(
+                m, int(rng.integers(3, 12)), rng, start=start,
+                avoid=[v for v in m.nodes()
+                       if min(v) < 2 or max(v) > 15],
+            )
+            try:
+                router = SolidFaultRouter(m, cluster)
+                break
+            except ValueError:
+                continue
+        else:
+            pytest.skip("no solid region found for this seed")
+        faults = router.fault_set()
+        good = faults.good_nodes()
+        for _ in range(30):
+            v = good[int(rng.integers(len(good)))]
+            w = good[int(rng.integers(len(good)))]
+            path = router.route(v, w)
+            assert path[0] == v and path[-1] == w
+            assert path_is_fault_free(faults, path)
+            for a, b in zip(path, path[1:]):
+                assert m.are_adjacent(a, b)

@@ -1,0 +1,123 @@
+"""Tests for the spanning-tree reachability engine (repro.core.spanning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    find_des_partition,
+    find_lamb_set,
+    find_reachability,
+    find_reachability_spanning,
+    is_lamb_set,
+    recommended_engine,
+)
+from repro.core.spanning import one_round_reachability_matrix_spanning
+from repro.mesh import FaultSet, Mesh
+from repro.routing import FaultGrids, LineFaultIndex, repeated, xy
+from repro.core.partition import find_ses_partition
+from repro.core.reachability import one_round_reachability_matrix
+
+from conftest import faulty_meshes_with_ordering
+
+
+def _reps(rects, mesh):
+    if not rects:
+        return np.empty((0, mesh.d), dtype=np.int64)
+    return np.asarray([r.lo for r in rects], dtype=np.int64)
+
+
+class TestEngineEquivalence:
+    @given(faulty_meshes_with_ordering(max_width=6))
+    @settings(max_examples=25, deadline=None)
+    def test_one_round_matrices_agree(self, fm):
+        faults, pi = fm
+        mesh = faults.mesh
+        good = faults.good_nodes()
+        if not good:
+            return
+        nodes = np.asarray(good, dtype=np.int64)
+        fast = one_round_reachability_matrix(LineFaultIndex(faults), pi, nodes, nodes)
+        slow = one_round_reachability_matrix_spanning(
+            FaultGrids(faults), pi, nodes, nodes
+        )
+        assert np.array_equal(fast, slow)
+
+    @given(faulty_meshes_with_ordering(max_width=6))
+    @settings(max_examples=20, deadline=None)
+    def test_full_reachability_data_agrees(self, fm):
+        faults, pi = fm
+        mesh = faults.mesh
+        orderings = repeated(pi, 2)
+        ses = find_ses_partition(faults, pi)
+        des = find_des_partition(faults, pi)
+        sreps, dreps = _reps(ses, mesh), _reps(des, mesh)
+        fast = find_reachability(
+            LineFaultIndex(faults), orderings, [ses] * 2, [des] * 2,
+            [sreps] * 2, [dreps] * 2,
+        )
+        slow = find_reachability_spanning(
+            faults, orderings, [ses] * 2, [des] * 2, [sreps] * 2, [dreps] * 2
+        )
+        assert np.array_equal(fast.Rk, slow.Rk)
+        for a, b in zip(fast.round_matrices, slow.round_matrices):
+            assert np.array_equal(a, b)
+        for a, b in zip(fast.partial, slow.partial):
+            assert np.array_equal(a, b)
+
+    def test_lamb_sets_identical(self):
+        mesh = Mesh((10, 10))
+        faults = FaultSet(mesh, [(3, 2), (7, 7), (2, 8), (5, 5)])
+        orderings = repeated(xy(), 2)
+        a = find_lamb_set(faults, orderings, engine="lines")
+        b = find_lamb_set(faults, orderings, engine="spanning")
+        assert a.lambs == b.lambs
+        assert is_lamb_set(faults, orderings, b.lambs)
+
+    def test_spanning_rejects_faulty_rep(self):
+        mesh = Mesh((4, 4))
+        faults = FaultSet(mesh, [(1, 1)])
+        with pytest.raises(ValueError):
+            one_round_reachability_matrix_spanning(
+                FaultGrids(faults), xy(),
+                np.asarray([(1, 1)]), np.asarray([(0, 0)]),
+            )
+
+
+class TestEngineSelection:
+    def test_small_f_prefers_lines(self):
+        from repro.routing import xyz
+
+        mesh = Mesh.square(3, 32)
+        faults = FaultSet(mesh, [(0, 0, 0)])
+        assert recommended_engine(faults, repeated(xyz(), 2)) == "lines"
+
+    def test_huge_f_on_big_mesh_prefers_spanning(self):
+        """Floods win when p is large: the product chain's p^3 beats
+        the flood's p * N scaling only while p is moderate."""
+        import numpy as np
+
+        from repro.mesh import random_node_faults
+        from repro.routing import xyz
+
+        mesh = Mesh.square(3, 32)
+        faults = random_node_faults(mesh, 5000, np.random.default_rng(0))
+        assert recommended_engine(faults, repeated(xyz(), 2)) == "spanning"
+
+    def test_small_mesh_always_lines(self):
+        """On a small mesh p is capped by the good-node count, so the
+        product chain stays cheap at any fault density."""
+        mesh = Mesh((8, 8))
+        faults = FaultSet(mesh, [(x, y) for x in range(8) for y in range(4)])
+        assert recommended_engine(faults, repeated(xy(), 2)) == "lines"
+
+    def test_auto_engine_runs(self):
+        mesh = Mesh((6, 6))
+        faults = FaultSet(mesh, [(2, 2), (4, 1)])
+        result = find_lamb_set(faults, repeated(xy(), 2), engine="auto")
+        assert is_lamb_set(faults, repeated(xy(), 2), result.lambs)
+
+    def test_bad_engine_rejected(self):
+        mesh = Mesh((6, 6))
+        with pytest.raises(ValueError):
+            find_lamb_set(FaultSet(mesh), repeated(xy(), 2), engine="warp")

@@ -1,0 +1,59 @@
+"""Tests for turn counting (repro.routing.turns)."""
+
+import pytest
+
+from repro.routing import count_turns, count_turns_multiround, max_turns_bound
+
+
+class TestCountTurns:
+    def test_straight_line(self):
+        assert count_turns([(0, 0), (1, 0), (2, 0), (3, 0)]) == 0
+
+    def test_single_turn(self):
+        assert count_turns([(0, 0), (1, 0), (1, 1)]) == 1
+
+    def test_direction_reversal_counts(self):
+        assert count_turns([(0, 0), (1, 0), (0, 0)]) == 1
+
+    def test_serpentine(self):
+        path = [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)]
+        assert count_turns(path) == 4
+
+    def test_short_paths(self):
+        assert count_turns([(0, 0)]) == 0
+        assert count_turns([(0, 0), (0, 1)]) == 0
+
+    def test_rejects_jumps(self):
+        with pytest.raises(ValueError):
+            count_turns([(0, 0), (2, 0), (3, 0)])
+        with pytest.raises(ValueError):
+            count_turns([(0, 0), (1, 1)])
+
+
+class TestMultiround:
+    def test_turn_at_round_boundary(self):
+        r1 = [(0, 0), (1, 0)]
+        r2 = [(1, 0), (1, 1)]
+        assert count_turns_multiround([r1, r2]) == 1
+
+    def test_no_turn_when_direction_continues(self):
+        r1 = [(0, 0), (1, 0)]
+        r2 = [(1, 0), (2, 0)]
+        assert count_turns_multiround([r1, r2]) == 0
+
+    def test_rejects_discontiguous(self):
+        with pytest.raises(ValueError):
+            count_turns_multiround([[(0, 0), (1, 0)], [(2, 0), (3, 0)]])
+
+    def test_empty_second_round(self):
+        r1 = [(0, 0), (1, 0), (1, 1)]
+        r2 = [(1, 1)]
+        assert count_turns_multiround([r1, r2]) == 1
+
+
+class TestBound:
+    def test_values(self):
+        assert max_turns_bound(2, 1) == 1
+        assert max_turns_bound(2, 2) == 3
+        assert max_turns_bound(3, 2) == 5
+        assert max_turns_bound(3, 1) == 2

@@ -1,0 +1,80 @@
+"""Tests for definition-level validation helpers (repro.core.validate)."""
+
+import numpy as np
+
+from repro.core import (
+    full_reach_matrix,
+    is_lamb_set,
+    is_survivor_set,
+    survivor_violations,
+)
+from repro.mesh import FaultSet, Mesh
+from repro.routing import repeated, xy
+
+
+class TestFullReachMatrix:
+    def test_no_faults(self):
+        m = Mesh((3, 3))
+        R = full_reach_matrix(FaultSet(m), repeated(xy(), 1))
+        assert R.all()
+
+    def test_symmetry_not_implied(self):
+        # One-round reachability is not symmetric under faults (the
+        # Section 2.1 example).
+        m = Mesh((12, 12))
+        faults = FaultSet(m, [(2, 0)])
+        R = full_reach_matrix(faults, repeated(xy(), 1))
+        a, b = m.index_of((0, 0)), m.index_of((3, 2))
+        assert not R[a, b] and R[b, a]
+
+
+class TestSurvivorChecks:
+    def test_good_mesh_is_survivor_set(self):
+        m = Mesh((4, 4))
+        faults = FaultSet(m)
+        assert is_survivor_set(faults, repeated(xy(), 2), list(m.nodes()))
+
+    def test_violations_reported(self):
+        m = Mesh((4, 4))
+        # Wall cutting the mesh in two: left and right cannot talk.
+        faults = FaultSet(m, [(2, y) for y in range(4)])
+        survivors = [(0, 0), (3, 3)]
+        v = survivor_violations(faults, repeated(xy(), 2), survivors)
+        assert v  # at least one violation
+        assert not is_survivor_set(faults, repeated(xy(), 2), survivors)
+
+    def test_faulty_member_is_violation(self):
+        m = Mesh((4, 4))
+        faults = FaultSet(m, [(1, 1)])
+        v = survivor_violations(faults, repeated(xy(), 2), [(1, 1)])
+        assert v == [((1, 1), (1, 1))]
+
+    def test_violation_limit(self):
+        m = Mesh((6, 6))
+        faults = FaultSet(m, [(3, y) for y in range(6)])
+        left = [(0, y) for y in range(6)]
+        right = [(5, y) for y in range(6)]
+        v = survivor_violations(faults, repeated(xy(), 2), left + right, limit=4)
+        assert len(v) == 4
+
+
+class TestIsLambSet:
+    def test_wall_needs_side_sacrificed(self):
+        m = Mesh((4, 4))
+        faults = FaultSet(m, [(2, y) for y in range(4)])
+        orderings = repeated(xy(), 2)
+        right_side = [(3, y) for y in range(4)]
+        assert is_lamb_set(faults, orderings, right_side)
+        assert not is_lamb_set(faults, orderings, [])
+
+    def test_lamb_set_must_be_good(self):
+        m = Mesh((4, 4))
+        faults = FaultSet(m, [(1, 1)])
+        assert not is_lamb_set(faults, repeated(xy(), 2), [(1, 1)])
+
+    def test_whole_mesh_minus_one(self):
+        """Sacrificing everything except one node is always a lamb set."""
+        m = Mesh((3, 3))
+        faults = FaultSet(m, [(1, 1)])
+        lambs = [v for v in m.nodes() if v not in {(0, 0), (1, 1)}]
+        assert is_lamb_set(faults, repeated(xy(), 2), lambs)

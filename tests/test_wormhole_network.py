@@ -1,0 +1,131 @@
+"""Tests for virtual-channel bookkeeping (repro.wormhole.network) and
+message state (repro.wormhole.packets)."""
+
+import pytest
+
+from repro.mesh import FaultSet, Mesh
+from repro.wormhole import Hop, Message, VirtualNetwork
+
+
+def make_net(**kw):
+    m = Mesh((4, 4))
+    faults = FaultSet(m, [(2, 2)])
+    defaults = dict(num_vcs=2, buffer_flits=2)
+    defaults.update(kw)
+    return VirtualNetwork(faults, **defaults)
+
+
+class TestValidation:
+    def test_valid_hop(self):
+        net = make_net()
+        net.validate_hop(Hop((0, 0), (0, 1), 0))
+
+    def test_rejects_bad_vc(self):
+        net = make_net()
+        with pytest.raises(ValueError):
+            net.validate_hop(Hop((0, 0), (0, 1), 2))
+        with pytest.raises(ValueError):
+            net.validate_hop(Hop((0, 0), (0, 1), -1))
+
+    def test_rejects_non_link(self):
+        net = make_net()
+        with pytest.raises(ValueError):
+            net.validate_hop(Hop((0, 0), (1, 1), 0))
+
+    def test_rejects_faulty_node(self):
+        net = make_net()
+        with pytest.raises(ValueError):
+            net.validate_hop(Hop((2, 1), (2, 2), 0))
+
+    def test_rejects_faulty_link(self):
+        m = Mesh((4, 4))
+        faults = FaultSet(m, (), [((0, 0), (0, 1))])
+        net = VirtualNetwork(faults, num_vcs=1)
+        with pytest.raises(ValueError):
+            net.validate_hop(Hop((0, 0), (0, 1), 0))
+        net.validate_hop(Hop((0, 1), (0, 0), 0))  # reverse direction fine
+
+    def test_constructor_validation(self):
+        m = Mesh((4, 4))
+        with pytest.raises(ValueError):
+            VirtualNetwork(FaultSet(m), num_vcs=0)
+        with pytest.raises(ValueError):
+            VirtualNetwork(FaultSet(m), num_vcs=1, buffer_flits=0)
+
+
+class TestOwnership:
+    def test_acquire_release(self):
+        net = make_net()
+        hop = Hop((0, 0), (0, 1), 0)
+        assert net.owner(hop) is None
+        assert net.try_acquire(hop, 1)
+        assert net.owner(hop) == 1
+        assert net.try_acquire(hop, 1)  # idempotent for the owner
+        assert not net.try_acquire(hop, 2)
+        net.release(hop, 1)
+        assert net.owner(hop) is None
+        assert net.try_acquire(hop, 2)
+
+    def test_vcs_are_independent(self):
+        net = make_net()
+        assert net.try_acquire(Hop((0, 0), (0, 1), 0), 1)
+        assert net.try_acquire(Hop((0, 0), (0, 1), 1), 2)
+
+    def test_release_requires_owner(self):
+        net = make_net()
+        hop = Hop((0, 0), (0, 1), 0)
+        net.try_acquire(hop, 1)
+        with pytest.raises(RuntimeError):
+            net.release(hop, 2)
+
+
+class TestBuffers:
+    def test_capacity(self):
+        net = make_net(buffer_flits=2)
+        hop = Hop((0, 0), (0, 1), 0)
+        assert net.buffer_has_space(hop)
+        net.buffer_push(hop)
+        net.buffer_push(hop)
+        assert not net.buffer_has_space(hop)
+        with pytest.raises(RuntimeError):
+            net.buffer_push(hop)
+        net.buffer_pop(hop)
+        assert net.buffer_has_space(hop)
+
+    def test_pop_empty_raises(self):
+        net = make_net()
+        with pytest.raises(RuntimeError):
+            net.buffer_pop(Hop((0, 0), (0, 1), 0))
+
+
+class TestCycleBandwidth:
+    def test_one_flit_per_cycle(self):
+        net = make_net()
+        hop = Hop((0, 0), (0, 1), 0)
+        assert net.channel_free_this_cycle(hop)
+        net.mark_channel_used(hop)
+        assert not net.channel_free_this_cycle(hop)
+        net.new_cycle()
+        assert net.channel_free_this_cycle(hop)
+
+
+class TestMessage:
+    def test_construction(self):
+        hops = [Hop((0, 0), (1, 0), 0), Hop((1, 0), (1, 1), 1)]
+        m = Message(0, (0, 0), (1, 1), 4, hops, inject_cycle=3)
+        assert m.num_hops == 2
+        assert m.head_pos == -1 and m.tail_pos == -1
+        assert m.next_hop_index() == 0
+        assert not m.is_delivered
+        assert m.latency is None
+        assert m.path_nodes() == [(0, 0), (1, 0), (1, 1)]
+
+    def test_rejects_zero_flits(self):
+        with pytest.raises(ValueError):
+            Message(0, (0, 0), (0, 1), 0, [], inject_cycle=0)
+
+    def test_latency(self):
+        m = Message(0, (0, 0), (0, 1), 1, [Hop((0, 0), (0, 1), 0)], inject_cycle=5)
+        m.deliver_cycle = 9
+        assert m.latency == 4
+        assert m.is_delivered
