@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench experiments examples chaos-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,18 @@ experiments:
 
 examples:
 	@for e in examples/*.py; do echo "== $$e"; $(PYTHON) $$e || exit 1; done
+
+# Seeded chaos smoke: the acceptance scenario (8x8 mesh, 3 mid-flight
+# fault events) must be deterministic, fully accounted, and complete
+# >=3 reconfiguration epochs.  Run twice and diff to prove determinism.
+chaos-smoke:
+	$(PYTHON) -m repro chaos --mesh 8x8 --faults 2 --messages 120 \
+	    --events 3 --seed 0 > /tmp/chaos-smoke-1.txt
+	$(PYTHON) -m repro chaos --mesh 8x8 --faults 2 --messages 120 \
+	    --events 3 --seed 0 > /tmp/chaos-smoke-2.txt
+	diff /tmp/chaos-smoke-1.txt /tmp/chaos-smoke-2.txt
+	grep -q "epoch 2 " /tmp/chaos-smoke-1.txt
+	@echo "chaos smoke OK: deterministic and >=3 epochs"
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,90 @@
+"""Chaos-engine benchmarks: graceful degradation under live faults.
+
+The paper's model is static — faults are known before routing starts.
+These benchmarks time the full deployment loop instead: faults arrive
+mid-flight, the machine checkpoints/rolls back, the lamb pipeline
+re-runs per epoch, and victims retry with backoff.  Asserted shape:
+
+- every message is accounted for (delivered / retried-then-delivered /
+  aborted with a reason) — no silent loss, ever;
+- the acceptance scenario (8x8 mesh, >=3 mid-flight fault events)
+  completes >=3 reconfiguration epochs without deadlock;
+- two identically-seeded runs produce identical fate counts
+  (determinism is what makes chaos runs debuggable).
+"""
+
+from repro.experiments import fault_arrival_sweep
+from repro.wormhole import seeded_chaos_run
+
+from conftest import run_once
+
+
+def _acceptance_run(seed=7):
+    return seeded_chaos_run(
+        widths=(8, 8),
+        initial_faults=2,
+        num_messages=120,
+        num_events=3,
+        seed=seed,
+    )
+
+
+def test_chaos_acceptance_run(benchmark, show):
+    report = run_once(benchmark, _acceptance_run)
+    s = report.stats
+    show(report.summary() + "\n")
+    assert report.fully_accounted
+    assert s.delivered + s.aborted == s.total_messages
+    assert report.num_epochs >= 3  # epoch 0 + >=2 live events landing
+    assert s.delivered > 0
+
+
+def test_chaos_determinism(benchmark, show):
+    first = _acceptance_run()
+    second = run_once(benchmark, _acceptance_run)
+    show(
+        f"run 1: {first.stats.delivered} delivered / "
+        f"{first.stats.aborted} aborted / {first.num_epochs} epochs\n"
+        f"run 2: {second.stats.delivered} delivered / "
+        f"{second.stats.aborted} aborted / {second.num_epochs} epochs\n"
+    )
+    assert first.stats == second.stats
+    assert first.num_epochs == second.num_epochs
+    assert first.quarantined == second.quarantined
+
+
+def _arrival_sweep():
+    return fault_arrival_sweep(
+        event_counts=(0, 2, 4),
+        trials=2,
+        num_messages=60,
+        max_cycles=200_000,
+    )
+
+
+def test_fault_arrival_sweep(benchmark, show):
+    sweep = run_once(benchmark, _arrival_sweep)
+    lines = [
+        f"{'events':>6} {'delivered':>9} {'retried':>8} "
+        f"{'aborted':>8} {'epochs':>7} {'latency':>8} {'total':>8}"
+    ]
+    for s in sweep.series:
+        lines.append(
+            f"{s.x:>6} {s.avg('delivered'):>9.1f} "
+            f"{s.avg('retried_delivered'):>8.1f} "
+            f"{s.avg('aborted'):>8.1f} {s.avg('epochs'):>7.1f} "
+            f"{s.avg('avg_latency'):>8.1f} "
+            f"{s.avg('avg_total_latency'):>8.1f}"
+        )
+    show("\n".join(lines) + "\n")
+    # Full accounting pins at 1.0 at every fault-arrival intensity.
+    for s in sweep.series:
+        assert s.avg("accounted") == 1.0
+    # With zero events there is exactly the initial epoch and no retries.
+    calm = sweep.series[0]
+    assert calm.avg("epochs") == 1.0
+    assert calm.avg("retried_delivered") == 0.0
+    # Total latency (incl. abort/backoff/retry time) dominates plain
+    # final-attempt latency once faults actually arrive.
+    for s in sweep.series:
+        assert s.avg("avg_total_latency") >= s.avg("avg_latency")

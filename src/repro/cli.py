@@ -5,6 +5,8 @@
 - ``lamb``        compute a lamb set for a (random or loaded) fault set
 - ``partition``   show the SES/DES partitions for a fault set
 - ``simulate``    push wormhole traffic through a reconfigured mesh
+- ``chaos``       live-fault chaos run: mid-flight fault injection with
+  rollback/reconfigure epochs and graceful degradation
 - ``figure``      regenerate one of the paper's figures
 - ``reconfigure`` replay fault epochs from a JSON script
 - ``collective``  run a collective among the survivors
@@ -18,6 +20,8 @@ Examples
     python -m repro lamb --mesh 16x16 --faults 10 --render --out state.json
     python -m repro partition --mesh 12x12 --fault 9,1 --fault 11,6 --fault 10,10
     python -m repro simulate --mesh 16x16 --faults 8 --messages 200
+    python -m repro simulate --mesh 8x8 --messages 50 --inject-fault 30:4,4
+    python -m repro chaos --mesh 8x8 --faults 2 --events 3 --seed 1
     python -m repro figure fig17 --trials 20
     python -m repro worked-example
 """
@@ -157,7 +161,7 @@ def cmd_partition(args) -> int:
 
 def cmd_simulate(args) -> int:
     from .core import find_lamb_set
-    from .wormhole import WormholeSimulator, uniform_random_traffic
+    from .wormhole import FaultSchedule, WormholeSimulator, uniform_random_traffic
 
     faults = _build_faults(args)
     mesh = faults.mesh
@@ -165,9 +169,14 @@ def cmd_simulate(args) -> int:
     result = find_lamb_set(faults, orderings)
     endpoints = [v for v in mesh.nodes() if result.is_survivor(v)]
     rng = np.random.default_rng(args.seed)
+    schedule = (
+        FaultSchedule.from_specs(args.inject_fault)
+        if args.inject_fault
+        else None
+    )
     sim = WormholeSimulator(
         faults, orderings, buffer_flits=args.buffers, policy=args.policy,
-        seed=args.seed,
+        seed=args.seed, schedule=schedule,
     )
     for inj in uniform_random_traffic(
         endpoints, args.messages, rng, num_flits=args.flits,
@@ -183,6 +192,56 @@ def cmd_simulate(args) -> int:
           f"max {stats.max_latency}")
     print(f"throughput {stats.throughput_flits_per_cycle:.2f} flits/cycle  "
           f"avg hops {stats.avg_hops:.1f}  max turns {stats.max_turns}")
+    if schedule is not None:
+        print(f"live faults: {sim.fault_events_applied} event(s) applied  "
+              f"retried-then-delivered {stats.retried_delivered}  "
+              f"aborted {stats.aborted}")
+        if stats.abort_reasons:
+            print("abort reasons: "
+                  + ", ".join(f"{r} x{n}" for r, n in stats.abort_reasons))
+    return 0 if stats.all_accounted else 1
+
+
+def cmd_chaos(args) -> int:
+    from .wormhole import ChaosEngine, FaultSchedule
+
+    faults = _build_faults(args)
+    mesh = faults.mesh
+    orderings = _orderings(args, mesh.d)
+    rng = np.random.default_rng(args.seed)
+    if args.inject_fault:
+        schedule = FaultSchedule.from_specs(args.inject_fault)
+    else:
+        schedule = FaultSchedule.random(
+            mesh, args.events, rng,
+            cycle_span=(args.event_start, args.event_end),
+            nodes_per_event=args.kills_per_event,
+            links_per_event=args.link_kills_per_event,
+            avoid=faults.node_faults,
+        )
+    engine = ChaosEngine(
+        faults, orderings, schedule,
+        lamb_budget=args.budget,
+        max_extra_rounds=args.extra_rounds,
+        buffer_flits=args.buffers,
+        policy=args.policy,
+        seed=args.seed,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+    )
+    engine.load_uniform_traffic(
+        args.messages, rng, num_flits=args.flits, inject_window=args.window
+    )
+    report = engine.run(max_cycles=args.max_cycles)
+    print(f"mesh {mesh} | initial faults {faults.f} | "
+          f"scheduled events {len(schedule)} ({schedule.total_faults} fault(s))")
+    print(report.summary())
+    s = report.stats
+    print(f"latency avg {s.avg_latency:.1f} (incl. retries {s.avg_total_latency:.1f})"
+          f"  cycles {s.cycles}")
+    if not report.fully_accounted:
+        print("WARNING: message accounting incomplete")
+        return 1
     return 0
 
 
@@ -329,7 +388,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=("shortest", "first", "random"),
                    default="shortest")
     p.add_argument("--max-cycles", type=int, default=1_000_000)
+    p.add_argument("--inject-fault", action="append", default=[],
+                   metavar="CYCLE:NODE",
+                   help="kill hardware mid-flight (repeatable): "
+                   "CYCLE:X,Y for a node, CYCLE:X,Y-U,V for a directed link")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "chaos",
+        help="live-fault chaos run with rollback/reconfigure epochs",
+    )
+    _add_fault_args(p)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--messages", type=int, default=120)
+    p.add_argument("--flits", type=int, default=4)
+    p.add_argument("--window", type=int, default=80)
+    p.add_argument("--buffers", type=int, default=2)
+    p.add_argument("--policy", choices=("shortest", "first", "random"),
+                   default="shortest")
+    p.add_argument("--max-cycles", type=int, default=100_000)
+    p.add_argument("--inject-fault", action="append", default=[],
+                   metavar="CYCLE:NODE",
+                   help="explicit fault event (repeatable); otherwise "
+                   "--events seeded-random events are generated")
+    p.add_argument("--events", type=int, default=3,
+                   help="number of seeded-random fault events")
+    p.add_argument("--event-start", type=int, default=20)
+    p.add_argument("--event-end", type=int, default=260)
+    p.add_argument("--kills-per-event", type=int, default=1)
+    p.add_argument("--link-kills-per-event", type=int, default=0)
+    p.add_argument("--budget", type=int, default=None,
+                   help="lamb budget before the degradation ladder "
+                   "escalates (default: 25%% of the mesh)")
+    p.add_argument("--extra-rounds", type=int, default=1,
+                   help="max k escalation of the degradation ladder")
+    p.add_argument("--max-retries", type=int, default=3)
+    p.add_argument("--retry-backoff", type=int, default=8)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="fig17..fig26 or section3_one_vs_two_rounds")

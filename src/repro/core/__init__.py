@@ -32,7 +32,12 @@ from .reachability import (
     find_reachability,
     one_round_reachability_matrix,
 )
-from .reconfigure import Epoch, ReconfigurationManager
+from .reconfigure import (
+    Epoch,
+    ReconfigurationError,
+    ReconfigurationManager,
+    largest_good_component,
+)
 from .routing_table import RouteEntry, RoutingTable, build_routing_table
 from .spanning import (
     find_reachability_spanning,
@@ -73,6 +78,8 @@ __all__ = [
     "one_round_expected_lamb_lower_bound",
     "generic_lamb_set",
     "ReconfigurationManager",
+    "ReconfigurationError",
+    "largest_good_component",
     "Epoch",
     "RoutingTable",
     "RouteEntry",

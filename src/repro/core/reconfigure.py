@@ -17,24 +17,76 @@ extension), and exposes the per-epoch history.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..mesh.faults import FaultSet
 from ..mesh.geometry import Link, Mesh, Node
 from ..routing.ordering import KRoundOrdering
 from .lamb import LambResult, find_lamb_set
 
-__all__ = ["Epoch", "ReconfigurationManager"]
+__all__ = [
+    "Epoch",
+    "ReconfigurationManager",
+    "ReconfigurationError",
+    "largest_good_component",
+]
+
+
+class ReconfigurationError(RuntimeError):
+    """Every rung of the degradation ladder failed."""
+
+
+def largest_good_component(faults: FaultSet) -> Tuple[Set[Node], Set[Node]]:
+    """Split the good nodes into (largest connected component, rest).
+
+    An edge is usable if at least one direction survives (a
+    half-duplex link still physically connects its endpoints for the
+    purpose of "is this region attached to the machine").  Used by the
+    quarantine rung of the degradation ladder.
+    """
+    mesh = faults.mesh
+    good = [v for v in mesh.nodes() if not faults.node_is_faulty(v)]
+    unseen = set(good)
+    best: Set[Node] = set()
+    while unseen:
+        start = unseen.pop()
+        comp = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v in mesh.neighbors(u):
+                if v not in unseen:
+                    continue
+                if faults.link_is_faulty(u, v) and faults.link_is_faulty(v, u):
+                    continue
+                unseen.discard(v)
+                comp.add(v)
+                frontier.append(v)
+        if len(comp) > len(best):
+            best = comp
+    return best, set(good) - best
 
 
 @dataclass(frozen=True)
 class Epoch:
-    """One reconfiguration: the fault state and the resulting lambs."""
+    """One reconfiguration: the fault state and the resulting lambs.
+
+    ``at_cycle`` is the simulator cycle of the triggering fault event
+    (-1 when not driven by a live simulation).  ``escalated_rounds``
+    and ``quarantined`` record the degradation ladder: how many extra
+    routing rounds this epoch had to add, and which (good but
+    unreachable) nodes were given up and excluded from the survivor
+    set.  A quarantined node is treated as a fault in ``result.faults``
+    even though the hardware is alive.
+    """
 
     index: int
     new_node_faults: Tuple[Node, ...]
     new_link_faults: Tuple[Link, ...]
     result: LambResult
+    at_cycle: int = -1
+    escalated_rounds: int = 0
+    quarantined: Tuple[Node, ...] = ()
 
     @property
     def num_faults(self) -> int:
@@ -51,6 +103,11 @@ class Epoch:
             - self.result.faults.num_node_faults
             - self.result.size
         )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the degradation ladder went past its first rung."""
+        return self.escalated_rounds > 0 or bool(self.quarantined)
 
 
 class ReconfigurationManager:
@@ -83,6 +140,7 @@ class ReconfigurationManager:
         self.engine = engine
         self._node_faults: List[Node] = []
         self._link_faults: List[Link] = []
+        self._quarantined: Set[Node] = set()
         self.epochs: List[Epoch] = []
 
     # ------------------------------------------------------------------
@@ -93,6 +151,11 @@ class ReconfigurationManager:
     @property
     def current_lambs(self) -> FrozenSet[Node]:
         return self.current.result.lambs if self.epochs else frozenset()
+
+    @property
+    def quarantined(self) -> FrozenSet[Node]:
+        """Good-but-given-up nodes accumulated across degraded epochs."""
+        return frozenset(self._quarantined)
 
     def fault_set(self) -> FaultSet:
         return FaultSet(self.mesh, self._node_faults, self._link_faults)
@@ -132,6 +195,132 @@ class ReconfigurationManager:
             new_node_faults=new_nodes,
             new_link_faults=new_links,
             result=result,
+        )
+        self.epochs.append(epoch)
+        return epoch
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+    def _sticky_predetermined(self, faults: FaultSet) -> Tuple[Node, ...]:
+        if not (self.sticky_lambs and self.epochs):
+            return ()
+        return tuple(
+            v for v in self.current_lambs if not faults.node_is_faulty(v)
+        )
+
+    def _try_lambs(
+        self, faults: FaultSet, orderings: KRoundOrdering
+    ) -> Optional[LambResult]:
+        """One ladder rung: compute a lamb set, or None on failure."""
+        try:
+            return find_lamb_set(
+                faults,
+                orderings,
+                method=self.method,
+                predetermined=self._sticky_predetermined(faults),
+                engine=self.engine,
+            )
+        except Exception:
+            return None
+
+    def _extended(self, extra: int) -> KRoundOrdering:
+        """The current discipline with ``extra`` repeats of its last
+        round appended (k -> k + extra)."""
+        if extra == 0:
+            return self.orderings
+        rounds = tuple(self.orderings) + (self.orderings[-1],) * extra
+        return KRoundOrdering(rounds)
+
+    def report_faults_degraded(
+        self,
+        node_faults: Iterable[Sequence[int]] = (),
+        link_faults: Iterable[Tuple[Sequence[int], Sequence[int]]] = (),
+        *,
+        lamb_budget: Optional[int] = None,
+        max_extra_rounds: int = 1,
+        at_cycle: int = -1,
+    ) -> Epoch:
+        """Diagnose-and-reconfigure with graceful degradation.
+
+        The ladder, climbed until a rung yields a lamb set within
+        ``lamb_budget`` (None = unbounded):
+
+        1. recompute the lamb set at the current ``k``;
+        2. escalate ``k -> k+1 .. k+max_extra_rounds`` rounds (more
+           reachability, bigger routing tables — the escalated
+           discipline is *adopted* for later epochs and the simulator
+           grows a VC per extra round);
+        3. **quarantine**: give up the good nodes outside the largest
+           surviving component (they are henceforth treated as faults)
+           and recompute on the remaining machine;
+        4. last resort: accept the smallest lamb set any rung produced
+           rather than crash; raise :class:`ReconfigurationError` only
+           if every rung failed outright.
+        """
+        new_nodes = tuple(tuple(int(x) for x in v) for v in node_faults)
+        new_links = tuple(
+            (tuple(int(x) for x in u), tuple(int(x) for x in w))
+            for (u, w) in link_faults
+        )
+        if not new_nodes and not new_links and self.epochs:
+            raise ValueError("no new faults reported")
+        self._node_faults.extend(new_nodes)
+        self._link_faults.extend(new_links)
+        budget = float("inf") if lamb_budget is None else int(lamb_budget)
+        # Previously quarantined nodes stay out of the machine.
+        faults = self.fault_set()
+        if self._quarantined:
+            faults = faults.with_nodes_as_faults(sorted(self._quarantined))
+
+        def climb(f: FaultSet, attempts: List) -> Optional[Tuple]:
+            for extra in range(max_extra_rounds + 1):
+                orderings = self._extended(extra)
+                result = self._try_lambs(f, orderings)
+                if result is None:
+                    continue
+                attempts.append((extra, orderings, result))
+                if result.size <= budget:
+                    return (extra, orderings, result)
+            return None
+
+        plain_attempts: List[Tuple[int, KRoundOrdering, LambResult]] = []
+        q_attempts: List[Tuple[int, KRoundOrdering, LambResult]] = []
+        chosen = climb(faults, plain_attempts)
+        quarantined_now: Tuple[Node, ...] = ()
+        if chosen is None:
+            # Rung 3: quarantine everything outside the largest
+            # surviving component and reconfigure the remainder.
+            _, rest = largest_good_component(faults)
+            if rest:
+                chosen = climb(
+                    faults.with_nodes_as_faults(sorted(rest)), q_attempts
+                )
+                if chosen is not None or q_attempts:
+                    quarantined_now = tuple(sorted(rest))
+                    self._quarantined.update(rest)
+        if chosen is None:
+            # Rung 4: accept the least-bad oversized result (prefer
+            # the quarantined machine — its results match the
+            # quarantine bookkeeping above).
+            fallback = q_attempts or plain_attempts
+            if not fallback:
+                raise ReconfigurationError(
+                    f"no rung of the degradation ladder produced a lamb "
+                    f"set for {faults}"
+                )
+            chosen = min(fallback, key=lambda t: t[2].size)
+        extra, orderings, result = chosen
+        if extra > 0:
+            self.orderings = orderings  # adopt the escalated discipline
+        epoch = Epoch(
+            index=len(self.epochs),
+            new_node_faults=new_nodes,
+            new_link_faults=new_links,
+            result=result,
+            at_cycle=at_cycle,
+            escalated_rounds=extra,
+            quarantined=quarantined_now,
         )
         self.epochs.append(epoch)
         return epoch

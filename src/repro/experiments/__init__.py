@@ -14,6 +14,10 @@ from .figures import (
     fig26,
     section3_one_vs_two_rounds,
 )
+from .chaos_experiments import (
+    fault_arrival_sweep,
+    reconfiguration_latency_sweep,
+)
 from .harness import SweepResult, TrialSeries, default_trials, lamb_trials
 from .link_faults import link_fault_sweep, link_vs_node_conversion
 from .wormhole_experiments import (
@@ -51,6 +55,8 @@ __all__ = [
     "injection_rate_sweep",
     "lambs_must_route",
     "CascadeResult",
+    "fault_arrival_sweep",
+    "reconfiguration_latency_sweep",
     "render_sweep",
     "render_matrix",
     "sweep_to_markdown",

@@ -47,7 +47,13 @@ class FaultSet:
         explicitly in F_L").
     """
 
-    __slots__ = ("mesh", "node_faults", "link_faults", "_node_index_set")
+    __slots__ = (
+        "mesh",
+        "node_faults",
+        "link_faults",
+        "_node_index_set",
+        "_link_set",
+    )
 
     def __init__(
         self,
@@ -84,6 +90,7 @@ class FaultSet:
                 link_seen.add((u, v))
                 links.append((u, v))
         self.link_faults: Tuple[Link, ...] = tuple(links)
+        self._link_set: FrozenSet[Link] = frozenset(links)
 
     # ------------------------------------------------------------------
     @property
@@ -116,7 +123,7 @@ class FaultSet:
         v = tuple(v)
         if self.node_is_faulty(u) or self.node_is_faulty(v):
             return True
-        return (u, v) in set(self.link_faults) if self.link_faults else False
+        return (u, v) in self._link_set
 
     def good_nodes(self) -> List[Node]:
         """All nonfaulty nodes (small meshes only)."""
@@ -139,6 +146,39 @@ class FaultSet:
             self.mesh,
             list(self.node_faults) + [tuple(v) for v in extra],
             self.link_faults,
+        )
+
+    def with_links_as_faults(
+        self, extra: Iterable[Tuple[Sequence[int], Sequence[int]]]
+    ) -> "FaultSet":
+        """A new fault set with additional *directed* link faults.
+
+        The incremental counterpart of :meth:`with_nodes_as_faults`:
+        chaos/reconfiguration epochs grow the fault state one event at
+        a time instead of rebuilding it from scratch.  The result is
+        ``==`` (and hashes identically) to a :class:`FaultSet` built in
+        one shot from the union, because construction canonicalizes
+        (dedup, drop links implied by node faults).
+        """
+        return FaultSet(
+            self.mesh,
+            self.node_faults,
+            list(self.link_faults) + [(tuple(u), tuple(v)) for (u, v) in extra],
+        )
+
+    def with_faults(
+        self,
+        node_faults: Iterable[Sequence[int]] = (),
+        link_faults: Iterable[Tuple[Sequence[int], Sequence[int]]] = (),
+    ) -> "FaultSet":
+        """Incremental union: a new fault set with both extra nodes and
+        extra directed links (one constructor pass, so links implied by
+        the *new* node faults are also canonicalized away)."""
+        return FaultSet(
+            self.mesh,
+            list(self.node_faults) + [tuple(v) for v in node_faults],
+            list(self.link_faults)
+            + [(tuple(u), tuple(v)) for (u, v) in link_faults],
         )
 
     def links_as_node_faults(self) -> "FaultSet":
@@ -186,11 +226,15 @@ def random_link_faults(
     rng: np.random.Generator,
     bidirectional: bool = False,
 ) -> FaultSet:
-    """``count`` distinct directed link faults chosen uniformly.
+    """Random link faults chosen uniformly without replacement.
 
-    With ``bidirectional=True`` each chosen physical link fails in both
-    directions (counting as two faults toward ``f``... no — the pair is
-    generated from ``count`` physical channels, so ``|F_L| = 2*count``).
+    With ``bidirectional=False`` (the default) ``count`` distinct
+    *directed* links are drawn, so ``|F_L| = count`` and ``f = count``.
+
+    With ``bidirectional=True`` ``count`` distinct *physical* channels
+    are drawn and each fails in both directions; every direction is a
+    separate directed fault in ``F_L``, so ``|F_L| = 2 * count`` and
+    ``f = 2 * count``.
     """
     all_links: List[Link] = list(mesh.links())
     if bidirectional:

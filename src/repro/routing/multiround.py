@@ -14,7 +14,7 @@ wormhole simulator uses to materialize routes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,12 +67,33 @@ class FaultGrids:
             self.up_cut.append(np.zeros(shape, dtype=bool))
             self.down_cut.append(np.zeros(shape, dtype=bool))
         for (u, w) in faults.link_faults:
-            j = next(i for i in range(d) if u[i] != w[i])
-            if w[j] == u[j] + 1:
-                self.up_cut[j][u] = True
-            else:
-                idx = list(w)
-                self.down_cut[j][tuple(idx)] = True
+            self._cut_link(u, w)
+
+    def _cut_link(self, u: Node, w: Node) -> None:
+        d = self.mesh.d
+        j = next(i for i in range(d) if u[i] != w[i])
+        if w[j] == u[j] + 1:
+            self.up_cut[j][u] = True
+        else:
+            idx = list(w)
+            self.down_cut[j][tuple(idx)] = True
+
+    def add_faults(
+        self,
+        node_faults: Sequence[Node] = (),
+        link_faults: Sequence[Tuple[Node, Node]] = (),
+    ) -> None:
+        """Incrementally mark additional faults in place.
+
+        Used by the live-fault simulator: a chaos epoch only touches a
+        handful of cells, so mutating the dense grids is much cheaper
+        than reconstructing them from the cumulative
+        :class:`~repro.mesh.faults.FaultSet` every event.
+        """
+        for v in node_faults:
+            self.good[tuple(v)] = False
+        for (u, w) in link_faults:
+            self._cut_link(tuple(u), tuple(w))
 
 
 def _propagate_axis(

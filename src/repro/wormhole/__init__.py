@@ -1,11 +1,28 @@
-"""Flit-level wormhole network simulator with virtual channels."""
+"""Flit-level wormhole network simulator with virtual channels and a
+live-fault chaos layer."""
 
-from .deadlock import DeadlockError, build_wait_graph, find_deadlock_cycle
+from .chaos import (
+    ChaosEngine,
+    ChaosReport,
+    FaultEvent,
+    FaultSchedule,
+    parse_fault_spec,
+    seeded_chaos_run,
+)
+from .deadlock import (
+    DeadlockError,
+    SimulationError,
+    SimulationTimeout,
+    StallDiagnostics,
+    build_wait_graph,
+    find_deadlock_cycle,
+    snapshot_stalls,
+)
 from .network import VirtualNetwork
 from .packets import Hop, Message
 from .simulator import WormholeSimulator
 from .stats import SimStats
-from .trace import TraceEvent, Tracer
+from .trace import SYSTEM_MSG_ID, TraceEvent, Tracer
 from .traffic import (
     Injection,
     hotspot_traffic,
@@ -22,9 +39,20 @@ __all__ = [
     "SimStats",
     "Tracer",
     "TraceEvent",
+    "SYSTEM_MSG_ID",
     "DeadlockError",
+    "SimulationError",
+    "SimulationTimeout",
+    "StallDiagnostics",
     "build_wait_graph",
     "find_deadlock_cycle",
+    "snapshot_stalls",
+    "FaultEvent",
+    "FaultSchedule",
+    "parse_fault_spec",
+    "ChaosEngine",
+    "ChaosReport",
+    "seeded_chaos_run",
     "Injection",
     "uniform_random_traffic",
     "permutation_traffic",

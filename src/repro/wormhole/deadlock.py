@@ -11,21 +11,121 @@ deadlock when the discipline is deliberately violated (see
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .network import VirtualNetwork
 from .packets import Message
 
-__all__ = ["build_wait_graph", "find_deadlock_cycle", "DeadlockError"]
+__all__ = [
+    "build_wait_graph",
+    "find_deadlock_cycle",
+    "snapshot_stalls",
+    "StallDiagnostics",
+    "SimulationError",
+    "DeadlockError",
+    "SimulationTimeout",
+]
 
 
-class DeadlockError(RuntimeError):
+@dataclass(frozen=True)
+class StallDiagnostics:
+    """What the watchdog saw when it gave up.
+
+    Attributes
+    ----------
+    cycle:
+        Simulator cycle at which the diagnosis was taken.
+    stalled:
+        Per unfinished message: ``(msg_id, head_pos, num_hops,
+        delivered_flits, num_flits)``.
+    owned:
+        Per unfinished message: the (link, VC) resources it holds.
+    wait_graph:
+        Snapshot of :func:`build_wait_graph` (blocked head -> owner).
+    """
+
+    cycle: int
+    stalled: Tuple[Tuple[int, int, int, int, int], ...] = ()
+    owned: Tuple[Tuple[int, Tuple[object, ...]], ...] = ()
+    wait_graph: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def num_stalled(self) -> int:
+        return len(self.stalled)
+
+    def describe(self, limit: int = 8) -> str:
+        lines = [f"{self.num_stalled} unfinished message(s) at cycle {self.cycle}"]
+        owned = dict(self.owned)
+        for msg_id, head, hops, got, want in self.stalled[:limit]:
+            res = owned.get(msg_id, ())
+            lines.append(
+                f"  msg {msg_id}: head at hop {head}/{hops}, "
+                f"flits {got}/{want} delivered, owns {len(res)} resource(s)"
+            )
+        if self.num_stalled > limit:
+            lines.append(f"  ... and {self.num_stalled - limit} more")
+        if self.wait_graph:
+            edges = ", ".join(f"{a}->{b}" for a, b in self.wait_graph[:limit])
+            lines.append(f"  wait-for edges: {edges}")
+        return "\n".join(lines)
+
+
+def snapshot_stalls(
+    cycle: int, messages: Iterable[Message], net: VirtualNetwork
+) -> StallDiagnostics:
+    """Collect :class:`StallDiagnostics` for every unfinished message."""
+    stalled = []
+    owned = []
+    pending = []
+    for m in messages:
+        if m.is_finished:
+            continue
+        pending.append(m)
+        stalled.append(
+            (m.msg_id, m.head_pos, m.num_hops, m.delivered_flits, m.num_flits)
+        )
+        res = tuple(sorted(net.owned_resources(m.msg_id)))
+        if res:
+            owned.append((m.msg_id, res))
+    graph = build_wait_graph(pending, net)
+    return StallDiagnostics(
+        cycle=cycle,
+        stalled=tuple(stalled),
+        owned=tuple(owned),
+        wait_graph=tuple(sorted(graph.items())),
+    )
+
+
+class SimulationError(RuntimeError):
+    """Base class for typed simulator failures."""
+
+
+class DeadlockError(SimulationError):
     """Raised by the simulator when a wait-for cycle is detected."""
 
-    def __init__(self, cycle: List[int]):
+    def __init__(
+        self, cycle: List[int], diagnostics: Optional[StallDiagnostics] = None
+    ):
         self.cycle = cycle
+        self.diagnostics = diagnostics
+        msg = f"wormhole deadlock: wait-for cycle among messages {cycle}"
+        if diagnostics is not None:
+            msg += "\n" + diagnostics.describe()
+        super().__init__(msg)
+
+
+class SimulationTimeout(SimulationError):
+    """The network did not drain within the cycle budget and no
+    wait-for cycle explains it (congestion, livelock, or simply too few
+    cycles).  Carries the watchdog's :class:`StallDiagnostics`."""
+
+    def __init__(self, max_cycles: int, diagnostics: StallDiagnostics):
+        self.max_cycles = max_cycles
+        self.diagnostics = diagnostics
         super().__init__(
-            f"wormhole deadlock: wait-for cycle among messages {cycle}"
+            f"simulation did not drain within {max_cycles} cycles\n"
+            + diagnostics.describe()
         )
 
 
@@ -41,7 +141,7 @@ def build_wait_graph(
     """
     graph: Dict[int, int] = {}
     for m in messages:
-        if m.is_delivered:
+        if m.is_finished:
             continue
         nxt = m.next_hop_index()
         if nxt is None:

@@ -61,8 +61,46 @@ class VirtualNetwork:
             raise ValueError(f"hop {hop.src} -> {hop.dst} is not a link")
         if self.faults.node_is_faulty(hop.src) or self.faults.node_is_faulty(hop.dst):
             raise ValueError(f"hop {hop.src} -> {hop.dst} touches a faulty node")
-        if (hop.src, hop.dst) in set(self.faults.link_faults):
+        if self.faults.link_is_faulty(hop.src, hop.dst):
             raise ValueError(f"hop {hop.src} -> {hop.dst} uses a faulty link")
+
+    # ------------------------------------------------------------------
+    def apply_faults(self, faults: FaultSet) -> None:
+        """Swap in a grown fault set (live-fault epoch).
+
+        Future ``validate_hop`` calls see the new state; in-flight
+        state is untouched — the simulator is responsible for aborting
+        and draining messages whose acquired paths now cross a fault.
+        """
+        if faults.mesh != self.mesh:
+            raise ValueError("live faults must live in the same mesh")
+        self.faults = faults
+
+    def grow_vcs(self, num_vcs: int) -> None:
+        """Raise the VC count (degradation ladder: escalating k rounds
+        needs one VC per round).  Shrinking is rejected — resources on
+        the removed VCs could still be owned."""
+        if num_vcs < self.num_vcs:
+            raise ValueError("cannot shrink the VC count mid-flight")
+        self.num_vcs = num_vcs
+
+    def release_message(self, msg_id: int) -> int:
+        """Force-release every resource owned by ``msg_id`` (abort /
+        drain path).  Returns the number of resources released."""
+        mine = [key for key, owner in self._owner.items() if owner == msg_id]
+        for key in mine:
+            del self._owner[key]
+        return len(mine)
+
+    def drop_buffer_flit(self, hop: Hop) -> None:
+        """Discard one buffered flit of an aborted message (alias of
+        :meth:`buffer_pop` kept distinct for intent)."""
+        self.buffer_pop(hop)
+
+    def owned_resources(self, msg_id: int) -> Set[ResourceKey]:
+        """All (link, VC) resources currently owned by ``msg_id``
+        (watchdog diagnostics)."""
+        return {key for key, owner in self._owner.items() if owner == msg_id}
 
     # ------------------------------------------------------------------
     def owner(self, hop: Hop) -> Optional[int]:

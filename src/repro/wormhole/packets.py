@@ -55,12 +55,19 @@ class Message:
     owned_upto: int = -1  # highest hop index whose (link, vc) we hold
     delivered_flits: int = 0
     deliver_cycle: Optional[int] = None
+    # --- live-fault (chaos) lifecycle --------------------------------
+    attempts: int = 1  # 1 = never retried
+    abort_cycle: Optional[int] = None
+    abort_reason: Optional[str] = None
+    first_inject_cycle: int = -1  # original injection (pre-retry)
 
     def __post_init__(self) -> None:
         if self.num_flits < 1:
             raise ValueError("a message needs at least one flit")
         if not self.flit_pos:
             self.flit_pos = [-1] * self.num_flits
+        if self.first_inject_cycle < 0:
+            self.first_inject_cycle = self.inject_cycle
 
     @property
     def num_hops(self) -> int:
@@ -79,11 +86,43 @@ class Message:
         return self.deliver_cycle is not None
 
     @property
+    def is_aborted(self) -> bool:
+        """Permanently given up on (endpoint died, unreachable after a
+        live fault, or the retry budget ran out)."""
+        return self.abort_reason is not None
+
+    @property
+    def is_finished(self) -> bool:
+        """Terminal either way: delivered or explicitly aborted."""
+        return self.is_delivered or self.is_aborted
+
+    @property
+    def was_retried(self) -> bool:
+        return self.attempts > 1
+
+    def reset_for_retry(self, hops: List[Hop], inject_cycle: int) -> None:
+        """Re-arm the message on a fresh route after a live-fault abort
+        (all flits back at the source, nothing delivered)."""
+        self.hops = hops
+        self.inject_cycle = int(inject_cycle)
+        self.flit_pos = [-1] * self.num_flits
+        self.delivered_flits = 0
+        self.attempts += 1
+
+    @property
     def latency(self) -> Optional[int]:
         """Injection-to-tail-delivery latency in cycles."""
         if self.deliver_cycle is None:
             return None
         return self.deliver_cycle - self.inject_cycle
+
+    @property
+    def total_latency(self) -> Optional[int]:
+        """First-injection-to-delivery latency, including time lost to
+        live-fault aborts, backoff and retries."""
+        if self.deliver_cycle is None:
+            return None
+        return self.deliver_cycle - self.first_inject_cycle
 
     def next_hop_index(self) -> Optional[int]:
         """Index of the hop the head wants next, or None if the head

@@ -23,21 +23,36 @@ which is deterministic and starvation-free.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..mesh.faults import FaultSet
-from ..mesh.geometry import Node
+from ..mesh.geometry import Link, Node
 from ..routing.multiround import FaultGrids, find_k_round_route
 from ..routing.ordering import KRoundOrdering
-from .deadlock import DeadlockError, build_wait_graph, find_deadlock_cycle
+from .deadlock import (
+    DeadlockError,
+    SimulationTimeout,
+    build_wait_graph,
+    find_deadlock_cycle,
+    snapshot_stalls,
+)
 from .network import VirtualNetwork
 from .packets import Hop, Message
 from .stats import SimStats
-from .trace import TraceEvent, Tracer
+from .trace import SYSTEM_MSG_ID, TraceEvent, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .chaos import FaultEvent, FaultSchedule
 
 __all__ = ["WormholeSimulator"]
+
+#: Abort reasons attached to messages torn out by live faults.
+ABORT_ENDPOINT_FAILED = "endpoint-failed"
+ABORT_UNREACHABLE = "unreachable-after-fault"
+ABORT_RETRY_BUDGET = "retry-budget-exhausted"
+ABORT_QUARANTINED = "quarantined"
 
 
 class WormholeSimulator:
@@ -64,6 +79,25 @@ class WormholeSimulator:
     tracer:
         Optional :class:`repro.wormhole.Tracer` recording the event
         stream (injections, acquisitions, flit hops, deliveries).
+    schedule:
+        Optional :class:`repro.wormhole.FaultSchedule` of *live* fault
+        events.  At the start of each cycle, due events are applied:
+        the fault state grows, in-flight messages whose remaining path
+        crosses a new fault are aborted and drained, and each victim is
+        re-injected on a fresh route with bounded retry + exponential
+        backoff (or aborted with an explicit reason).
+    on_fault:
+        Callback ``(event, new_node_faults, new_link_faults)`` invoked
+        after a fault event is applied and victims are drained but
+        *before* they are re-routed — the hook where
+        :class:`repro.wormhole.ChaosEngine` runs the checkpoint /
+        rollback / reconfigure epoch.
+    max_retries:
+        How many times a torn-out message may be re-injected before it
+        is aborted with ``retry-budget-exhausted``.
+    retry_backoff:
+        Base re-injection delay in cycles; retry ``r`` waits
+        ``retry_backoff * 2**(r-1)`` cycles (exponential backoff).
     """
 
     def __init__(
@@ -77,6 +111,12 @@ class WormholeSimulator:
         seed: int = 0,
         deadlock_check_every: int = 4,
         tracer: Optional[Tracer] = None,
+        schedule: Optional["FaultSchedule"] = None,
+        on_fault: Optional[
+            Callable[["FaultEvent", Tuple[Node, ...], Tuple[Link, ...]], None]
+        ] = None,
+        max_retries: int = 3,
+        retry_backoff: int = 8,
     ):
         self.faults = faults
         self.mesh = faults.mesh
@@ -96,6 +136,15 @@ class WormholeSimulator:
         self._deadlock_check_every = deadlock_check_every
         self._idle_cycles = 0
         self.tracer = tracer
+        self.schedule = schedule
+        self._schedule_pos = 0
+        self.on_fault = on_fault
+        if max_retries < 0 or retry_backoff < 1:
+            raise ValueError("need max_retries >= 0 and retry_backoff >= 1")
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.quarantined: Set[Node] = set()
+        self.fault_events_applied = 0
 
     # ------------------------------------------------------------------
     # Route construction and message submission
@@ -159,6 +208,161 @@ class WormholeSimulator:
         return msg
 
     # ------------------------------------------------------------------
+    # Live faults (chaos): abort/drain/retry machinery
+    # ------------------------------------------------------------------
+    def set_orderings(self, orderings: KRoundOrdering) -> None:
+        """Adopt an escalated k-round discipline mid-run (degradation
+        ladder).  Grows the VC count so round ``t`` still gets VC ``t``;
+        in-flight messages keep their old (shorter) routes."""
+        self.orderings = orderings
+        want = max(self.net.num_vcs, orderings.k)
+        if want > self.net.num_vcs:
+            self.net.grow_vcs(want)
+
+    def quarantine(self, nodes: Sequence[Node]) -> None:
+        """Mark ``nodes`` as unreachable-by-policy: torn-out messages
+        with a quarantined endpoint are aborted instead of retried.
+        Unaffected in-flight messages are left to finish."""
+        self.quarantined.update(tuple(int(x) for x in v) for v in nodes)
+
+    def inject_faults(
+        self,
+        node_faults: Sequence[Node] = (),
+        link_faults: Sequence[Link] = (),
+    ) -> List[Message]:
+        """Kill hardware *now* (programmatic live fault, bypassing any
+        schedule).  Returns the torn-out victim messages."""
+        from .chaos import FaultEvent
+
+        event = FaultEvent(self.cycle, tuple(node_faults), tuple(link_faults))
+        return self._apply_fault_event(event)
+
+    def _process_due_events(self) -> None:
+        if self.schedule is None:
+            return
+        while (
+            self._schedule_pos < len(self.schedule)
+            and self.schedule[self._schedule_pos].cycle <= self.cycle
+        ):
+            event = self.schedule[self._schedule_pos]
+            self._schedule_pos += 1
+            self._apply_fault_event(event)
+
+    def _apply_fault_event(self, event: "FaultEvent") -> List[Message]:
+        """Grow the fault state, tear out and drain affected messages,
+        run the reconfiguration hook, then re-dispatch the victims."""
+        new_nodes = tuple(
+            v for v in event.node_faults if not self.faults.node_is_faulty(v)
+        )
+        new_links = tuple(
+            (u, w)
+            for (u, w) in event.link_faults
+            if not self.faults.link_is_faulty(u, w)
+        )
+        if not new_nodes and not new_links:
+            return []  # stale event: everything already dead
+        self.faults = self.faults.with_faults(new_nodes, new_links)
+        self.grids.add_faults(new_nodes, new_links)
+        self.net.apply_faults(self.faults)
+        self.fault_events_applied += 1
+        if self.tracer is not None:
+            for v in new_nodes:
+                self.tracer.record(
+                    TraceEvent(self.cycle, "fault", SYSTEM_MSG_ID, src=v)
+                )
+            for (u, w) in new_links:
+                self.tracer.record(
+                    TraceEvent(self.cycle, "fault", SYSTEM_MSG_ID, src=u, dst=w)
+                )
+        node_set = set(new_nodes)
+        link_set = set(new_links)
+        victims = [
+            m
+            for m in self.messages.values()
+            if not m.is_finished and self._route_hit(m, node_set, link_set)
+        ]
+        for m in victims:
+            self._tear_down(m)
+        if self.on_fault is not None:
+            self.on_fault(event, new_nodes, new_links)
+        for m in victims:
+            self._redispatch(m)
+        return victims
+
+    @staticmethod
+    def _route_hit(m: Message, nodes: Set[Node], links: Set[Link]) -> bool:
+        """Does the part of ``m``'s route that is still in use (owned
+        or yet to be crossed by some flit) touch a new fault?"""
+        for hop in m.hops[m.tail_pos + 1 :]:
+            if (
+                hop.src in nodes
+                or hop.dst in nodes
+                or (hop.src, hop.dst) in links
+            ):
+                return True
+        return False
+
+    def _tear_down(self, m: Message) -> None:
+        """Abort-and-drain: discard buffered flits and force-release
+        every resource the message owns (its flits evaporate; wormhole
+        hardware would sink them via the fault-adjacent routers)."""
+        for pos in m.flit_pos:
+            if 0 <= pos < m.num_hops - 1:
+                self.net.drop_buffer_flit(m.hops[pos])
+        self.net.release_message(m.msg_id)
+
+    def _redispatch(self, m: Message) -> None:
+        """Retry a torn-out message on a post-reconfiguration route, or
+        abort it with an explicit reason (never silently)."""
+        if m.source in self.quarantined or m.dest in self.quarantined:
+            return self._abort(m, ABORT_QUARANTINED)
+        if self.faults.node_is_faulty(m.dest) or self.faults.node_is_faulty(
+            m.source
+        ):
+            return self._abort(m, ABORT_ENDPOINT_FAILED)
+        entered = m.head_pos >= 0
+        if entered and (m.attempts - 1) >= self.max_retries:
+            return self._abort(m, ABORT_RETRY_BUDGET)
+        hops = self.build_hops(m.source, m.dest)
+        if hops is None:
+            return self._abort(m, ABORT_UNREACHABLE)
+        if entered:
+            # The message was mid-flight: charge a retry and back off
+            # exponentially before re-entering the network.
+            delay = self.retry_backoff * (2 ** (m.attempts - 1))
+            if self.tracer is not None:
+                self.tracer.record(
+                    TraceEvent(self.cycle, "abort", m.msg_id,
+                               src=m.source, dst=m.dest, reason="retry")
+                )
+            m.reset_for_retry(hops, self.cycle + delay)
+            if self.tracer is not None:
+                self.tracer.record(
+                    TraceEvent(m.inject_cycle, "reinject", m.msg_id,
+                               src=m.source, dst=m.dest)
+                )
+        else:
+            # Still queued at the source: re-route silently (the NIC
+            # just swaps the route before first injection).
+            m.hops = hops
+            m.inject_cycle = max(m.inject_cycle, self.cycle)
+            if self.tracer is not None:
+                self.tracer.record(
+                    TraceEvent(self.cycle, "reinject", m.msg_id,
+                               src=m.source, dst=m.dest,
+                               reason="rerouted-before-injection")
+                )
+
+    def _abort(self, m: Message, reason: str) -> None:
+        m.abort_cycle = self.cycle
+        m.abort_reason = reason
+        if self.tracer is not None:
+            self.tracer.record(
+                TraceEvent(self.cycle, "abort", m.msg_id,
+                           src=m.source, dst=m.dest, reason=reason)
+            )
+
+    # ------------------------------------------------------------------
     # Simulation loop
     # ------------------------------------------------------------------
     def _active_messages(self) -> List[Message]:
@@ -166,7 +370,7 @@ class WormholeSimulator:
         out = [
             m
             for m in self.messages.values()
-            if not m.is_delivered and m.inject_cycle <= self.cycle
+            if not m.is_finished and m.inject_cycle <= self.cycle
         ]
         out.sort(key=lambda m: (m.inject_cycle, m.msg_id))
         return out
@@ -226,7 +430,12 @@ class WormholeSimulator:
         return True
 
     def step(self) -> int:
-        """Advance one cycle; returns the number of flits that moved."""
+        """Advance one cycle; returns the number of flits that moved.
+
+        Due live-fault events are applied first, so a fault at cycle
+        ``c`` affects cycle ``c``'s movement.
+        """
+        self._process_due_events()
         self.net.new_cycle()
         moved = 0
         for m in self._active_messages():
@@ -244,7 +453,7 @@ class WormholeSimulator:
                     )
         self.cycle += 1
         if moved == 0 and any(
-            not m.is_delivered and m.inject_cycle < self.cycle
+            not m.is_finished and m.inject_cycle < self.cycle
             for m in self.messages.values()
         ):
             self._idle_cycles += 1
@@ -252,24 +461,39 @@ class WormholeSimulator:
                 graph = build_wait_graph(self.messages.values(), self.net)
                 cycle = find_deadlock_cycle(graph)
                 if cycle is not None:
-                    raise DeadlockError(cycle)
+                    raise DeadlockError(
+                        cycle,
+                        snapshot_stalls(
+                            self.cycle, self.messages.values(), self.net
+                        ),
+                    )
         else:
             self._idle_cycles = 0
         return moved
 
-    def run(self, max_cycles: int = 100000) -> SimStats:
-        """Run until every message is delivered (or ``max_cycles``).
+    def _drained(self) -> bool:
+        """Every message terminal (delivered or aborted-with-reason)
+        and every scheduled fault event applied."""
+        if self.schedule is not None and self._schedule_pos < len(self.schedule):
+            return False
+        return all(m.is_finished for m in self.messages.values())
 
-        Raises :class:`DeadlockError` if a wait-for cycle forms, and
-        ``RuntimeError`` on non-deadlock timeout.
+    def run(self, max_cycles: int = 100000) -> SimStats:
+        """Run until every message is delivered or explicitly aborted
+        and the fault schedule (if any) is exhausted.
+
+        Raises the typed :class:`DeadlockError` if a wait-for cycle
+        forms, and :class:`SimulationTimeout` (with stalled-message
+        diagnostics attached) on non-deadlock timeout.
         """
         while self.cycle < max_cycles:
-            if all(m.is_delivered for m in self.messages.values()):
+            if self._drained():
                 break
             self.step()
-        if not all(m.is_delivered for m in self.messages.values()):
-            raise RuntimeError(
-                f"simulation did not drain within {max_cycles} cycles"
+        if not self._drained():
+            raise SimulationTimeout(
+                max_cycles,
+                snapshot_stalls(self.cycle, self.messages.values(), self.net),
             )
         return self.stats()
 

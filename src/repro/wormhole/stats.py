@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -27,12 +28,26 @@ class SimStats:
         Number of messages submitted.
     avg_latency, p95_latency, max_latency:
         Injection-to-tail-delivery latency statistics (cycles) over
-        delivered messages.
+        delivered messages (final attempt).
     throughput_flits_per_cycle:
         Delivered flits divided by simulated cycles.
     avg_hops, avg_turns, max_turns:
         Route-shape statistics (turns are the paper's requirement (iv)
         metric).
+    aborted:
+        Messages permanently given up on, each with an explicit
+        ``abort_reason`` (live-fault chaos runs; 0 otherwise).
+    in_flight:
+        Messages neither delivered nor aborted (0 after a full drain).
+    retried_delivered:
+        Delivered messages that needed at least one live-fault retry.
+    total_retries:
+        Re-injections summed over all messages.
+    abort_reasons:
+        Sorted ``(reason, count)`` pairs over aborted messages.
+    avg_total_latency:
+        Mean first-injection-to-delivery latency, *including* cycles
+        lost to aborts, backoff and retries.
     """
 
     cycles: int
@@ -45,14 +60,31 @@ class SimStats:
     avg_hops: float
     avg_turns: float
     max_turns: int
+    aborted: int = 0
+    in_flight: int = 0
+    retried_delivered: int = 0
+    total_retries: int = 0
+    abort_reasons: Tuple[Tuple[str, int], ...] = ()
+    avg_total_latency: float = 0.0
+
+    @property
+    def all_accounted(self) -> bool:
+        """No silent loss: every submitted message is delivered or
+        aborted-with-reason (i.e. nothing is still dangling)."""
+        return self.delivered + self.aborted == self.total_messages
 
     @classmethod
     def from_messages(cls, cycles: int, messages: Sequence[Message]) -> "SimStats":
         done = [m for m in messages if m.is_delivered]
+        aborted = [m for m in messages if m.is_aborted]
         latencies = [m.latency for m in done if m.latency is not None]
+        total_latencies = [
+            m.total_latency for m in done if m.total_latency is not None
+        ]
         flits = sum(m.num_flits for m in done)
         turns = [count_turns(m.path_nodes()) for m in done if m.num_hops > 0]
         hops = [m.num_hops for m in done]
+        reasons = Counter(m.abort_reason for m in aborted)
         return cls(
             cycles=cycles,
             delivered=len(done),
@@ -64,4 +96,12 @@ class SimStats:
             avg_hops=float(np.mean(hops)) if hops else 0.0,
             avg_turns=float(np.mean(turns)) if turns else 0.0,
             max_turns=int(max(turns)) if turns else 0,
+            aborted=len(aborted),
+            in_flight=len(messages) - len(done) - len(aborted),
+            retried_delivered=sum(1 for m in done if m.was_retried),
+            total_retries=sum(m.attempts - 1 for m in messages),
+            abort_reasons=tuple(sorted(reasons.items())),
+            avg_total_latency=(
+                float(np.mean(total_latencies)) if total_latencies else 0.0
+            ),
         )

@@ -16,7 +16,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..mesh.geometry import Node
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "SYSTEM_MSG_ID"]
+
+
+SYSTEM_MSG_ID = -1  # msg_id used by non-message events (fault, epoch)
 
 
 @dataclass(frozen=True)
@@ -24,7 +27,11 @@ class TraceEvent:
     """One simulator event.
 
     ``kind`` is one of ``inject``, ``acquire``, ``release``, ``flit``
-    (a flit crossing a hop), ``deliver``.
+    (a flit crossing a hop), ``deliver`` — plus the live-fault kinds
+    ``fault`` (hardware died; ``msg_id`` is :data:`SYSTEM_MSG_ID`),
+    ``abort`` (a message was torn out of the network; ``reason`` says
+    why) and ``reinject`` (a torn-out message re-armed on a fresh
+    post-reconfiguration route after backoff).
     """
 
     cycle: int
@@ -34,6 +41,7 @@ class TraceEvent:
     src: Optional[Node] = None
     dst: Optional[Node] = None
     vc: Optional[int] = None
+    reason: Optional[str] = None
 
 
 class Tracer:
@@ -54,6 +62,12 @@ class Tracer:
     # ------------------------------------------------------------------
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
+
+    def abort_reasons(self) -> Counter:
+        """reason -> count over ``abort`` events (chaos accounting)."""
+        return Counter(
+            e.reason for e in self.events if e.kind == "abort"
+        )
 
     def channel_loads(self) -> Counter:
         """(src, dst, vc) -> number of flit traversals (congestion map)."""

@@ -1,0 +1,400 @@
+"""Tests for the live-fault chaos layer (repro.wormhole.chaos, the
+simulator's abort/drain/retry machinery, and the degradation ladder of
+repro.core.reconfigure)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReconfigurationError,
+    ReconfigurationManager,
+    largest_good_component,
+)
+from repro.mesh import FaultSet, Mesh
+from repro.routing import repeated, xy
+from repro.wormhole import (
+    DeadlockError,
+    FaultEvent,
+    FaultSchedule,
+    Hop,
+    SimulationError,
+    SimulationTimeout,
+    Tracer,
+    WormholeSimulator,
+    parse_fault_spec,
+    seeded_chaos_run,
+)
+from repro.wormhole.simulator import (
+    ABORT_ENDPOINT_FAILED,
+    ABORT_QUARANTINED,
+    ABORT_RETRY_BUDGET,
+    ABORT_UNREACHABLE,
+)
+
+MESH = Mesh((8, 8))
+
+
+def live_sim(schedule=None, k=2, fault_nodes=(), **kw):
+    return WormholeSimulator(
+        FaultSet(MESH, list(fault_nodes)),
+        repeated(xy(), k),
+        schedule=schedule,
+        **kw,
+    )
+
+
+class TestFaultSpecs:
+    def test_parse_node(self):
+        ev = parse_fault_spec("120:3,4")
+        assert ev == FaultEvent(120, ((3, 4),), ())
+
+    def test_parse_link(self):
+        ev = parse_fault_spec("40:1,2-1,3")
+        assert ev == FaultEvent(40, (), ((((1, 2)), (1, 3)),))
+
+    def test_parse_3d_node(self):
+        assert parse_fault_spec("7:1,2,3").node_faults == ((1, 2, 3),)
+
+    @pytest.mark.parametrize("bad", ["", "x:1,2", "10", "10:", "10:a,b"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1, ((0, 0),))
+
+
+class TestFaultSchedule:
+    def test_sorted_and_merged(self):
+        sched = FaultSchedule(
+            [
+                FaultEvent(50, ((1, 1),)),
+                FaultEvent(10, ((2, 2),)),
+                FaultEvent(50, (), (((0, 0), (0, 1)),)),
+            ]
+        )
+        assert len(sched) == 2  # the two cycle-50 events merged
+        assert [ev.cycle for ev in sched] == [10, 50]
+        assert sched[1].num_faults == 2
+        assert sched.last_cycle == 50
+        assert sched.total_faults == 3
+
+    def test_from_specs(self):
+        sched = FaultSchedule.from_specs(["30:1,1", "10:0,0-1,0"])
+        assert [ev.cycle for ev in sched] == [10, 30]
+
+    def test_random_is_seeded(self):
+        a = FaultSchedule.random(MESH, 4, np.random.default_rng(3))
+        b = FaultSchedule.random(MESH, 4, np.random.default_rng(3))
+        assert a.events == b.events
+        assert len(a) == 4
+
+    def test_random_avoids(self):
+        avoid = [(0, 0), (1, 1)]
+        sched = FaultSchedule.random(
+            Mesh((3, 3)), 3, np.random.default_rng(0), avoid=avoid
+        )
+        killed = {v for ev in sched for v in ev.node_faults}
+        assert killed.isdisjoint(set(avoid))
+
+    def test_random_refuses_overkill(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.random(Mesh((2, 2)), 5, np.random.default_rng(0))
+
+
+class TestLiveFaults:
+    """Simulator-level abort/drain/retry semantics."""
+
+    def test_retry_then_deliver(self):
+        sched = FaultSchedule([FaultEvent(3, ((3, 0),))])
+        sim = live_sim(sched)
+        m = sim.send((0, 0), (5, 0), num_flits=4)
+        stats = sim.run()
+        assert m.is_delivered and m.was_retried
+        assert m.attempts == 2
+        # New route avoids the dead node.
+        assert all((3, 0) not in (h.src, h.dst) for h in m.hops)
+        # Total latency includes abort + backoff time; plain latency is
+        # the clean final attempt.
+        assert m.total_latency > m.latency
+        assert stats.retried_delivered == 1
+        assert stats.total_retries == 1
+        assert stats.all_accounted
+
+    def test_dead_destination_aborts(self):
+        sched = FaultSchedule([FaultEvent(3, ((5, 0),))])
+        sim = live_sim(sched)
+        m = sim.send((0, 0), (5, 0), num_flits=4)
+        stats = sim.run()
+        assert m.abort_reason == ABORT_ENDPOINT_FAILED
+        assert stats.aborted == 1
+        assert stats.abort_reasons == ((ABORT_ENDPOINT_FAILED, 1),)
+        assert stats.all_accounted  # aborted-with-reason, not lost
+
+    def test_unreachable_after_fault(self):
+        # k=1 XY: the only route (0,0)->(7,0) runs along row 0, so
+        # killing (3,0) mid-flight leaves no alternative.
+        sched = FaultSchedule([FaultEvent(3, ((3, 0),))])
+        sim = live_sim(sched, k=1)
+        m = sim.send((0, 0), (7, 0), num_flits=4)
+        sim.run()
+        assert m.abort_reason == ABORT_UNREACHABLE
+
+    def test_retry_budget_exhausted(self):
+        sched = FaultSchedule([FaultEvent(3, ((3, 0),))])
+        sim = live_sim(sched, max_retries=0)
+        m = sim.send((0, 0), (5, 0), num_flits=4)
+        sim.run()
+        assert m.abort_reason == ABORT_RETRY_BUDGET
+
+    def test_quarantined_endpoint_aborts(self):
+        sim = live_sim()
+        m = sim.send((0, 0), (5, 0), num_flits=8)
+        for _ in range(3):
+            sim.step()
+        sim.quarantine([(5, 0)])
+        victims = sim.inject_faults(node_faults=[(3, 0)])
+        assert victims == [m]
+        assert m.abort_reason == ABORT_QUARANTINED
+        assert sim.run().all_accounted
+
+    def test_reroute_before_injection_is_free(self):
+        # A fault before the message enters the network swaps the route
+        # silently: no retry is charged.
+        sched = FaultSchedule([FaultEvent(2, ((3, 0),))])
+        sim = live_sim(sched)
+        m = sim.send((0, 0), (5, 0), num_flits=4, inject_cycle=10)
+        stats = sim.run()
+        assert m.is_delivered and m.attempts == 1
+        assert all((3, 0) not in (h.src, h.dst) for h in m.hops)
+        assert stats.total_retries == 0
+
+    def test_stale_event_is_noop(self):
+        sim = live_sim(fault_nodes=[(3, 0)])
+        assert sim.inject_faults(node_faults=[(3, 0)]) == []
+        assert sim.fault_events_applied == 0
+
+    def test_unaffected_messages_keep_flying(self):
+        sched = FaultSchedule([FaultEvent(3, ((3, 0),))])
+        sim = live_sim(sched)
+        victim = sim.send((0, 0), (5, 0), num_flits=4)
+        bystander = sim.send((0, 7), (5, 7), num_flits=4)
+        sim.run()
+        assert bystander.is_delivered and not bystander.was_retried
+        assert victim.is_delivered and victim.was_retried
+
+    def test_fault_resources_are_released(self):
+        """Tear-down frees every (link, VC) the victim owned."""
+        sched = FaultSchedule([FaultEvent(4, ((3, 0),))])
+        sim = live_sim(sched)
+        m = sim.send((0, 0), (5, 0), num_flits=16)
+        for _ in range(5):
+            sim.step()
+        # The victim was torn out and is backing off: owns nothing.
+        assert not sim.net.owned_resources(m.msg_id)
+        assert sim.run().all_accounted
+
+    def test_exponential_backoff(self):
+        sched = FaultSchedule([FaultEvent(3, ((3, 0),))])
+        sim = live_sim(sched, retry_backoff=16)
+        m = sim.send((0, 0), (5, 0), num_flits=4)
+        sim.run()
+        # First retry waits retry_backoff * 2**0 cycles after the abort.
+        assert m.inject_cycle == 3 + 16
+
+    def test_tracer_records_fault_and_abort(self):
+        tracer = Tracer()
+        sched = FaultSchedule(
+            [FaultEvent(3, ((3, 0),)), FaultEvent(6, ((5, 0),))]
+        )
+        sim = live_sim(sched, tracer=tracer)
+        sim.send((0, 0), (5, 0), num_flits=4)
+        sim.run()
+        kinds = {e.kind for e in tracer.events}
+        assert {"fault", "abort", "reinject"} <= kinds
+        assert tracer.abort_reasons()[ABORT_ENDPOINT_FAILED] == 1
+
+
+class TestDegradationLadder:
+    def test_plain_epoch_no_degradation(self):
+        mgr = ReconfigurationManager(Mesh((8, 8)), repeated(xy(), 2))
+        epoch = mgr.report_faults_degraded(node_faults=[(3, 3)])
+        assert not epoch.degraded
+        assert epoch.escalated_rounds == 0 and epoch.quarantined == ()
+
+    def test_escalates_rounds_under_budget(self):
+        # k=1 needs many lambs for these faults; k=2 needs none.  A
+        # tight budget forces the ladder onto rung 2 and the escalated
+        # discipline is adopted.
+        mgr = ReconfigurationManager(Mesh((8, 8)), repeated(xy(), 1))
+        epoch = mgr.report_faults_degraded(
+            node_faults=[(3, 3), (4, 4)], lamb_budget=2, max_extra_rounds=1
+        )
+        assert epoch.escalated_rounds == 1
+        assert epoch.degraded
+        assert mgr.orderings.k == 2  # adopted for later epochs
+        assert epoch.num_lambs <= 2
+
+    def test_quarantines_disconnected_corner(self):
+        # (1,0) and (0,1) dead isolate the corner (0,0); with budget 0
+        # no lamb set fits, so the ladder gives the corner up.
+        mgr = ReconfigurationManager(Mesh((4, 4)), repeated(xy(), 2))
+        epoch = mgr.report_faults_degraded(
+            node_faults=[(1, 0), (0, 1)], lamb_budget=0, max_extra_rounds=0
+        )
+        assert epoch.quarantined == ((0, 0),)
+        assert epoch.degraded
+        assert mgr.quarantined == frozenset({(0, 0)})
+        assert epoch.num_lambs == 0
+        # The quarantined node is treated as a fault in the result.
+        assert epoch.result.faults.node_is_faulty((0, 0))
+
+    def test_quarantine_is_sticky_across_epochs(self):
+        mgr = ReconfigurationManager(Mesh((4, 4)), repeated(xy(), 2))
+        mgr.report_faults_degraded(
+            node_faults=[(1, 0), (0, 1)], lamb_budget=0, max_extra_rounds=0
+        )
+        epoch = mgr.report_faults_degraded(node_faults=[(3, 3)])
+        assert epoch.result.faults.node_is_faulty((0, 0))
+
+    def test_largest_good_component_split(self):
+        mesh = Mesh((4, 4))
+        faults = FaultSet(mesh, [(1, 0), (0, 1)])
+        big, rest = largest_good_component(faults)
+        assert rest == {(0, 0)}
+        assert len(big) == mesh.num_nodes - 2 - 1
+
+    def test_reports_error_only_when_all_rungs_fail(self):
+        # Kill everything but one node: no traffic is routable, but the
+        # single-node machine still yields an (empty) lamb set -- the
+        # ladder must not crash.
+        mesh = Mesh((3, 3))
+        nodes = [v for v in mesh.nodes() if v != (0, 0)]
+        mgr = ReconfigurationManager(mesh, repeated(xy(), 2))
+        epoch = mgr.report_faults_degraded(node_faults=nodes)
+        assert epoch.num_lambs == 0
+
+    def test_no_new_faults_rejected(self):
+        mgr = ReconfigurationManager(Mesh((4, 4)), repeated(xy(), 2))
+        mgr.report_faults_degraded(node_faults=[(1, 1)])
+        with pytest.raises(ValueError):
+            mgr.report_faults_degraded()
+
+
+class TestChaosAcceptance:
+    """ISSUE acceptance: 8x8, >=3 mid-flight events, deterministic,
+    >=3 reconfiguration epochs, no deadlock, every message accounted."""
+
+    def test_seeded_run_meets_acceptance(self):
+        report = seeded_chaos_run(
+            widths=(8, 8), initial_faults=2, num_messages=120, num_events=3
+        )
+        assert report.fully_accounted  # no silent loss
+        assert report.num_epochs >= 3
+        assert report.fault_events_applied >= 3
+        s = report.stats
+        assert s.delivered + s.aborted == s.total_messages == 120
+        assert s.in_flight == 0
+
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_seeded_run_is_deterministic(self, seed):
+        a = seeded_chaos_run(num_messages=60, num_events=3, seed=seed)
+        b = seeded_chaos_run(num_messages=60, num_events=3, seed=seed)
+        assert a.stats == b.stats
+        assert [e.num_lambs for e in a.epochs] == [
+            e.num_lambs for e in b.epochs
+        ]
+        assert a.quarantined == b.quarantined
+        assert a.final_rounds == b.final_rounds
+
+    def test_epoch_lambs_stay_sticky(self):
+        report = seeded_chaos_run(num_messages=40, num_events=4, seed=2)
+        for prev, cur in zip(report.epochs, report.epochs[1:]):
+            kept = {
+                v
+                for v in prev.result.lambs
+                if not cur.result.faults.node_is_faulty(v)
+            }
+            assert kept <= set(cur.result.lambs)
+
+    def test_summary_mentions_accounting(self):
+        report = seeded_chaos_run(num_messages=30, num_events=2, seed=1)
+        text = report.summary()
+        assert "delivered" in text and "epoch" in text
+
+    def test_zero_events_is_plain_simulation(self):
+        report = seeded_chaos_run(num_messages=30, num_events=0, seed=4)
+        s = report.stats
+        assert report.num_epochs == 1  # just the initial configuration
+        assert s.delivered == s.total_messages
+        assert s.total_retries == 0
+
+
+class TestTypedWatchdog:
+    """Satellite (c): the simulator raises typed errors with stalled-
+    message diagnostics instead of bare RuntimeError."""
+
+    def _ring_sim(self):
+        mesh = Mesh((4, 4))
+        sim = WormholeSimulator(
+            FaultSet(mesh),
+            repeated(xy(), 2),
+            vc_of_round=lambda t: 0,  # deliberately break the discipline
+            num_vcs=1,
+            buffer_flits=1,
+        )
+        ring = [(0, 0), (2, 0), (2, 2), (0, 2)]
+
+        def L(a, b):
+            path = [a]
+            x, y = a
+            while x != b[0]:
+                x += 1 if b[0] > x else -1
+                path.append((x, y))
+            while y != b[1]:
+                y += 1 if b[1] > y else -1
+                path.append((x, y))
+            return path
+
+        for i in range(4):
+            a, b, c = ring[i], ring[(i + 1) % 4], ring[(i + 2) % 4]
+            hops = [
+                Hop(u, v, 0)
+                for p in (L(a, b), L(b, c))
+                for u, v in zip(p, p[1:])
+            ]
+            sim.send(a, c, num_flits=12, hops=hops)
+        return sim
+
+    def test_single_vc_deadlock_carries_diagnostics(self):
+        with pytest.raises(DeadlockError) as exc:
+            self._ring_sim().run(5000)
+        err = exc.value
+        assert isinstance(err, SimulationError)
+        assert len(err.cycle) == 4  # non-empty wait-for cycle
+        assert err.diagnostics is not None
+        assert err.diagnostics.num_stalled == 4
+        assert err.diagnostics.wait_graph  # the cycle's edges
+        assert "wait-for cycle" in str(err)
+
+    def test_timeout_is_typed_with_diagnostics(self):
+        sim = live_sim()
+        sim.send((0, 0), (7, 7), num_flits=4)
+        with pytest.raises(SimulationTimeout) as exc:
+            sim.run(max_cycles=2)
+        err = exc.value
+        assert isinstance(err, SimulationError)
+        assert not isinstance(err, DeadlockError)
+        assert err.max_cycles == 2
+        assert err.diagnostics.num_stalled == 1
+        (msg_id, head, hops, got, want) = err.diagnostics.stalled[0]
+        assert want == 4 and got < want
+        assert "did not drain" in str(err)  # legacy message preserved
+
+    def test_timeout_describe_lists_messages(self):
+        sim = live_sim()
+        sim.send((0, 0), (7, 7), num_flits=4)
+        with pytest.raises(SimulationTimeout) as exc:
+            sim.run(max_cycles=2)
+        assert "msg 0" in exc.value.diagnostics.describe()

@@ -78,6 +78,42 @@ class TestFaultSet:
         f = FaultSet(m, [(0, 0)]).with_nodes_as_faults([(1, 1)])
         assert f.num_node_faults == 2
 
+    def test_with_links_as_faults(self):
+        m = Mesh((4, 4))
+        f = FaultSet(m, [(3, 3)]).with_links_as_faults([((0, 0), (1, 0))])
+        assert f.num_link_faults == 1
+        assert f.link_is_faulty((0, 0), (1, 0))
+
+    def test_incremental_union_matches_from_scratch(self):
+        """Growing a fault set one event at a time is == (and hashes
+        identically) to building it in one shot -- the invariant the
+        chaos engine's epoch bookkeeping relies on."""
+        m = Mesh((5, 5))
+        grown = (
+            FaultSet(m, [(1, 1)])
+            .with_faults(node_faults=[(2, 2)])
+            .with_links_as_faults([((0, 0), (0, 1))])
+            .with_faults(link_faults=[((3, 3), (3, 4))])
+        )
+        scratch = FaultSet(
+            m,
+            [(1, 1), (2, 2)],
+            [((0, 0), (0, 1)), ((3, 3), (3, 4))],
+        )
+        assert grown == scratch
+        assert hash(grown) == hash(scratch)
+
+    def test_with_faults_canonicalizes_implied_links(self):
+        """A link incident to a *newly added* node fault is dropped by
+        the union, exactly as the one-shot constructor would."""
+        m = Mesh((4, 4))
+        f = FaultSet(m).with_faults(
+            node_faults=[(0, 0)], link_faults=[((0, 0), (0, 1))]
+        )
+        assert f.num_link_faults == 0
+        assert f.link_is_faulty((0, 0), (0, 1))  # implied by the node
+        assert f == FaultSet(m, [(0, 0)], [((0, 0), (0, 1))])
+
     def test_links_as_node_faults(self):
         m = Mesh((4, 4))
         f = FaultSet(m, [(3, 3)], [((0, 0), (1, 0)), ((2, 2), (2, 1))])
@@ -110,6 +146,15 @@ class TestRandomGenerators:
         assert f.num_link_faults == 7
         assert f.num_node_faults == 0
 
+    def test_random_link_faults_directed_count_is_f(self):
+        """Regression for the docstring contract: directed draws give
+        exactly ``count`` faulty directed links, so ``f == count``."""
+        m = Mesh((6, 6))
+        for count in (1, 5, 12):
+            f = random_link_faults(m, count, np.random.default_rng(count))
+            assert f.num_link_faults == count
+            assert f.f == count
+
     def test_random_link_faults_bidirectional(self):
         m = Mesh((5, 5))
         f = random_link_faults(m, 4, np.random.default_rng(0), bidirectional=True)
@@ -117,6 +162,17 @@ class TestRandomGenerators:
         links = set(f.link_faults)
         for (u, v) in links:
             assert (v, u) in links
+
+    def test_random_link_faults_bidirectional_count_doubles_f(self):
+        """Bidirectional draws pick ``count`` physical channels; each
+        fails in both directions, so ``|F_L| == 2 * count == f``."""
+        m = Mesh((6, 6))
+        for count in (1, 3, 9):
+            f = random_link_faults(
+                m, count, np.random.default_rng(count), bidirectional=True
+            )
+            assert f.num_link_faults == 2 * count
+            assert f.f == 2 * count
 
     def test_too_many_link_faults(self):
         with pytest.raises(ValueError):
