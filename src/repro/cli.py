@@ -247,6 +247,7 @@ def cmd_chaos(args) -> int:
 
 def cmd_figure(args) -> int:
     from .experiments import figures, render_sweep
+    from .experiments.parallel import engine_jobs
 
     fn = getattr(figures, args.name, None)
     if fn is None or not args.name.startswith(("fig", "section")):
@@ -254,9 +255,27 @@ def cmd_figure(args) -> int:
             f"unknown figure {args.name!r}; try fig17..fig26 or "
             "section3_one_vs_two_rounds"
         )
-    result = fn(trials=args.trials, seed=args.seed)
+    if args.jobs:
+        with engine_jobs(args.jobs):
+            result = fn(trials=args.trials, seed=args.seed)
+    else:
+        result = fn(trials=args.trials, seed=args.seed)
     print(render_sweep(result), end="")
     return 0
+
+
+def cmd_experiments(args) -> int:
+    from .experiments.generate import ALL_SECTIONS, run_cli
+
+    sections = args.section or None
+    if sections is not None:
+        unknown = set(sections) - set(ALL_SECTIONS)
+        if unknown:
+            raise SystemExit(
+                f"unknown sections {sorted(unknown)}; "
+                f"choose from {', '.join(ALL_SECTIONS)}"
+            )
+    return run_cli(args.out, seed=args.seed, sections=sections, jobs=args.jobs)
 
 
 def cmd_reconfigure(args) -> int:
@@ -430,7 +449,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="fig17..fig26 or section3_one_vs_two_rounds")
     p.add_argument("--trials", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="fan trials over N worker processes "
+                   "(default: REPRO_JOBS, else serial)")
     p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser(
+        "experiments",
+        help="regenerate EXPERIMENTS.md (optionally in parallel)",
+    )
+    p.add_argument("--out", type=str, default="EXPERIMENTS.md",
+                   help="output path (default EXPERIMENTS.md)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the trial engine; 0 = "
+                   "auto (REPRO_JOBS, else all CPUs); default: "
+                   "REPRO_JOBS if set, else serial")
+    p.add_argument("--section", action="append", default=[],
+                   metavar="NAME",
+                   help="regenerate only the named section(s) "
+                   "(repeatable); see repro.experiments.generate")
+    p.set_defaults(fn=cmd_experiments)
 
     p = sub.add_parser("reconfigure", help="replay fault epochs from JSON")
     p.add_argument("script", help="JSON: {mesh, rounds?, epochs: [...]}")

@@ -45,14 +45,30 @@ __all__ = [
 
 
 def _group_rows(arr: np.ndarray, cols: Sequence[int]) -> Dict[Tuple[int, ...], np.ndarray]:
-    """Group row indices of ``arr`` by the tuple of values in ``cols``."""
-    groups: Dict[Tuple[int, ...], List[int]] = {}
+    """Group row indices of ``arr`` by the tuple of values in ``cols``.
+
+    Vectorized: one ``np.unique(..., return_inverse=True)`` over the
+    key columns plus a stable argsort of the inverse labels replaces
+    the former per-row Python loop (this runs once per dimension per
+    one-round matrix, with ``p, q ~ (2d-1)f + 1`` rows — see
+    ``benchmarks/bench_reachability.py::test_group_rows``).  Row
+    indices within each group are ascending, exactly as the loop
+    produced them, so downstream results are bit-identical.
+    """
+    n = arr.shape[0]
     if len(cols) == 0:
-        return {(): np.arange(arr.shape[0])}
-    key_arr = arr[:, list(cols)]
-    for i in range(arr.shape[0]):
-        groups.setdefault(tuple(int(x) for x in key_arr[i]), []).append(i)
-    return {k: np.asarray(v, dtype=np.intp) for k, v in groups.items()}
+        return {(): np.arange(n)}
+    if n == 0:
+        return {}
+    key_arr = np.ascontiguousarray(arr[:, list(cols)])
+    uniq, inverse = np.unique(key_arr, axis=0, return_inverse=True)
+    inverse = inverse.ravel()  # numpy >= 2.1 returns (n, 1) for axis=0
+    order = np.argsort(inverse, kind="stable").astype(np.intp, copy=False)
+    counts = np.bincount(inverse, minlength=uniq.shape[0])
+    splits = np.split(order, np.cumsum(counts)[:-1])
+    return {
+        tuple(int(x) for x in uniq[g]): idx for g, idx in enumerate(splits)
+    }
 
 
 def one_round_reachability_matrix(

@@ -12,16 +12,51 @@ robustness costs:
 - :func:`reconfiguration_latency_sweep` — wall-clock seconds per
   rollback epoch (the lamb pipeline re-run) vs. cumulative fault
   count, i.e. how fast the machine comes back after each event.
+
+Each trial is a fully seeded, self-contained
+:func:`repro.wormhole.seeded_chaos_run`, so both sweeps fan their
+trials over the :class:`repro.experiments.parallel.TrialEngine`
+(``jobs=`` / ``REPRO_JOBS``) with bit-identical counts and cycle
+statistics; only the wall-clock ``epoch_seconds`` keys vary run to
+run.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..wormhole.chaos import seeded_chaos_run
 from .harness import SweepResult, TrialSeries, default_trials
+from .parallel import resolve_engine
 
 __all__ = ["fault_arrival_sweep", "reconfiguration_latency_sweep"]
+
+
+def _fate_trial(payload: Dict[str, Any], t: int) -> Dict[str, float]:
+    """One fault-arrival trial (runs identically in-process or in a
+    pool worker)."""
+    events = payload["events"]
+    report = seeded_chaos_run(
+        widths=payload["widths"],
+        initial_faults=payload["initial_faults"],
+        num_messages=payload["num_messages"],
+        num_events=events,
+        seed=(payload["seed"] * 1_000_003 + 7919 * events + t),
+        num_flits=payload["num_flits"],
+        inject_window=payload["inject_window"],
+        cycle_span=payload["cycle_span"],
+        max_cycles=payload["max_cycles"],
+    )
+    s = report.stats
+    return {
+        "delivered": s.delivered,
+        "retried_delivered": s.retried_delivered,
+        "aborted": s.aborted,
+        "epochs": report.num_epochs,
+        "avg_latency": s.avg_latency,
+        "avg_total_latency": s.avg_total_latency,
+        "accounted": 1.0 if report.fully_accounted else 0.0,
+    }
 
 
 def fault_arrival_sweep(
@@ -35,6 +70,7 @@ def fault_arrival_sweep(
     inject_window: int = 80,
     cycle_span: Tuple[int, int] = (20, 260),
     max_cycles: int = 100_000,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Message-fate accounting vs. live-fault arrival count.
 
@@ -58,32 +94,48 @@ def fault_arrival_sweep(
             "inject_window": inject_window,
         },
     )
-    for events in event_counts:
-        series = TrialSeries(x=events)
-        for t in range(trials):
-            report = seeded_chaos_run(
-                widths=widths,
-                initial_faults=initial_faults,
-                num_messages=num_messages,
-                num_events=events,
-                seed=(seed * 1_000_003 + 7919 * events + t),
-                num_flits=num_flits,
-                inject_window=inject_window,
-                cycle_span=cycle_span,
-                max_cycles=max_cycles,
-            )
-            s = report.stats
-            series.add(
-                delivered=s.delivered,
-                retried_delivered=s.retried_delivered,
-                aborted=s.aborted,
-                epochs=report.num_epochs,
-                avg_latency=s.avg_latency,
-                avg_total_latency=s.avg_total_latency,
-                accounted=1.0 if report.fully_accounted else 0.0,
-            )
-        out.series.append(series)
+    engine, owned = resolve_engine(jobs)
+    try:
+        for events in event_counts:
+            payload = {
+                "events": events,
+                "widths": tuple(widths),
+                "initial_faults": initial_faults,
+                "num_messages": num_messages,
+                "seed": seed,
+                "num_flits": num_flits,
+                "inject_window": inject_window,
+                "cycle_span": tuple(cycle_span),
+                "max_cycles": max_cycles,
+            }
+            series = TrialSeries(x=events)
+            for row in engine.run_trials(_fate_trial, trials, payload):
+                series.add(**row)
+            out.series.append(series)
+    finally:
+        if owned:
+            engine.close()
     return out
+
+
+def _reconfig_trial(payload: Dict[str, Any], t: int) -> Dict[str, float]:
+    """One reconfiguration-latency trial."""
+    events = payload["events"]
+    report = seeded_chaos_run(
+        widths=payload["widths"],
+        initial_faults=payload["initial_faults"],
+        num_messages=payload["num_messages"],
+        num_events=events,
+        seed=(payload["seed"] * 1_000_003 + 104_729 * events + t),
+        cycle_span=payload["cycle_span"],
+    )
+    secs = [e.result.timings["total"] for e in report.epochs]
+    return {
+        "epoch_seconds": sum(secs) / len(secs),
+        "worst_epoch_seconds": max(secs),
+        "final_lambs": report.epochs[-1].num_lambs,
+        "degraded_epochs": sum(1 for e in report.epochs if e.degraded),
+    }
 
 
 def reconfiguration_latency_sweep(
@@ -94,6 +146,7 @@ def reconfiguration_latency_sweep(
     initial_faults: int = 2,
     num_messages: int = 60,
     cycle_span: Tuple[int, int] = (20, 260),
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Rollback-epoch latency vs. fault arrival count.
 
@@ -110,23 +163,22 @@ def reconfiguration_latency_sweep(
         x_label="fault events",
         meta={"trials": trials},
     )
-    for events in event_counts:
-        series = TrialSeries(x=events)
-        for t in range(trials):
-            report = seeded_chaos_run(
-                widths=widths,
-                initial_faults=initial_faults,
-                num_messages=num_messages,
-                num_events=events,
-                seed=(seed * 1_000_003 + 104_729 * events + t),
-                cycle_span=cycle_span,
-            )
-            secs = [e.result.timings["total"] for e in report.epochs]
-            series.add(
-                epoch_seconds=sum(secs) / len(secs),
-                worst_epoch_seconds=max(secs),
-                final_lambs=report.epochs[-1].num_lambs,
-                degraded_epochs=sum(1 for e in report.epochs if e.degraded),
-            )
-        out.series.append(series)
+    engine, owned = resolve_engine(jobs)
+    try:
+        for events in event_counts:
+            payload = {
+                "events": events,
+                "widths": tuple(widths),
+                "initial_faults": initial_faults,
+                "num_messages": num_messages,
+                "seed": seed,
+                "cycle_span": tuple(cycle_span),
+            }
+            series = TrialSeries(x=events)
+            for row in engine.run_trials(_reconfig_trial, trials, payload):
+                series.add(**row)
+            out.series.append(series)
+    finally:
+        if owned:
+            engine.close()
     return out

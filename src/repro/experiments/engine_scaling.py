@@ -11,7 +11,7 @@ fixed mesh, locating the empirical crossover to sanity-check the
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -21,8 +21,31 @@ from ..mesh.faults import random_node_faults
 from ..mesh.geometry import Mesh
 from ..routing.ordering import ascending, repeated
 from .harness import SweepResult, TrialSeries, default_trials
+from .parallel import resolve_engine, worker_memo
 
 __all__ = ["engine_crossover_sweep"]
+
+
+def _crossover_trial(payload: Dict[str, Any], t: int) -> Dict[str, float]:
+    """Time both reachability engines on trial ``t``'s fault draw."""
+    mesh = payload["mesh"]
+    mesh = worker_memo(("mesh", type(mesh).__name__, mesh.widths), lambda: mesh)
+    orderings = repeated(ascending(mesh.d), 2)
+    rng = np.random.default_rng((payload["seed"], 9500 + payload["i"], t))
+    faults = random_node_faults(mesh, payload["f"], rng)
+    t0 = time.perf_counter()
+    a = find_lamb_set(faults, orderings, engine="lines")
+    t1 = time.perf_counter()
+    b = find_lamb_set(faults, orderings, engine="spanning")
+    t2 = time.perf_counter()
+    return {
+        "seconds_lines": t1 - t0,
+        "seconds_spanning": t2 - t1,
+        "agree": float(a.lambs == b.lambs),
+        "auto_picks_spanning": float(
+            recommended_engine(faults, orderings) == "spanning"
+        ),
+    }
 
 
 def engine_crossover_sweep(
@@ -30,39 +53,33 @@ def engine_crossover_sweep(
     fault_counts: Sequence[int],
     trials: Optional[int] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Wall-clock of both reachability engines per fault count.
 
     Records ``seconds_lines``, ``seconds_spanning``, the lamb-size
-    agreement flag, and what ``engine="auto"`` would pick.
+    agreement flag, and what ``engine="auto"`` would pick.  ``jobs``
+    fans the (independent, seeded) trials over the
+    :class:`repro.experiments.parallel.TrialEngine`; note that
+    co-scheduled workers contend for cores, so per-trial wall clocks
+    are best measured with ``jobs=1``.
     """
     trials = default_trials(3) if trials is None else trials
-    orderings = repeated(ascending(mesh.d), 2)
     out = SweepResult(
         figure="engine-crossover",
         description=f"lines vs spanning engine wall-clock, {mesh}",
         x_label="faults",
         meta={"mesh": mesh.widths, "trials": trials},
     )
-    for i, f in enumerate(fault_counts):
-        series = TrialSeries(x=f)
-        picks = []
-        for t in range(trials):
-            rng = np.random.default_rng((seed, 9500 + i, t))
-            faults = random_node_faults(mesh, f, rng)
-            t0 = time.perf_counter()
-            a = find_lamb_set(faults, orderings, engine="lines")
-            t1 = time.perf_counter()
-            b = find_lamb_set(faults, orderings, engine="spanning")
-            t2 = time.perf_counter()
-            picks.append(recommended_engine(faults, orderings))
-            series.add(
-                seconds_lines=t1 - t0,
-                seconds_spanning=t2 - t1,
-                agree=float(a.lambs == b.lambs),
-            )
-        series.values["auto_picks_spanning"] = [
-            float(p == "spanning") for p in picks
-        ]
-        out.series.append(series)
+    engine, owned = resolve_engine(jobs)
+    try:
+        for i, f in enumerate(fault_counts):
+            series = TrialSeries(x=f)
+            payload = {"mesh": mesh, "seed": seed, "i": i, "f": f}
+            for row in engine.run_trials(_crossover_trial, trials, payload):
+                series.add(**row)
+            out.series.append(series)
+    finally:
+        if owned:
+            engine.close()
     return out

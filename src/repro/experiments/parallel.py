@@ -1,0 +1,278 @@
+"""Parallel trial engine: fan embarrassingly parallel seeded trials
+across a process pool.
+
+Every Section-8 sweep repeats an independent seeded computation
+``trials`` times — trial ``t`` draws all of its randomness from
+``default_rng((seed, tag, t))`` (or an equivalent per-trial seed), so
+the trials are *embarrassingly parallel* and can be fanned across a
+:class:`concurrent.futures.ProcessPoolExecutor` with bit-identical
+results: the engine only changes *where* trial ``t`` runs, never what
+it computes, and results are merged back in trial order.
+
+Layering
+--------
+- :class:`TrialEngine` owns the pool policy (worker count, chunking)
+  and exposes :meth:`TrialEngine.run_trials`, which maps a picklable
+  module-level worker over ``range(trials)`` in chunks (chunking
+  amortizes pickling of the per-sweep payload).
+- Workers reuse heavyweight per-sweep objects (``Mesh``,
+  ``KRoundOrdering``) across chunks via a per-process memo cache —
+  see :func:`worker_memo`.
+- ``jobs=1`` (the default unless ``REPRO_JOBS`` is set) runs the
+  trials inline with *zero* behavioural difference from the
+  historical serial loops; the serial path stays the reference.
+
+Worker count resolution order: explicit ``jobs=`` argument, then the
+``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
+
+Determinism note: measured *wall-clock seconds* (e.g. the ``seconds``
+key of :func:`repro.experiments.lamb_trials`) are machine timings and
+vary run to run even serially; every other recorded key is a pure
+function of ``(seed, tag, t)`` and is bit-identical for any job count.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TrialEngine",
+    "resolve_jobs",
+    "get_default_engine",
+    "set_default_jobs",
+    "engine_jobs",
+    "worker_memo",
+    "is_picklable",
+]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit ``jobs``, else ``REPRO_JOBS``,
+    else ``os.cpu_count()``.  ``0`` (explicit or in the environment)
+    means "auto": all CPUs."""
+    if jobs is not None:
+        n = int(jobs)
+        if n < 0:
+            raise ValueError("jobs must be >= 0 (0 = all CPUs)")
+        if n > 0:
+            return n
+        return os.cpu_count() or 1
+    raw = os.environ.get("REPRO_JOBS", "")
+    if raw:
+        n = int(raw)
+        if n < 0:
+            raise ValueError("REPRO_JOBS must be >= 0 (0 = all CPUs)")
+        return n if n > 0 else (os.cpu_count() or 1)
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Per-worker object reuse
+# ----------------------------------------------------------------------
+_WORKER_MEMO: Dict[Tuple, Any] = {}
+
+
+def worker_memo(key: Tuple, build: Callable[[], Any]) -> Any:
+    """Process-local memo cache for heavyweight per-sweep objects.
+
+    Worker functions call this to build a ``Mesh`` / ``KRoundOrdering``
+    / fault index once per worker process and reuse it across chunks
+    of the same sweep (the pool keeps workers alive for the engine's
+    lifetime, so a 1000-trial sweep builds each mesh once per worker,
+    not once per trial)."""
+    try:
+        return _WORKER_MEMO[key]
+    except KeyError:
+        value = build()
+        _WORKER_MEMO[key] = value
+        return value
+
+
+def is_picklable(obj: Any) -> bool:
+    """Whether ``obj`` survives a pickle round-trip requirement (used
+    to gate the parallel path for user-supplied callbacks)."""
+    if obj is None:
+        return True
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _run_chunk(
+    worker: Callable[[Dict[str, Any], int], Any],
+    payload: Dict[str, Any],
+    ts: Sequence[int],
+) -> List[Any]:
+    """Executed in a worker process: run ``worker(payload, t)`` for
+    every trial index in the chunk."""
+    return [worker(payload, t) for t in ts]
+
+
+class TrialEngine:
+    """Fans seeded trials across a process pool, chunked to amortize
+    pickling, merging results back in trial order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; default from ``REPRO_JOBS`` then
+        ``os.cpu_count()``.  ``jobs=1`` never spawns a pool.
+    chunks_per_worker:
+        Target number of chunks handed to each worker (larger values
+        smooth load imbalance between slow and fast trials at the cost
+        of more pickling round-trips).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, chunks_per_worker: int = 4):
+        self.jobs = resolve_jobs(jobs)
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be >= 1")
+        self.chunks_per_worker = chunks_per_worker
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "TrialEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def chunk_indices(self, trials: int) -> List[List[int]]:
+        """Split ``range(trials)`` into contiguous chunks sized to give
+        each worker ~``chunks_per_worker`` chunks."""
+        if trials <= 0:
+            return []
+        target = self.jobs * self.chunks_per_worker
+        size = max(1, -(-trials // target))  # ceil division
+        return [
+            list(range(lo, min(lo + size, trials)))
+            for lo in range(0, trials, size)
+        ]
+
+    def run_trials(
+        self,
+        worker: Callable[[Dict[str, Any], int], Any],
+        trials: int,
+        payload: Dict[str, Any],
+    ) -> List[Any]:
+        """Run ``worker(payload, t)`` for ``t`` in ``range(trials)``.
+
+        ``worker`` must be a picklable module-level function taking
+        ``(payload, t)`` and returning a picklable per-trial result.
+        Results are returned in trial order regardless of which worker
+        ran which chunk, so any order-dependent merge downstream (e.g.
+        appending into :class:`TrialSeries`) is bit-identical to the
+        serial loop.
+        """
+        if trials <= 0:
+            return []
+        if self.jobs == 1 or trials == 1:
+            return _run_chunk(worker, payload, list(range(trials)))
+        pool = self._ensure_pool()
+        chunks = self.chunk_indices(trials)
+        futures = [pool.submit(_run_chunk, worker, payload, ts) for ts in chunks]
+        out: List[Any] = []
+        for fut in futures:  # submission order == trial order
+            out.extend(fut.result())
+        return out
+
+    def map_ordered(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """Map a picklable function over heterogeneous work items (one
+        item per task, no chunking), results in item order."""
+        items = list(items)
+        if not items:
+            return []
+        if self.jobs == 1 or len(items) == 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+
+# ----------------------------------------------------------------------
+# Ambient default engine
+# ----------------------------------------------------------------------
+# The library helpers (lamb_trials, the chaos sweeps, ...) consult this
+# ambient engine when no explicit ``jobs=`` is passed.  It defaults to
+# serial unless REPRO_JOBS is set, so tests and small scripts never pay
+# pool startup; ``repro experiments --jobs N`` installs a wider one.
+_default_engine: Optional[TrialEngine] = None
+_default_explicit: bool = False
+
+
+def get_default_engine() -> TrialEngine:
+    """The ambient engine.
+
+    If one was installed explicitly (:func:`set_default_jobs` /
+    :func:`engine_jobs`), that engine is returned; otherwise the
+    engine tracks ``REPRO_JOBS`` (serial when unset, so library calls
+    without an explicit ``jobs=`` never pay pool startup)."""
+    global _default_engine
+    if _default_explicit and _default_engine is not None:
+        return _default_engine
+    want = int(os.environ.get("REPRO_JOBS", "0") or 0) or 1
+    if _default_engine is None or _default_engine.jobs != want:
+        if _default_engine is not None:
+            _default_engine.close()
+        _default_engine = TrialEngine(jobs=want)
+    return _default_engine
+
+
+def set_default_jobs(jobs: Optional[int]) -> TrialEngine:
+    """Install an ambient engine with ``jobs`` workers (``None`` =
+    resolve from ``REPRO_JOBS`` / CPU count) and return it."""
+    global _default_engine, _default_explicit
+    if _default_engine is not None:
+        _default_engine.close()
+    _default_engine = TrialEngine(jobs=resolve_jobs(jobs))
+    _default_explicit = True
+    return _default_engine
+
+
+@contextmanager
+def engine_jobs(jobs: Optional[int]):
+    """Temporarily install an ambient engine with ``jobs`` workers."""
+    global _default_engine, _default_explicit
+    prev, prev_explicit = _default_engine, _default_explicit
+    engine = TrialEngine(jobs=resolve_jobs(jobs))
+    _default_engine, _default_explicit = engine, True
+    try:
+        yield engine
+    finally:
+        _default_engine, _default_explicit = prev, prev_explicit
+        engine.close()
+
+
+def resolve_engine(jobs: Optional[int]) -> Tuple[TrialEngine, bool]:
+    """Engine for a helper call: explicit ``jobs`` spins a private
+    engine (caller-scoped, returned with ``owned=True``); ``None``
+    borrows the ambient engine."""
+    if jobs is None:
+        return get_default_engine(), False
+    return TrialEngine(jobs=jobs), True

@@ -5,6 +5,16 @@ wormhole switching a resource is owned exclusively by one message from
 the time its head flit is routed onto it until its tail flit has
 crossed it; each resource also has a small downstream flit buffer and
 a bandwidth of one flit per cycle.
+
+Hot-path note: every per-cycle operation is O(1) on plain dict lookups
+keyed by precomputed :data:`ResourceKey` tuples.  The simulator's
+inner loop uses the ``*_key`` variants with the per-message hop-key
+arrays (:attr:`repro.wormhole.Message.hop_keys`) so no tuples are
+rebuilt per flit per cycle; the hop-taking methods are thin wrappers
+kept for validation, diagnostics and tests.  Per-cycle link bandwidth
+is tracked with a cycle *stamp* table instead of a set that is cleared
+each cycle, so ``new_cycle`` is O(1) regardless of how many channels
+moved flits.
 """
 
 from __future__ import annotations
@@ -50,7 +60,11 @@ class VirtualNetwork:
         self.buffer_flits = buffer_flits
         self._owner: Dict[ResourceKey, int] = {}
         self._occupancy: Dict[ResourceKey, int] = {}
-        self._used_this_cycle: Set[ResourceKey] = set()
+        # Cycle-stamp table: channel ``k`` was used this cycle iff
+        # ``_used_stamp[k] == _stamp``.  ``new_cycle`` just bumps the
+        # stamp — O(1) instead of clearing a set.
+        self._used_stamp: Dict[ResourceKey, int] = {}
+        self._stamp: int = 0
 
     # ------------------------------------------------------------------
     def validate_hop(self, hop: Hop) -> None:
@@ -103,37 +117,33 @@ class VirtualNetwork:
         return {key for key, owner in self._owner.items() if owner == msg_id}
 
     # ------------------------------------------------------------------
-    def owner(self, hop: Hop) -> Optional[int]:
-        return self._owner.get(_key(hop))
+    # Key-based fast path (the simulator inner loop)
+    # ------------------------------------------------------------------
+    def owner_key(self, key: ResourceKey) -> Optional[int]:
+        return self._owner.get(key)
 
-    def try_acquire(self, hop: Hop, msg_id: int) -> bool:
-        """Acquire the resource for ``msg_id`` if free."""
-        key = _key(hop)
+    def try_acquire_key(self, key: ResourceKey, msg_id: int) -> bool:
         holder = self._owner.get(key)
         if holder is None:
             self._owner[key] = msg_id
             return True
         return holder == msg_id
 
-    def release(self, hop: Hop, msg_id: int) -> None:
-        key = _key(hop)
+    def release_key(self, key: ResourceKey, msg_id: int) -> None:
         if self._owner.get(key) != msg_id:
             raise RuntimeError(f"message {msg_id} does not own {key}")
         del self._owner[key]
 
-    # ------------------------------------------------------------------
-    def buffer_has_space(self, hop: Hop) -> bool:
-        return self._occupancy.get(_key(hop), 0) < self.buffer_flits
+    def buffer_has_space_key(self, key: ResourceKey) -> bool:
+        return self._occupancy.get(key, 0) < self.buffer_flits
 
-    def buffer_push(self, hop: Hop) -> None:
-        key = _key(hop)
+    def buffer_push_key(self, key: ResourceKey) -> None:
         n = self._occupancy.get(key, 0)
         if n >= self.buffer_flits:
             raise RuntimeError(f"buffer overflow on {key}")
         self._occupancy[key] = n + 1
 
-    def buffer_pop(self, hop: Hop) -> None:
-        key = _key(hop)
+    def buffer_pop_key(self, key: ResourceKey) -> None:
         n = self._occupancy.get(key, 0)
         if n <= 0:
             raise RuntimeError(f"buffer underflow on {key}")
@@ -142,12 +152,41 @@ class VirtualNetwork:
         else:
             self._occupancy[key] = n - 1
 
+    def channel_free_key(self, key: ResourceKey) -> bool:
+        return self._used_stamp.get(key, -1) != self._stamp
+
+    def mark_used_key(self, key: ResourceKey) -> None:
+        self._used_stamp[key] = self._stamp
+
+    # ------------------------------------------------------------------
+    # Hop-based wrappers (validation, diagnostics, tests)
+    # ------------------------------------------------------------------
+    def owner(self, hop: Hop) -> Optional[int]:
+        return self._owner.get(_key(hop))
+
+    def try_acquire(self, hop: Hop, msg_id: int) -> bool:
+        """Acquire the resource for ``msg_id`` if free."""
+        return self.try_acquire_key(_key(hop), msg_id)
+
+    def release(self, hop: Hop, msg_id: int) -> None:
+        self.release_key(_key(hop), msg_id)
+
+    # ------------------------------------------------------------------
+    def buffer_has_space(self, hop: Hop) -> bool:
+        return self.buffer_has_space_key(_key(hop))
+
+    def buffer_push(self, hop: Hop) -> None:
+        self.buffer_push_key(_key(hop))
+
+    def buffer_pop(self, hop: Hop) -> None:
+        self.buffer_pop_key(_key(hop))
+
     # ------------------------------------------------------------------
     def channel_free_this_cycle(self, hop: Hop) -> bool:
-        return _key(hop) not in self._used_this_cycle
+        return self.channel_free_key(_key(hop))
 
     def mark_channel_used(self, hop: Hop) -> None:
-        self._used_this_cycle.add(_key(hop))
+        self.mark_used_key(_key(hop))
 
     def new_cycle(self) -> None:
-        self._used_this_cycle.clear()
+        self._stamp += 1

@@ -11,7 +11,7 @@ exactly the paper's deadlock-avoidance discipline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..mesh.geometry import Node
 
@@ -60,6 +60,14 @@ class Message:
     abort_cycle: Optional[int] = None
     abort_reason: Optional[str] = None
     first_inject_cycle: int = -1  # original injection (pre-retry)
+    # Cached (src, dst, vc) resource keys for the current ``hops`` list
+    # (the simulator's hot-path dict keys; see :attr:`hop_keys`).
+    _hop_keys: Optional[List[Tuple[Node, Node, int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _hop_keys_for: Optional[List[Hop]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_flits < 1:
@@ -72,6 +80,22 @@ class Message:
     @property
     def num_hops(self) -> int:
         return len(self.hops)
+
+    @property
+    def hop_keys(self) -> List[Tuple[Node, Node, int]]:
+        """Precomputed ``(src, dst, vc)`` resource keys, one per hop.
+
+        These are the O(1) dict keys the simulator's inner loop hands
+        to :class:`repro.wormhole.network.VirtualNetwork`'s ``*_key``
+        methods, so no tuples are rebuilt per flit per cycle.  The
+        cache is keyed on the *identity* of :attr:`hops`: routes are
+        only ever replaced wholesale (retry / pre-injection re-route),
+        never mutated in place, so an ``is`` check is sufficient.
+        """
+        if self._hop_keys_for is not self.hops:
+            self._hop_keys = [(h.src, h.dst, h.vc) for h in self.hops]
+            self._hop_keys_for = self.hops
+        return self._hop_keys
 
     @property
     def head_pos(self) -> int:

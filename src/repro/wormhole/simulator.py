@@ -19,11 +19,63 @@ Model (standard wormhole switching, Dally & Seitz [8]):
 
 Arbitration is oldest-first (by injection cycle, then message id),
 which is deterministic and starvation-free.
+
+Engines
+-------
+Two cycle-exact step engines are provided:
+
+``"scan"``
+    The historical reference loop: every cycle visits every active
+    message (O(messages) per cycle even when almost everything is
+    blocked or still queued).
+
+``"frontier"`` (default)
+    An event-driven fast path.  Messages waiting for a future
+    injection cycle sit in a heap; messages whose head is blocked on
+    a (link, VC) resource held by another message — or on a full
+    downstream buffer — are *parked* on those resource keys and only
+    re-enter the per-cycle agenda when the blocking resource is
+    released or its buffer is popped.  Visits of blocked messages
+    have no side effects (a head acquires a resource only when it
+    also moves), so parking a message that could not have moved is
+    observationally identical to scanning it; same-cycle wake-ups are
+    inserted into the agenda *after* the current arbitration position
+    only, which reproduces the scan's snapshot visit order exactly.
+    Live-fault events conservatively rebuild the whole frontier.
+
+Both engines share the flit-advance kernel (:meth:`_advance_message`)
+and produce bit-identical :class:`SimStats`, trace streams and
+deadlock diagnostics; golden tests pin the frontier engine against
+the scan engine on seeded scenarios.  Select with ``engine=`` or the
+``REPRO_SIM_ENGINE`` environment variable.
+
+Route cache
+-----------
+:meth:`build_hops` memoizes materialized routes per ``(src, dst)``
+pair within a *routing epoch*; the cache is invalidated whenever the
+fault state or the k-round ordering changes (live-fault events,
+:meth:`set_orderings`).  Note the rng is only consulted on cache
+misses, so enabling the cache changes *which* tie-break draws are
+consumed relative to the historical behaviour (set
+``route_cache=False`` to restore the draw-per-call stream); for any
+fixed configuration the simulation itself remains deterministic.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
+import heapq
+import os
+from bisect import insort
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -38,7 +90,7 @@ from .deadlock import (
     find_deadlock_cycle,
     snapshot_stalls,
 )
-from .network import VirtualNetwork
+from .network import ResourceKey, VirtualNetwork
 from .packets import Hop, Message
 from .stats import SimStats
 from .trace import SYSTEM_MSG_ID, TraceEvent, Tracer
@@ -46,13 +98,23 @@ from .trace import SYSTEM_MSG_ID, TraceEvent, Tracer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .chaos import FaultEvent, FaultSchedule
 
-__all__ = ["WormholeSimulator"]
+__all__ = ["WormholeSimulator", "SIM_ENGINES"]
 
 #: Abort reasons attached to messages torn out by live faults.
 ABORT_ENDPOINT_FAILED = "endpoint-failed"
 ABORT_UNREACHABLE = "unreachable-after-fault"
 ABORT_RETRY_BUDGET = "retry-budget-exhausted"
 ABORT_QUARANTINED = "quarantined"
+
+#: Valid ``engine=`` values.
+SIM_ENGINES = ("frontier", "scan")
+
+_MISSING = object()  # route-cache sentinel (None is a cached miss)
+
+
+def _default_engine() -> str:
+    want = os.environ.get("REPRO_SIM_ENGINE", "").strip()
+    return want if want else "frontier"
 
 
 class WormholeSimulator:
@@ -98,6 +160,14 @@ class WormholeSimulator:
     retry_backoff:
         Base re-injection delay in cycles; retry ``r`` waits
         ``retry_backoff * 2**(r-1)`` cycles (exponential backoff).
+    engine:
+        Step engine, ``"frontier"`` (event-driven fast path, the
+        default) or ``"scan"`` (historical per-cycle full scan); both
+        are cycle-exact.  ``None`` reads ``REPRO_SIM_ENGINE`` from the
+        environment, falling back to ``"frontier"``.
+    route_cache:
+        Memoize :meth:`build_hops` per (src, dst) within a routing
+        epoch (invalidated on live faults / :meth:`set_orderings`).
     """
 
     def __init__(
@@ -117,6 +187,8 @@ class WormholeSimulator:
         ] = None,
         max_retries: int = 3,
         retry_backoff: int = 8,
+        engine: Optional[str] = None,
+        route_cache: bool = True,
     ):
         self.faults = faults
         self.mesh = faults.mesh
@@ -145,17 +217,59 @@ class WormholeSimulator:
         self.retry_backoff = retry_backoff
         self.quarantined: Set[Node] = set()
         self.fault_events_applied = 0
+        # --- engine selection -----------------------------------------
+        engine = _default_engine() if engine is None else engine
+        if engine not in SIM_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of "
+                             f"{SIM_ENGINES}")
+        self.engine = engine
+        # --- route cache ----------------------------------------------
+        self._route_cache_enabled = bool(route_cache)
+        self._route_cache: Dict[Tuple[Node, Node], Optional[List[Hop]]] = {}
+        self.routing_epoch = 0
+        # --- frontier state -------------------------------------------
+        # Messages waiting for a future inject_cycle, as a min-heap of
+        # (inject_cycle, msg_id).
+        self._pending: List[Tuple[int, int]] = []
+        # Messages visited every cycle (potentially able to move).
+        self._runnable: Set[int] = set()
+        # msg_id -> resource keys it is parked on; woken when any of
+        # them is released or has a flit popped from its buffer.
+        self._parked: Dict[int, List[ResourceKey]] = {}
+        # resource key -> msg_ids parked on it (may hold stale
+        # entries; filtered against _parked on wake).
+        self._waiters: Dict[ResourceKey, List[int]] = {}
+        # O(1) drain check: count of delivered-or-aborted messages.
+        self._finished_count = 0
+        # Current cycle's arbitration agenda (sorted (inject, id)
+        # keys); None outside a frontier step.
+        self._agenda: Optional[List[Tuple[int, int]]] = None
+        self._agenda_cur_key: Tuple[int, int] = (-1, -1)
+        self._visited: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Route construction and message submission
     # ------------------------------------------------------------------
     def build_hops(self, src: Node, dst: Node) -> Optional[List[Hop]]:
         """Materialize a k-round route as VC-annotated hops, or None if
-        unreachable."""
+        unreachable.
+
+        Cached per (src, dst) within the current routing epoch: live
+        faults and :meth:`set_orderings` bump :attr:`routing_epoch`
+        and clear the cache, so a hit can never return a route through
+        known-dead hardware.  Hits skip validation and rng tie-break
+        draws (the cached route already passed both).
+        """
+        if self._route_cache_enabled:
+            cached = self._route_cache.get((src, dst), _MISSING)
+            if cached is not _MISSING:
+                return cached
         paths = find_k_round_route(
             self.grids, self.orderings, src, dst, policy=self.policy, rng=self.rng
         )
         if paths is None:
+            if self._route_cache_enabled:
+                self._route_cache[(src, dst)] = None
             return None
         hops: List[Hop] = []
         for t, path in enumerate(paths):
@@ -164,7 +278,14 @@ class WormholeSimulator:
                 hops.append(Hop(tuple(u), tuple(v), vc))
         for hop in hops:
             self.net.validate_hop(hop)
+        if self._route_cache_enabled:
+            self._route_cache[(src, dst)] = hops
         return hops
+
+    def _invalidate_routes(self) -> None:
+        """New routing epoch: faults grew or the ordering changed."""
+        self.routing_epoch += 1
+        self._route_cache.clear()
 
     def send(
         self,
@@ -200,6 +321,9 @@ class WormholeSimulator:
         if not hops:  # src == dst: delivered without entering the network
             msg.delivered_flits = msg.num_flits
             msg.deliver_cycle = when
+            self._finished_count += 1
+        elif self.engine == "frontier":
+            heapq.heappush(self._pending, (when, msg.msg_id))
         self.messages[msg.msg_id] = msg
         if self.tracer is not None:
             self.tracer.record(
@@ -218,6 +342,7 @@ class WormholeSimulator:
         want = max(self.net.num_vcs, orderings.k)
         if want > self.net.num_vcs:
             self.net.grow_vcs(want)
+        self._invalidate_routes()
 
     def quarantine(self, nodes: Sequence[Node]) -> None:
         """Mark ``nodes`` as unreachable-by-policy: torn-out messages
@@ -264,6 +389,7 @@ class WormholeSimulator:
         self.faults = self.faults.with_faults(new_nodes, new_links)
         self.grids.add_faults(new_nodes, new_links)
         self.net.apply_faults(self.faults)
+        self._invalidate_routes()
         self.fault_events_applied += 1
         if self.tracer is not None:
             for v in new_nodes:
@@ -287,6 +413,11 @@ class WormholeSimulator:
             self.on_fault(event, new_nodes, new_links)
         for m in victims:
             self._redispatch(m)
+        # Teardown force-released resources and dropped buffered flits
+        # without per-key wake notifications, victims changed their
+        # inject cycles, and the reconfiguration hook may have sent
+        # fresh messages: rebuild the frontier conservatively.
+        self._rebuild_frontier()
         return victims
 
     @staticmethod
@@ -356,6 +487,7 @@ class WormholeSimulator:
     def _abort(self, m: Message, reason: str) -> None:
         m.abort_cycle = self.cycle
         m.abort_reason = reason
+        self._finished_count += 1
         if self.tracer is not None:
             self.tracer.record(
                 TraceEvent(self.cycle, "abort", m.msg_id,
@@ -363,10 +495,114 @@ class WormholeSimulator:
             )
 
     # ------------------------------------------------------------------
+    # Frontier bookkeeping
+    # ------------------------------------------------------------------
+    def _rebuild_frontier(self) -> None:
+        """Conservative full rebuild after a live-fault event: every
+        unfinished message goes back to pending (future injection) or
+        runnable; park/wait state is discarded (messages re-park after
+        one blocked visit).  Also recounts the finished tally."""
+        self._finished_count = sum(
+            1 for m in self.messages.values() if m.is_finished
+        )
+        if self.engine != "frontier":
+            return
+        self._parked.clear()
+        self._waiters.clear()
+        self._runnable.clear()
+        pending: List[Tuple[int, int]] = []
+        cycle = self.cycle
+        for m in self.messages.values():
+            if m.is_finished:
+                continue
+            if m.inject_cycle <= cycle:
+                self._runnable.add(m.msg_id)
+            else:
+                pending.append((m.inject_cycle, m.msg_id))
+        heapq.heapify(pending)
+        self._pending = pending
+
+    def _wake_key(self, key: ResourceKey) -> None:
+        """A resource was released or had a buffered flit popped:
+        unpark every message waiting on it.  If the current cycle's
+        arbitration has not yet passed the woken message's slot, it is
+        inserted into the live agenda (matching the scan engine's
+        snapshot visit order); otherwise it runs from the next cycle.
+        Spurious wake-ups are harmless — a visit that cannot move any
+        flit has no side effects."""
+        waiters = self._waiters
+        if not waiters:
+            return
+        lst = waiters.pop(key, None)
+        if lst is None:
+            return
+        parked = self._parked
+        agenda = self._agenda
+        for mid in lst:
+            if parked.pop(mid, None) is None:
+                continue  # stale entry: already woken via another key
+            m = self.messages[mid]
+            if m.is_finished:
+                continue
+            self._runnable.add(mid)
+            if agenda is not None and mid not in self._visited:
+                sk = (m.inject_cycle, mid)
+                if sk > self._agenda_cur_key:
+                    insort(agenda, sk)
+
+    def _park_keys(self, m: Message) -> Optional[List[ResourceKey]]:
+        """Resource keys a zero-move message should wait on, or None
+        if it must stay runnable (its blocker is transient, i.e. only
+        this cycle's bandwidth).
+
+        The head is parked on its next hop's resource when that is
+        held by another message (woken by release) or its downstream
+        buffer is full (woken by a buffer pop — the buffer may hold
+        straggling tail flits of a previous owner).  Body flits with a
+        gap ahead can additionally be stuck behind such straggler-full
+        buffers mid-route, so those keys are collected too.  All other
+        blockers resolve by themselves next cycle, so the message
+        stays runnable; uncertain cases also stay runnable (safe,
+        merely a wasted visit)."""
+        fp = m.flit_pos
+        last = m.num_hops - 1
+        nxt = fp[0] + 1
+        if nxt > last:
+            return None  # head ejected: trailing drain, stay runnable
+        keys = m.hop_keys
+        net = self.net
+        head_key = keys[nxt]
+        holder = net.owner_key(head_key)
+        if holder == m.msg_id:
+            return None  # defensive: should have moved
+        if holder is None and (
+            nxt == last or net.buffer_has_space_key(head_key)
+        ):
+            return None  # only blocked by this cycle's bandwidth
+        wait = [head_key]
+        for f in range(1, m.num_flits):
+            pos = fp[f]
+            b = pos + 1
+            if b > last:
+                continue  # flit already ejected
+            if fp[f - 1] < b:
+                if pos < 0:
+                    break  # the rest are still queued at the source
+                continue  # no gap: waits on its predecessor (internal)
+            if b == last:
+                return None  # defensive: ejection always possible
+            bkey = keys[b]
+            if net.buffer_has_space_key(bkey):
+                return None  # defensive: should have moved
+            wait.append(bkey)
+        return wait
+
+    # ------------------------------------------------------------------
     # Simulation loop
     # ------------------------------------------------------------------
     def _active_messages(self) -> List[Message]:
-        """Messages eligible to move this cycle, oldest first."""
+        """Messages eligible to move this cycle, oldest first (scan
+        engine)."""
         out = [
             m
             for m in self.messages.values()
@@ -375,59 +611,85 @@ class WormholeSimulator:
         out.sort(key=lambda m: (m.inject_cycle, m.msg_id))
         return out
 
-    def _try_advance_flit(self, m: Message, f: int) -> bool:
-        """Attempt to move flit ``f`` one hop; returns True on motion."""
-        pos = m.flit_pos[f]
-        nxt = pos + 1
-        if nxt >= m.num_hops:
-            return False  # already at destination (delivered elsewhere)
-        if f > 0 and m.flit_pos[f - 1] < nxt:
-            return False  # cannot pass the preceding flit
-        hop = m.hops[nxt]
-        if not self.net.channel_free_this_cycle(hop):
-            return False
-        if f == 0:
-            if not self.net.buffer_has_space(hop) and nxt != m.num_hops - 1:
-                # Head can always eject at the final hop.
-                return False
-            newly_acquired = self.net.owner(hop) is None
-            if not self.net.try_acquire(hop, m.msg_id):
-                return False
-            if newly_acquired and self.tracer is not None:
-                self.tracer.record(
-                    TraceEvent(self.cycle, "acquire", m.msg_id,
+    def _advance_message(self, m: Message) -> int:
+        """Move every flit of ``m`` that can move this cycle (head
+        first, then body flits in order — each over a distinct hop, so
+        per-message ordering is conflict-free).  Returns the number of
+        flits that moved.  Shared by both engines."""
+        net = self.net
+        fp = m.flit_pos
+        keys = m.hop_keys
+        hops = m.hops
+        last = m.num_hops - 1
+        mid = m.msg_id
+        num_flits = m.num_flits
+        tracer = self.tracer
+        channel_free = net.channel_free_key
+        owner_of = net.owner_key
+        has_space = net.buffer_has_space_key
+        moved = 0
+        for f in range(num_flits):
+            pos = fp[f]
+            nxt = pos + 1
+            if nxt > last:
+                continue  # flit already ejected at the destination
+            if f > 0 and fp[f - 1] < nxt:
+                if pos < 0:
+                    break  # this and all later flits still queued
+                continue  # cannot pass the preceding flit
+            key = keys[nxt]
+            if not channel_free(key):
+                continue  # resource bandwidth spent this cycle
+            if f == 0:
+                if nxt != last and not has_space(key):
+                    # Head can always eject at the final hop.
+                    continue
+                holder = owner_of(key)
+                if holder is None:
+                    net.try_acquire_key(key, mid)
+                    if tracer is not None:
+                        hop = hops[nxt]
+                        tracer.record(
+                            TraceEvent(self.cycle, "acquire", mid,
+                                       src=hop.src, dst=hop.dst, vc=hop.vc)
+                        )
+                elif holder != mid:
+                    continue  # held by another message
+            else:
+                if owner_of(key) != mid:
+                    continue  # released under us? cannot happen
+                if nxt != last and not has_space(key):
+                    continue
+            # Move: leave the old buffer (if we were in one), enter
+            # the new.
+            net.mark_used_key(key)
+            if 0 <= pos < last:
+                pkey = keys[pos]
+                net.buffer_pop_key(pkey)
+                self._wake_key(pkey)
+            if nxt != last:
+                net.buffer_push_key(key)
+            else:
+                m.delivered_flits += 1
+            fp[f] = nxt
+            moved += 1
+            if tracer is not None:
+                hop = hops[nxt]
+                tracer.record(
+                    TraceEvent(self.cycle, "flit", mid, flit=f,
                                src=hop.src, dst=hop.dst, vc=hop.vc)
                 )
-            if nxt != m.num_hops - 1 and not self.net.buffer_has_space(hop):
-                return False
-        else:
-            if self.net.owner(hop) != m.msg_id:
-                return False  # resource already released? cannot happen
-            if nxt != m.num_hops - 1 and not self.net.buffer_has_space(hop):
-                return False
-        # Move: leave old buffer (if we were in one), enter the new.
-        self.net.mark_channel_used(hop)
-        if pos >= 0 and pos < m.num_hops - 1:
-            self.net.buffer_pop(m.hops[pos])
-        if nxt != m.num_hops - 1:
-            self.net.buffer_push(hop)
-        else:
-            m.delivered_flits += 1
-        m.flit_pos[f] = nxt
-        if self.tracer is not None:
-            self.tracer.record(
-                TraceEvent(self.cycle, "flit", m.msg_id, flit=f,
-                           src=hop.src, dst=hop.dst, vc=hop.vc)
-            )
-        # Tail crossed hop `nxt`: release it.
-        if f == m.num_flits - 1:
-            self.net.release(hop, m.msg_id)
-            if self.tracer is not None:
-                self.tracer.record(
-                    TraceEvent(self.cycle, "release", m.msg_id,
-                               src=hop.src, dst=hop.dst, vc=hop.vc)
-                )
-        return True
+            # Tail crossed hop `nxt`: release it.
+            if f == num_flits - 1:
+                net.release_key(key, mid)
+                self._wake_key(key)
+                if tracer is not None:
+                    hop = hops[nxt]
+                    tracer.record(
+                        TraceEvent(self.cycle, "release", mid,
+                                   src=hop.src, dst=hop.dst, vc=hop.vc)
+                    )
+        return moved
 
     def step(self) -> int:
         """Advance one cycle; returns the number of flits that moved.
@@ -435,17 +697,20 @@ class WormholeSimulator:
         Due live-fault events are applied first, so a fault at cycle
         ``c`` affects cycle ``c``'s movement.
         """
+        if self.engine == "frontier":
+            return self._step_frontier()
+        return self._step_scan()
+
+    def _step_scan(self) -> int:
+        """Reference engine: visit every active message each cycle."""
         self._process_due_events()
         self.net.new_cycle()
         moved = 0
         for m in self._active_messages():
-            # Head first, then body flits in order (each over a
-            # distinct hop, so per-message ordering is conflict-free).
-            for f in range(m.num_flits):
-                if self._try_advance_flit(m, f):
-                    moved += 1
+            moved += self._advance_message(m)
             if m.delivered_flits == m.num_flits and m.deliver_cycle is None:
                 m.deliver_cycle = self.cycle + 1
+                self._finished_count += 1
                 if self.tracer is not None:
                     self.tracer.record(
                         TraceEvent(self.cycle, "deliver", m.msg_id,
@@ -456,27 +721,106 @@ class WormholeSimulator:
             not m.is_finished and m.inject_cycle < self.cycle
             for m in self.messages.values()
         ):
-            self._idle_cycles += 1
-            if self._idle_cycles >= self._deadlock_check_every:
-                graph = build_wait_graph(self.messages.values(), self.net)
-                cycle = find_deadlock_cycle(graph)
-                if cycle is not None:
-                    raise DeadlockError(
-                        cycle,
-                        snapshot_stalls(
-                            self.cycle, self.messages.values(), self.net
-                        ),
-                    )
+            self._check_deadlock()
         else:
             self._idle_cycles = 0
         return moved
 
+    def _step_frontier(self) -> int:
+        """Event-driven engine: visit only runnable messages."""
+        self._process_due_events()
+        self.net.new_cycle()
+        cycle = self.cycle
+        messages = self.messages
+        pending = self._pending
+        runnable = self._runnable
+        # Admit newly injectable messages (and retries whose backoff
+        # expired) into the runnable set.
+        while pending and pending[0][0] <= cycle:
+            _, mid = heapq.heappop(pending)
+            m = messages[mid]
+            if m.is_finished:
+                continue
+            if m.inject_cycle <= cycle:
+                runnable.add(mid)
+            else:  # defensive: injection was re-delayed
+                heapq.heappush(pending, (m.inject_cycle, mid))
+        # Oldest-first arbitration agenda over the runnable set; wakes
+        # from releases/pops may insert behind the current position.
+        agenda = sorted((messages[mid].inject_cycle, mid) for mid in runnable)
+        self._agenda = agenda
+        self._visited = visited = set()
+        parked = self._parked
+        waiters = self._waiters
+        moved = 0
+        i = 0
+        while i < len(agenda):
+            sk = agenda[i]
+            i += 1
+            mid = sk[1]
+            if mid in visited:
+                continue
+            visited.add(mid)
+            self._agenda_cur_key = sk
+            m = messages[mid]
+            if m.is_finished:  # finished out-of-band
+                runnable.discard(mid)
+                continue
+            n = self._advance_message(m)
+            moved += n
+            if m.delivered_flits == m.num_flits and m.deliver_cycle is None:
+                m.deliver_cycle = cycle + 1
+                self._finished_count += 1
+                runnable.discard(mid)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        TraceEvent(cycle, "deliver", mid,
+                                   src=m.source, dst=m.dest)
+                    )
+            elif n == 0:
+                keys = self._park_keys(m)
+                if keys is not None:
+                    runnable.discard(mid)
+                    parked[mid] = keys
+                    for k in keys:
+                        lst = waiters.get(k)
+                        if lst is None:
+                            waiters[k] = [mid]
+                        else:
+                            lst.append(mid)
+        self._agenda = None
+        self.cycle += 1
+        # Parity with the scan engine's idle check: runnable | parked
+        # is exactly the set of unfinished messages with
+        # inject_cycle < self.cycle (pending ones are strictly later).
+        if moved == 0 and (runnable or parked):
+            self._check_deadlock()
+        else:
+            self._idle_cycles = 0
+        return moved
+
+    def _check_deadlock(self) -> None:
+        """Count an idle cycle; run the wait-graph detector once the
+        idle streak reaches the check interval."""
+        self._idle_cycles += 1
+        if self._idle_cycles >= self._deadlock_check_every:
+            graph = build_wait_graph(self.messages.values(), self.net)
+            cycle = find_deadlock_cycle(graph)
+            if cycle is not None:
+                raise DeadlockError(
+                    cycle,
+                    snapshot_stalls(
+                        self.cycle, self.messages.values(), self.net
+                    ),
+                )
+
     def _drained(self) -> bool:
         """Every message terminal (delivered or aborted-with-reason)
-        and every scheduled fault event applied."""
+        and every scheduled fault event applied.  O(1): finished
+        messages are counted as they finish."""
         if self.schedule is not None and self._schedule_pos < len(self.schedule):
             return False
-        return all(m.is_finished for m in self.messages.values())
+        return self._finished_count >= len(self.messages)
 
     def run(self, max_cycles: int = 100000) -> SimStats:
         """Run until every message is delivered or explicitly aborted

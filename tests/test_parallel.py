@@ -1,0 +1,186 @@
+"""Serial-vs-parallel equivalence of the trial engine.
+
+Every sweep repeats an independent seeded computation: trial ``t``
+draws all randomness from ``(seed, tag, t)``, so fanning trials across
+a process pool must be *bit-identical* to the serial loop on every
+deterministic key (wall-clock ``seconds`` keys are machine timings and
+excluded).  These tests pin that property for the lamb trials, the
+chaos sweeps and the EXPERIMENTS.md generator, plus the engine's own
+plumbing (worker resolution, chunking, ambient installation).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.chaos_experiments import (
+    fault_arrival_sweep,
+    reconfiguration_latency_sweep,
+)
+from repro.experiments.generate import generate
+from repro.experiments.harness import SweepResult, TrialSeries, lamb_trials
+from repro.experiments.parallel import (
+    TrialEngine,
+    engine_jobs,
+    get_default_engine,
+    is_picklable,
+    resolve_jobs,
+    set_default_jobs,
+    worker_memo,
+)
+from repro.mesh import Mesh
+
+#: Keys that record machine wall-clock time: never bit-identical.
+TIMING_KEYS = frozenset(
+    {"seconds", "seconds_2d", "seconds_3d", "epoch_seconds",
+     "worst_epoch_seconds", "total_seconds"}
+)
+
+
+def _deterministic(series: TrialSeries):
+    return {
+        k: v for k, v in series.values.items() if k not in TIMING_KEYS
+    }
+
+
+def _sweep_deterministic(result: SweepResult):
+    return [(s.x, _deterministic(s)) for s in result.series]
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_zero_means_all_cpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestEngine:
+    def test_chunks_cover_range_in_order(self):
+        eng = TrialEngine(jobs=3, chunks_per_worker=2)
+        chunks = eng.chunk_indices(17)
+        flat = [t for chunk in chunks for t in chunk]
+        assert flat == list(range(17))
+        eng.close()
+
+    def test_run_trials_orders_results(self):
+        from repro.experiments import parallel as par
+
+        with TrialEngine(jobs=2) as eng:
+            out = eng.run_trials(_echo_worker, 9, {"base": 100})
+        assert out == [100 + t for t in range(9)]
+
+    def test_serial_never_spawns_pool(self):
+        with TrialEngine(jobs=1) as eng:
+            eng.run_trials(_echo_worker, 4, {"base": 0})
+            assert eng._pool is None
+
+    def test_worker_memo_reuses(self):
+        calls = []
+        a = worker_memo(("t", 1), lambda: calls.append(1) or object())
+        b = worker_memo(("t", 1), lambda: calls.append(1) or object())
+        assert a is b and len(calls) == 1
+
+    def test_is_picklable(self):
+        assert is_picklable(None)
+        assert is_picklable(_echo_worker)
+        assert not is_picklable(lambda p, t: t)
+
+    def test_ambient_engine_install_and_restore(self):
+        base = get_default_engine()
+        with engine_jobs(2) as eng:
+            assert get_default_engine() is eng
+            assert eng.jobs == 2
+        assert get_default_engine() is not eng
+        set_default_jobs(1)  # restore a known ambient for other tests
+        assert get_default_engine().jobs == 1
+        assert base.jobs >= 1
+
+
+def _echo_worker(payload, t):
+    return payload["base"] + t
+
+
+class TestBitIdenticalSweeps:
+    def test_lamb_trials(self):
+        mesh = Mesh.square(2, 12)
+        serial = lamb_trials(mesh, 6, trials=8, seed=3, tag=2, jobs=1)
+        fanned = lamb_trials(mesh, 6, trials=8, seed=3, tag=2, jobs=4)
+        assert _deterministic(serial) == _deterministic(fanned)
+        assert set(serial.values) == set(fanned.values)  # incl. seconds
+
+    def test_lamb_trials_3d(self):
+        mesh = Mesh.square(3, 6)
+        serial = lamb_trials(mesh, 5, trials=6, seed=0, tag=9, jobs=1)
+        fanned = lamb_trials(mesh, 5, trials=6, seed=0, tag=9, jobs=3)
+        assert _deterministic(serial) == _deterministic(fanned)
+
+    def test_unpicklable_extra_falls_back_serially(self):
+        mesh = Mesh.square(2, 10)
+        extra = lambda r: {"twice": 2.0 * len(r.lambs)}  # noqa: E731
+        serial = lamb_trials(mesh, 4, trials=4, seed=1, jobs=1, extra=extra)
+        fanned = lamb_trials(mesh, 4, trials=4, seed=1, jobs=4, extra=extra)
+        assert _deterministic(serial) == _deterministic(fanned)
+        assert "twice" in fanned.values
+
+    def test_fault_arrival_sweep(self):
+        kw = dict(event_counts=(0, 2), trials=2, seed=1, num_messages=40)
+        serial = fault_arrival_sweep(jobs=1, **kw)
+        fanned = fault_arrival_sweep(jobs=4, **kw)
+        assert _sweep_deterministic(serial) == _sweep_deterministic(fanned)
+
+    def test_reconfiguration_latency_sweep(self):
+        kw = dict(event_counts=(1, 2), trials=2, seed=0, num_messages=30)
+        serial = reconfiguration_latency_sweep(jobs=1, **kw)
+        fanned = reconfiguration_latency_sweep(jobs=4, **kw)
+        assert _sweep_deterministic(serial) == _sweep_deterministic(fanned)
+
+
+def _strip_timing_lines(text: str):
+    return [
+        line
+        for line in text.splitlines()
+        if "generation time" not in line
+    ]
+
+
+class TestGenerateReport:
+    def test_report_bytes_identical_across_job_counts(self, tmp_path):
+        """EXPERIMENTS.md sections must agree byte-for-byte between
+        jobs=1 and jobs=2 (modulo the wall-clock footer)."""
+        a = generate(path=str(tmp_path / "a.md"), seed=0,
+                     sections=("tables", "section3"), jobs=1)
+        b = generate(path=str(tmp_path / "b.md"), seed=0,
+                     sections=("tables", "section3"), jobs=2)
+        assert _strip_timing_lines(a) == _strip_timing_lines(b)
+
+    def test_unknown_section_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown sections"):
+            generate(path=str(tmp_path / "x.md"), sections=("nope",))
+
+
+class TestHarnessGuards:
+    def test_column_unknown_agg_raises_value_error(self):
+        result = SweepResult("f", "d", "x")
+        series = TrialSeries(x=1.0)
+        series.add(lambs=3.0)
+        result.series.append(series)
+        assert result.column("lambs", "avg") == [3.0]
+        with pytest.raises(ValueError, match="unknown agg"):
+            result.column("lambs", "median")
+
+    def test_ci95_available(self):
+        series = TrialSeries(x=0.0)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            series.add(lambs=v)
+        assert series.ci95("lambs") > 0.0
