@@ -55,7 +55,9 @@ class FaultBlock:
         return out
 
 
-def staircase_blocks(mesh: Mesh, count: int, size: int = 1, gap: int = 2) -> List[FaultBlock]:
+def staircase_blocks(
+    mesh: Mesh, count: int, size: int = 1, gap: int = 2
+) -> List[FaultBlock]:
     """A diagonal staircase of blocks — the adversarial placement that
     forces Θ(count) turns on fault-ring routers while a lamb router
     still uses at most 3 turns."""
@@ -115,7 +117,8 @@ class BlockFaultRouter:
         self.mesh = mesh
         self.blocks = list(blocks)
         for b in self.blocks:
-            if b.x0 < 1 or b.y0 < 1 or b.x1 > mesh.widths[0] - 2 or b.y1 > mesh.widths[1] - 2:
+            if (b.x0 < 1 or b.y0 < 1 or b.x1 > mesh.widths[0] - 2
+                    or b.y1 > mesh.widths[1] - 2):
                 raise ValueError(f"block {b} touches the mesh boundary")
         for i, a in enumerate(self.blocks):
             for b in self.blocks[i + 1 :]:

@@ -31,8 +31,12 @@ def _components(faults: FaultSet) -> List[List[Node]]:
     mesh = faults.mesh
     remaining: Set[Node] = set(faults.node_faults)
     comps = []
-    while remaining:
-        seed = remaining.pop()
+    # Seed components in F_N declaration order: a set.pop() seed is
+    # hash-order dependent and would reorder the emitted components.
+    for seed in faults.node_faults:
+        if seed not in remaining:
+            continue
+        remaining.remove(seed)
         comp = [seed]
         stack = [seed]
         while stack:

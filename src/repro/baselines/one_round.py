@@ -24,7 +24,9 @@ from ..routing.ordering import Ordering, ascending, repeated
 __all__ = ["one_round_lamb", "OneVsTwoRounds", "compare_one_vs_two_rounds"]
 
 
-def one_round_lamb(faults: FaultSet, pi: Ordering, method: str = "bipartite") -> LambResult:
+def one_round_lamb(
+    faults: FaultSet, pi: Ordering, method: str = "bipartite"
+) -> LambResult:
     """Run the lamb pipeline with a single round of ``pi``-routing."""
     return find_lamb_set(faults, repeated(pi, 1), method=method)
 

@@ -45,8 +45,12 @@ def _components8(nodes: Set[Node]) -> List[Set[Node]]:
     """8-connected components of a node set."""
     remaining = set(nodes)
     comps = []
-    while remaining:
-        seed = remaining.pop()
+    # Deterministic seed order: set.pop() would emit the components in
+    # hash order.
+    for seed in sorted(nodes):
+        if seed not in remaining:
+            continue
+        remaining.remove(seed)
         comp = {seed}
         stack = [seed]
         while stack:
@@ -82,9 +86,10 @@ def trace_fault_ring(mesh: Mesh, region: Set[Node]) -> List[Node]:
                 if not mesh.contains(w):
                     raise ValueError("region touches the mesh boundary")
                 ring.add(w)
-    # Walk the cycle using orthogonal adjacency.
+    # Walk the cycle using orthogonal adjacency (sorted iteration pins
+    # the adjacency insertion order deterministically).
     adj: Dict[Node, List[Node]] = {}
-    for v in ring:
+    for v in sorted(ring):
         x, y = v
         adj[v] = [
             w

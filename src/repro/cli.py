@@ -11,6 +11,9 @@
 - ``reconfigure`` replay fault epochs from a JSON script
 - ``collective``  run a collective among the survivors
 - ``worked-example``  print the Section 5 artifacts (Tables 1-2, Λ)
+- ``analyze``     run the domain lint suite over Python sources
+- ``prove``       statically prove a routing configuration deadlock-free
+  (channel-dependency-graph acyclicity)
 
 Examples
 --------
@@ -24,6 +27,8 @@ Examples
     python -m repro chaos --mesh 8x8 --faults 2 --events 3 --seed 1
     python -m repro figure fig17 --trials 20
     python -m repro worked-example
+    python -m repro analyze src/ tests/
+    python -m repro prove --mesh 16x16 --faults 8 --rounds 2
 """
 
 from __future__ import annotations
@@ -58,13 +63,18 @@ def _parse_node(text: str):
 
 
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--mesh", type=_parse_mesh, help="mesh spec, e.g. 32x32x32 or torus:8x8")
-    p.add_argument("--faults", type=int, default=0, help="number of random node faults")
-    p.add_argument("--percent", type=float, default=0.0, help="random node faults as %% of N")
+    p.add_argument("--mesh", type=_parse_mesh,
+                   help="mesh spec, e.g. 32x32x32 or torus:8x8")
+    p.add_argument("--faults", type=int, default=0,
+                   help="number of random node faults")
+    p.add_argument("--percent", type=float, default=0.0,
+                   help="random node faults as %% of N")
     p.add_argument("--fault", type=_parse_node, action="append", default=[],
                    help="explicit faulty node (repeatable), e.g. --fault 9,1")
-    p.add_argument("--seed", type=int, default=0, help="RNG seed for random faults")
-    p.add_argument("--load", type=str, default=None, help="load a fault-set JSON instead")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for random faults")
+    p.add_argument("--load", type=str, default=None,
+                   help="load a fault-set JSON instead")
 
 
 def _build_faults(args):
@@ -367,6 +377,48 @@ def cmd_worked_example(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from .analysis.static import analyze_paths
+    from .analysis.static.lint import format_violations
+    from .analysis.static.rules import ALL_RULES
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name}")
+            print(f"        {rule.description}")
+        return 0
+    if not args.paths:
+        raise SystemExit("give at least one file or directory to analyze")
+    violations = analyze_paths(args.paths)
+    if violations:
+        print(format_violations(violations, fmt=args.format))
+    if args.format == "text":
+        n = len(violations)
+        print(f"{n} violation(s)" if n else "clean: no violations")
+    return 1 if violations else 0
+
+
+def cmd_prove(args) -> int:
+    from .analysis.static import prove_deadlock_free
+
+    faults = _build_faults(args)
+    mesh = faults.mesh
+    orderings = _orderings(args, mesh.d)
+    vc_of_round = None
+    num_vcs: Optional[int] = None
+    if args.single_vc:
+        vc_of_round = lambda t: 0  # noqa: E731
+        num_vcs = 1
+    report = prove_deadlock_free(
+        faults, orderings, vc_of_round=vc_of_round, num_vcs=num_vcs
+    )
+    print(report.describe())
+    if args.out:
+        report.write_artifact(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.deadlock_free else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -492,6 +544,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("worked-example", help="print the Section 5 artifacts")
     p.set_defaults(fn=cmd_worked_example)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the domain lint suite (exit 1 on any violation)",
+    )
+    p.add_argument("paths", nargs="*", help="files or directories to lint")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "prove",
+        help="statically prove a configuration deadlock-free "
+        "(CDG acyclicity; exit 1 with a counterexample cycle otherwise)",
+    )
+    _add_fault_args(p)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--single-vc", action="store_true",
+                   help="map every round to VC 0 (a known-broken "
+                   "discipline, useful for demonstrating a cycle)")
+    p.add_argument("--out", type=str, default=None,
+                   help="write the report (incl. any counterexample "
+                   "cycle) as a JSON artifact")
+    p.set_defaults(fn=cmd_prove)
 
     return parser
 

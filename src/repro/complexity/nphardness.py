@@ -25,7 +25,12 @@ from typing import Dict, Iterable, List, Set, Tuple
 from ..mesh.faults import FaultSet
 from ..mesh.geometry import Mesh, Node
 
-__all__ = ["LambHardnessInstance", "build_lamb_instance", "recover_vertex_cover", "cover_to_lamb_set"]
+__all__ = [
+    "LambHardnessInstance",
+    "build_lamb_instance",
+    "recover_vertex_cover",
+    "cover_to_lamb_set",
+]
 
 
 @dataclass

@@ -44,7 +44,9 @@ __all__ = [
 ]
 
 
-def _group_rows(arr: np.ndarray, cols: Sequence[int]) -> Dict[Tuple[int, ...], np.ndarray]:
+def _group_rows(
+    arr: np.ndarray, cols: Sequence[int]
+) -> Dict[Tuple[int, ...], np.ndarray]:
     """Group row indices of ``arr`` by the tuple of values in ``cols``.
 
     Vectorized: one ``np.unique(..., return_inverse=True)`` over the

@@ -48,8 +48,13 @@ def largest_good_component(faults: FaultSet) -> Tuple[Set[Node], Set[Node]]:
     good = [v for v in mesh.nodes() if not faults.node_is_faulty(v)]
     unseen = set(good)
     best: Set[Node] = set()
-    while unseen:
-        start = unseen.pop()
+    # Seed the flood fills in mesh enumeration order; popping from the
+    # ``unseen`` set would break equal-size-component ties in hash
+    # order and make the quarantine region run-order dependent.
+    for start in good:
+        if start not in unseen:
+            continue
+        unseen.remove(start)
         comp = {start}
         frontier = [start]
         while frontier:

@@ -82,7 +82,7 @@ def is_lamb_set(
     """Definition 2.6: Λ contains no faulty node and
     ``nodes(M) - (Λ ∪ F_N)`` is a survivor set."""
     lamb_set: Set[Node] = {tuple(v) for v in lambs}
-    for v in lamb_set:
+    for v in sorted(lamb_set):
         if faults.node_is_faulty(v):
             return False
     survivors = [

@@ -244,8 +244,10 @@ def fig26(trials: Optional[int] = None, seed: int = 0) -> SweepResult:
     m3, m2 = Mesh.square(3, 32), Mesh.square(2, 181)
     for i, pct in enumerate(PERCENTS):
         series = TrialSeries(x=pct)
-        s3 = lamb_trials(m3, _faults_for_percent(m3, pct), trials, seed=seed, tag=2600 + i)
-        s2 = lamb_trials(m2, _faults_for_percent(m2, pct), trials, seed=seed, tag=2650 + i)
+        s3 = lamb_trials(m3, _faults_for_percent(m3, pct), trials,
+                         seed=seed, tag=2600 + i)
+        s2 = lamb_trials(m2, _faults_for_percent(m2, pct), trials,
+                         seed=seed, tag=2650 + i)
         series.add(seconds_3d=s3.avg("seconds"), seconds_2d=s2.avg("seconds"))
         out.series.append(series)
     return out

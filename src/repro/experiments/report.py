@@ -102,7 +102,9 @@ def sweep_to_markdown(
     return "\n".join(lines)
 
 
-def render_matrix(matrix: np.ndarray, row_prefix: str = "S", col_prefix: str = "D") -> str:
+def render_matrix(
+    matrix: np.ndarray, row_prefix: str = "S", col_prefix: str = "D"
+) -> str:
     """Render a boolean reachability matrix in the style of the
     paper's Tables 1-2."""
     p, q = matrix.shape

@@ -30,7 +30,7 @@ class MaxFlow:
     4.0
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
             raise ValueError("need at least one vertex")
         self.n = n

@@ -33,7 +33,12 @@ from .serialization import (
     mesh_from_dict,
     mesh_to_dict,
 )
-from .regions import Rect, rect_intersection_matrix, rects_are_disjoint, rects_total_size
+from .regions import (
+    Rect,
+    rect_intersection_matrix,
+    rects_are_disjoint,
+    rects_total_size,
+)
 from .torus import Torus
 
 __all__ = [

@@ -106,7 +106,7 @@ def lamb_outcome_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
         [Ordering(tuple(int(x) for x in perm)) for perm in data["orderings"]]
     )
     lambs = {tuple(int(x) for x in v) for v in data["lambs"]}
-    for v in lambs:
+    for v in sorted(lambs):
         if not faults.mesh.contains(v):
             raise ValueError(f"lamb {v} outside the mesh")
         if faults.node_is_faulty(v):

@@ -46,7 +46,9 @@ def dor_segments(
     return out
 
 
-def dor_path(mesh: Mesh, pi: Ordering, v: Sequence[int], w: Sequence[int]) -> List[Node]:
+def dor_path(
+    mesh: Mesh, pi: Ordering, v: Sequence[int], w: Sequence[int]
+) -> List[Node]:
     """The explicit node sequence of the unique ``pi``-route.
 
     >>> from repro.mesh import Mesh

@@ -52,7 +52,7 @@ class LineFaultIndex:
 
     __slots__ = ("faults", "mesh", "_up", "_down")
 
-    def __init__(self, faults: FaultSet):
+    def __init__(self, faults: FaultSet) -> None:
         self.faults = faults
         self.mesh: Mesh = faults.mesh
         d = self.mesh.d
@@ -99,7 +99,7 @@ class LineFaultIndex:
         dimension-``j`` line containing at least one obstacle."""
         empty = np.empty(0)
         keys = set(self._up[j]) | set(self._down[j])
-        for key in keys:
+        for key in sorted(keys):
             yield key, self._up[j].get(key, empty), self._down[j].get(key, empty)
 
     # ------------------------------------------------------------------

@@ -51,7 +51,7 @@ class FaultGrids:
 
     __slots__ = ("mesh", "good", "up_cut", "down_cut")
 
-    def __init__(self, faults: FaultSet):
+    def __init__(self, faults: FaultSet) -> None:
         mesh = faults.mesh
         self.mesh = mesh
         good = np.ones(mesh.widths, dtype=bool)
@@ -207,23 +207,22 @@ def find_k_round_route(
     w = tuple(int(x) for x in w)
     k = orderings.k
     # Forward sets F_t = nodes reachable from v in t rounds.
-    fwd = [None] * (k + 1)
     start = np.zeros(mesh.widths, dtype=bool)
     if not grids.good[v] or not grids.good[w]:
         return None
     start[v] = True
-    fwd[0] = start
+    fwd: List[np.ndarray] = [start]
     for t in range(1, k + 1):
-        fwd[t] = reach_set_one_round(grids, orderings[t - 1], fwd[t - 1])
+        fwd.append(reach_set_one_round(grids, orderings[t - 1], fwd[t - 1]))
     if not fwd[k][w]:
         return None
     # Backward sets B_t = nodes that can reach w in the remaining rounds.
-    bwd = [None] * (k + 1)
     target = np.zeros(mesh.widths, dtype=bool)
     target[w] = True
-    bwd[k] = target
+    bwd: List[np.ndarray] = [target]
     for t in range(k - 1, -1, -1):
-        bwd[t] = reverse_reach_set_one_round(grids, orderings[t], bwd[t + 1])
+        bwd.append(reverse_reach_set_one_round(grids, orderings[t], bwd[-1]))
+    bwd.reverse()
 
     if rng is None:
         rng = np.random.default_rng(0)

@@ -8,7 +8,7 @@ is the paper's XY / XYZ routing; on hypercubes it is e-cube routing.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 __all__ = ["Ordering", "ascending", "xy", "xyz", "KRoundOrdering", "repeated"]
 
@@ -18,14 +18,14 @@ class Ordering:
 
     __slots__ = ("perm", "d")
 
-    def __init__(self, perm: Sequence[int]):
-        perm = tuple(int(p) for p in perm)
-        if sorted(perm) != list(range(len(perm))):
-            raise ValueError(f"{perm} is not a permutation of 0..{len(perm) - 1}")
-        self.perm: Tuple[int, ...] = perm
-        self.d = len(perm)
+    def __init__(self, perm: Sequence[int]) -> None:
+        p = tuple(int(x) for x in perm)
+        if sorted(p) != list(range(len(p))):
+            raise ValueError(f"{p} is not a permutation of 0..{len(p) - 1}")
+        self.perm: Tuple[int, ...] = p
+        self.d = len(p)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.perm)
 
     def __getitem__(self, t: int) -> int:
@@ -78,14 +78,14 @@ class KRoundOrdering:
 
     __slots__ = ("rounds",)
 
-    def __init__(self, rounds: Sequence[Ordering]):
-        rounds = tuple(rounds)
-        if not rounds:
+    def __init__(self, rounds: Sequence[Ordering]) -> None:
+        rs = tuple(rounds)
+        if not rs:
             raise ValueError("need at least one round")
-        d = rounds[0].d
-        if any(o.d != d for o in rounds):
+        d = rs[0].d
+        if any(o.d != d for o in rs):
             raise ValueError("all rounds must have the same dimensionality")
-        self.rounds: Tuple[Ordering, ...] = rounds
+        self.rounds: Tuple[Ordering, ...] = rs
 
     @property
     def k(self) -> int:
@@ -95,7 +95,7 @@ class KRoundOrdering:
     def d(self) -> int:
         return self.rounds[0].d
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Ordering]:
         return iter(self.rounds)
 
     def __getitem__(self, t: int) -> Ordering:

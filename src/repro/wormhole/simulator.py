@@ -248,6 +248,34 @@ class WormholeSimulator:
         self._visited: Set[int] = set()
 
     # ------------------------------------------------------------------
+    # Static verification
+    # ------------------------------------------------------------------
+    def verify_deadlock_free(self, strict: bool = True):
+        """Statically prove this simulator's configuration deadlock-free.
+
+        Builds the extended channel-dependency graph for the current
+        (faults, orderings, VC discipline) and checks acyclicity —
+        i.e. run the :mod:`repro.analysis.static.cdg` prover *before*
+        pushing any traffic.  With ``strict`` (default) a cyclic CDG
+        raises :class:`~repro.analysis.static.StaticDeadlockError`
+        (a :class:`SimulationError`); otherwise the
+        :class:`~repro.analysis.static.CdgReport` is returned either
+        way, with the minimal counterexample cycle attached.
+        """
+        from ..analysis.static.cdg import (
+            assert_deadlock_free,
+            prove_deadlock_free,
+        )
+
+        fn = assert_deadlock_free if strict else prove_deadlock_free
+        return fn(
+            self.faults,
+            self.orderings,
+            vc_of_round=self._vc_of_round,
+            num_vcs=self.net.num_vcs,
+        )
+
+    # ------------------------------------------------------------------
     # Route construction and message submission
     # ------------------------------------------------------------------
     def build_hops(self, src: Node, dst: Node) -> Optional[List[Hop]]:

@@ -84,7 +84,9 @@ class Tracer:
         )
         return max(counts.values(), default=0)
 
-    def ownership_windows(self) -> Dict[Tuple[Node, Node, int], List[Tuple[int, int, int]]]:
+    def ownership_windows(
+        self,
+    ) -> Dict[Tuple[Node, Node, int], List[Tuple[int, int, int]]]:
         """Per channel: list of (acquire_cycle, release_cycle, msg_id)
         ownership windows (release -1 if never released)."""
         open_windows: Dict[Tuple[Node, Node, int], Tuple[int, int]] = {}

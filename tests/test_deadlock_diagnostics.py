@@ -1,0 +1,126 @@
+"""Coverage for repro.wormhole.deadlock: diagnostics rendering,
+typed-error round-trips, and snapshots of empty/quiet networks."""
+
+import pytest
+
+from repro.mesh import FaultSet, Mesh
+from repro.wormhole.deadlock import (
+    DeadlockError,
+    SimulationError,
+    SimulationTimeout,
+    StallDiagnostics,
+    build_wait_graph,
+    find_deadlock_cycle,
+    snapshot_stalls,
+)
+from repro.wormhole.network import VirtualNetwork
+
+
+def _diag(n, cycle=100, wait_edges=()):
+    return StallDiagnostics(
+        cycle=cycle,
+        stalled=tuple((i, 1, 4, 0, 6) for i in range(n)),
+        owned=tuple((i, (("r", i),)) for i in range(n)),
+        wait_graph=tuple(wait_edges),
+    )
+
+
+class TestStallDiagnostics:
+    def test_describe_lists_every_message_under_limit(self):
+        text = _diag(3).describe()
+        assert "3 unfinished message(s) at cycle 100" in text
+        for i in range(3):
+            assert f"msg {i}:" in text
+        assert "more" not in text
+
+    def test_describe_truncates_past_limit(self):
+        text = _diag(11).describe(limit=8)
+        assert "msg 7:" in text
+        assert "msg 8:" not in text
+        assert "... and 3 more" in text
+
+    def test_describe_custom_limit(self):
+        text = _diag(5).describe(limit=2)
+        assert "... and 3 more" in text
+
+    def test_describe_exact_limit_has_no_tail(self):
+        assert "more" not in _diag(8).describe(limit=8)
+
+    def test_describe_includes_wait_edges(self):
+        text = _diag(2, wait_edges=((0, 1), (1, 0))).describe()
+        assert "wait-for edges: 0->1, 1->0" in text
+
+    def test_describe_reports_owned_counts(self):
+        assert "owns 1 resource(s)" in _diag(1).describe()
+
+    def test_num_stalled(self):
+        assert _diag(4).num_stalled == 4
+        assert StallDiagnostics(cycle=0).num_stalled == 0
+
+
+class TestTypedErrors:
+    def test_deadlock_error_roundtrip(self):
+        diag = _diag(2, wait_edges=((0, 1), (1, 0)))
+        err = DeadlockError([0, 1], diag)
+        assert isinstance(err, SimulationError)
+        assert isinstance(err, RuntimeError)
+        assert err.cycle == [0, 1]
+        assert err.diagnostics is diag
+        assert "wait-for cycle among messages [0, 1]" in str(err)
+        assert "2 unfinished message(s)" in str(err)
+
+    def test_deadlock_error_without_diagnostics(self):
+        err = DeadlockError([3, 4])
+        assert err.diagnostics is None
+        assert "unfinished" not in str(err)
+
+    def test_timeout_roundtrip(self):
+        diag = _diag(1, cycle=2)
+        err = SimulationTimeout(2, diag)
+        assert isinstance(err, SimulationError)
+        assert not isinstance(err, DeadlockError)
+        assert err.max_cycles == 2
+        assert err.diagnostics is diag
+        assert "did not drain within 2 cycles" in str(err)
+
+    def test_static_deadlock_error_is_simulation_error(self):
+        # The static prover's refusal shares the dynamic error taxonomy.
+        from repro.analysis.static import StaticDeadlockError
+
+        assert issubclass(StaticDeadlockError, SimulationError)
+
+
+class TestSnapshots:
+    def _net(self):
+        return VirtualNetwork(FaultSet(Mesh((4, 4))), num_vcs=2)
+
+    def test_snapshot_on_empty_network(self):
+        diag = snapshot_stalls(0, [], self._net())
+        assert diag.num_stalled == 0
+        assert diag.owned == () and diag.wait_graph == ()
+        assert "0 unfinished message(s) at cycle 0" in diag.describe()
+
+    def test_wait_graph_on_no_messages(self):
+        assert build_wait_graph([], self._net()) == {}
+
+    def test_find_cycle_edge_cases(self):
+        assert find_deadlock_cycle({}) is None
+        assert find_deadlock_cycle({1: 2, 2: 3}) is None  # chain
+        assert find_deadlock_cycle({1: 1}) == [1]  # self-wait
+        cyc = find_deadlock_cycle({1: 2, 2: 1, 5: 1})
+        assert sorted(cyc) == [1, 2]  # tail excluded
+
+    def test_snapshot_skips_finished_messages(self):
+        from repro.wormhole.packets import Hop, Message
+
+        hops = [Hop((0, 0), (1, 0), 0)]
+        done = Message(msg_id=0, source=(0, 0), dest=(1, 0), num_flits=1,
+                       hops=hops, inject_cycle=0)
+        done.delivered_flits = done.num_flits
+        done.deliver_cycle = 7
+        live = Message(msg_id=1, source=(0, 0), dest=(1, 0), num_flits=2,
+                       hops=list(hops), inject_cycle=0)
+        assert done.is_finished and not live.is_finished
+        diag = snapshot_stalls(9, [done, live], self._net())
+        assert diag.num_stalled == 1
+        assert diag.stalled[0][0] == 1

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mesh import Mesh, Rect, rect_intersection_matrix, rects_are_disjoint, rects_total_size
+from repro.mesh import (
+    Mesh,
+    Rect,
+    rect_intersection_matrix,
+    rects_are_disjoint,
+    rects_total_size,
+)
 
 from conftest import small_meshes
 

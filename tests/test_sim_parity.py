@@ -240,6 +240,72 @@ class TestRouteCache:
         assert not sim._route_cache
 
 
+class TestDeterminism:
+    """Run-to-run determinism regressions.
+
+    Hash-order hazards (set iteration, ``set.pop()`` worklists) were
+    scrubbed from the pipeline by the REP102 lint rule (see
+    ``repro analyze``); these tests pin the behaviors that would drift
+    first if one crept back in — the frontier engine's park/wake
+    worklist and the route cache's iteration-order independence.
+    """
+
+    def _full_run(self, *, seed=5, route_cache=True, n=80):
+        tracer = Tracer()
+        sim, good = _seeded_sim(
+            "frontier", seed, tracer=tracer, route_cache=route_cache
+        )
+        _load_traffic(sim, good, seed, n=n)
+        stats = sim.run()
+        return stats, _fates(sim), tracer.events
+
+    def test_identical_reruns_identical_everything(self):
+        """Two fresh same-seed runs: stats, per-message fates and the
+        full event stream must match byte-for-byte (park/wake order
+        must not depend on set/dict hash order)."""
+        assert self._full_run() == self._full_run()
+
+    def test_route_cache_is_behavior_neutral(self):
+        """Cache on vs off must not change a single event: a cache-hit
+        route must be exactly the route the policy would regenerate."""
+        a = self._full_run(route_cache=True)
+        b = self._full_run(route_cache=False)
+        assert a == b
+
+    def test_live_fault_rerun_determinism(self):
+        """Park/wake rebuild after mid-flight faults (the conservative
+        frontier reconstruction) is fully reproducible."""
+
+        def run():
+            tracer = Tracer()
+            sim, good = _seeded_sim("frontier", 3, tracer=tracer)
+            _load_traffic(sim, good, 3, n=70)
+            for _ in range(20):
+                sim.step()
+            sim.inject_faults(node_faults=[good[len(good) // 3]])
+            sim.run()
+            return _fates(sim), tracer.events, sim.cycle
+
+        assert run() == run()
+
+    def test_component_seeding_is_insertion_order_independent(self):
+        """The quarantine rung's flood fill must not depend on the
+        order faults were reported (it used to pop seeds from a set)."""
+        from repro.core.reconfigure import largest_good_component
+
+        mesh = Mesh((8, 8))
+        # A wall splitting the mesh into two components of equal size
+        # is the tie the old hash-order seeding could break either way.
+        wall = [(3, y) for y in range(8)] + [(4, y) for y in range(8)]
+        results = []
+        for order in (wall, wall[::-1], wall[::2] + wall[1::2]):
+            faults = FaultSet(mesh).with_faults(order, [])
+            results.append(largest_good_component(faults))
+        assert results[0] == results[1] == results[2]
+        best, rest = results[0]
+        assert len(best) == len(rest) == 24  # equal-size tie, pinned
+
+
 class TestHopKeys:
     def test_cached_and_invalidated_on_route_swap(self):
         sim = TestRouteCache()._sim()

@@ -1,0 +1,278 @@
+"""Static CDG deadlock prover: unit tests + cross-validation.
+
+The acceptance bar: every configuration the test suite historically
+deadlocks *dynamically* (``DeadlockError``) must be rejected by the
+prover *statically* with a counterexample cycle, and every golden
+parity configuration (which drains cleanly) must be accepted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.static import (
+    StaticDeadlockError,
+    assert_deadlock_free,
+    build_cdg,
+    find_dependency_cycle,
+    prove_deadlock_free,
+)
+from repro.mesh import FaultSet, Mesh, Torus, random_node_faults
+from repro.routing import ascending, repeated, xy
+from repro.wormhole import DeadlockError, SimulationError, WormholeSimulator
+from repro.wormhole.packets import Hop
+
+
+def _k2(d=2):
+    return repeated(ascending(d), 2)
+
+
+# ----------------------------------------------------------------------
+# The paper's discipline is provably deadlock-free
+# ----------------------------------------------------------------------
+class TestAcyclicConfigs:
+    def test_fault_free_mesh_identity_vcs(self):
+        report = prove_deadlock_free(FaultSet(Mesh((8, 8))), _k2())
+        assert report.deadlock_free and report.cycle is None
+        assert report.num_channels > 0 and report.num_dependencies > 0
+        assert report.rounds == 2 and report.num_vcs == 2
+
+    def test_one_round_mesh(self):
+        report = prove_deadlock_free(
+            FaultSet(Mesh((6, 6))), repeated(ascending(2), 1)
+        )
+        assert report.deadlock_free
+
+    def test_3d_mesh(self):
+        report = prove_deadlock_free(FaultSet(Mesh((4, 4, 4))), _k2(3))
+        assert report.deadlock_free
+
+    def test_with_random_faults(self):
+        mesh = Mesh((8, 8))
+        for seed in range(3):
+            faults = random_node_faults(mesh, 5, np.random.default_rng(seed))
+            assert prove_deadlock_free(faults, _k2()).deadlock_free
+
+    def test_with_link_faults(self):
+        mesh = Mesh((6, 6))
+        faults = FaultSet(mesh, [], [((2, 2), (3, 2)), ((4, 1), (4, 0))])
+        assert prove_deadlock_free(faults, _k2()).deadlock_free
+
+    def test_shifted_vc_map(self):
+        # Any injective round->VC map preserves the argument.
+        report = prove_deadlock_free(
+            FaultSet(Mesh((5, 5))), _k2(), vc_of_round=lambda t: t + 1,
+            num_vcs=3,
+        )
+        assert report.deadlock_free and report.num_vcs == 3
+
+    def test_assert_returns_report_when_clean(self):
+        report = assert_deadlock_free(FaultSet(Mesh((4, 4))), _k2())
+        assert report.deadlock_free
+
+
+# ----------------------------------------------------------------------
+# Broken disciplines are refuted with a minimal counterexample
+# ----------------------------------------------------------------------
+class TestCyclicConfigs:
+    def _single_vc_report(self, mesh=None):
+        return prove_deadlock_free(
+            FaultSet(mesh or Mesh((4, 4))), _k2(),
+            vc_of_round=lambda t: 0, num_vcs=1,
+        )
+
+    def test_single_vc_two_rounds_is_cyclic(self):
+        report = self._single_vc_report()
+        assert not report.deadlock_free
+        assert report.cycle is not None and len(report.cycle) >= 2
+
+    def test_counterexample_is_a_real_cycle(self):
+        mesh = Mesh((4, 4))
+        graph = build_cdg(
+            FaultSet(mesh), _k2(), vc_of_round=lambda t: 0, num_vcs=1
+        )
+        cyc = self._single_vc_report(mesh).cycle.channels
+        for c1, c2 in zip(cyc, cyc[1:] + cyc[:1]):
+            assert c2 in graph[c1]  # every edge exists in the CDG
+            assert c1[1] == c2[0]  # consecutive channels share a router
+
+    def test_minimal_cycle_is_length_two(self):
+        # Single-VC k=2 admits an immediate u->w->u reversal through
+        # the inter-round edge; the minimizer must find it.
+        assert len(self._single_vc_report().cycle) == 2
+
+    def test_torus_plain_dor_is_cyclic(self):
+        # Standard result: wrap links close a ring on each dimension.
+        report = prove_deadlock_free(
+            FaultSet(Torus((4, 4))), repeated(ascending(2), 1)
+        )
+        assert not report.deadlock_free
+        assert len(report.cycle) == 4  # the 4-node wrap ring
+
+    def test_assert_raises_typed_error(self):
+        with pytest.raises(StaticDeadlockError) as exc:
+            assert_deadlock_free(
+                FaultSet(Mesh((4, 4))), _k2(),
+                vc_of_round=lambda t: 0, num_vcs=1,
+            )
+        err = exc.value
+        assert isinstance(err, SimulationError)
+        assert err.report.cycle is not None
+        assert "dependency cycle" in str(err)
+
+    def test_report_artifact_roundtrip(self, tmp_path):
+        report = self._single_vc_report()
+        out = tmp_path / "cdg.json"
+        report.write_artifact(str(out))
+        data = json.loads(out.read_text())
+        assert data["deadlock_free"] is False
+        assert data["cycle"]["length"] == len(report.cycle)
+        assert len(data["cycle"]["channels"]) == len(report.cycle)
+
+    def test_describe_mentions_cycle(self):
+        report = self._single_vc_report()
+        text = report.describe()
+        assert "CYCLIC" in text and "=>" in text
+
+
+# ----------------------------------------------------------------------
+# Graph construction details
+# ----------------------------------------------------------------------
+class TestBuildCdg:
+    def test_faulty_hardware_excluded(self):
+        mesh = Mesh((5, 5))
+        faults = FaultSet(mesh, [(2, 2)], [((0, 0), (1, 0))])
+        graph = build_cdg(faults, _k2())
+        for c1, succs in graph.items():
+            for (u, w, _vc) in (c1,) + succs:
+                assert (u, w) != ((0, 0), (1, 0))
+                assert u != (2, 2) and w != (2, 2)
+
+    def test_deterministic(self):
+        faults = random_node_faults(
+            Mesh((6, 6)), 4, np.random.default_rng(7)
+        )
+        a = build_cdg(faults, _k2())
+        b = build_cdg(faults, _k2())
+        assert list(a) == list(b)
+        assert all(a[k] == b[k] for k in a)
+
+    def test_bad_vc_map_rejected(self):
+        with pytest.raises(ValueError):
+            build_cdg(FaultSet(Mesh((3, 3))), _k2(), vc_of_round=lambda t: 5,
+                      num_vcs=2)
+        with pytest.raises(ValueError):
+            build_cdg(FaultSet(Mesh((3, 3))), _k2(), num_vcs=0)
+
+    def test_find_cycle_on_tiny_graphs(self):
+        assert find_dependency_cycle({}) is None
+        a, b = ((0,), (1,), 0), ((1,), (0,), 0)
+        assert find_dependency_cycle({a: (b,)}) is None  # path, no cycle
+        cyc = find_dependency_cycle({a: (b,), b: (a,)})
+        assert cyc is not None and sorted(cyc) == sorted([a, b])
+        # Self-loop is the minimum possible.
+        assert find_dependency_cycle({a: (a, b), b: (a,)}) == [a]
+
+
+# ----------------------------------------------------------------------
+# Cross-validation against the dynamic simulator
+# ----------------------------------------------------------------------
+class TestCrossValidation:
+    """Static verdicts must agree with every dynamic outcome the suite
+    reproduces."""
+
+    def _ring_sim(self, **kw):
+        # The exact configuration that deadlocks dynamically in
+        # tests/test_sim_parity.py::test_deadlock_parity and
+        # tests/test_chaos.py (single VC, k=2, 4-message ring).
+        mesh = Mesh((4, 4))
+        sim = WormholeSimulator(
+            FaultSet(mesh), repeated(xy(), 2),
+            vc_of_round=lambda t: 0, num_vcs=1, buffer_flits=1, **kw
+        )
+        ring = [(0, 0), (2, 0), (2, 2), (0, 2)]
+
+        def L(a, b):
+            path = [a]
+            x, y = a
+            while x != b[0]:
+                x += 1 if b[0] > x else -1
+                path.append((x, y))
+            while y != b[1]:
+                y += 1 if b[1] > y else -1
+                path.append((x, y))
+            return path
+
+        for i in range(4):
+            a, b, c = ring[i], ring[(i + 1) % 4], ring[(i + 2) % 4]
+            hops = [
+                Hop(u, v, 0)
+                for p in (L(a, b), L(b, c))
+                for u, v in zip(p, p[1:])
+            ]
+            sim.send(a, c, num_flits=12, hops=hops)
+        return sim
+
+    def test_dynamic_deadlock_is_flagged_statically(self):
+        """Every historical DeadlockError scenario is rejected by the
+        prover *before* a single cycle is simulated."""
+        sim = self._ring_sim()
+        with pytest.raises(StaticDeadlockError) as exc:
+            sim.verify_deadlock_free()
+        assert exc.value.report.cycle is not None
+        # ... and the dynamic run indeed deadlocks, as it always has.
+        with pytest.raises(DeadlockError):
+            sim.run(5000)
+
+    def test_nonstrict_returns_counterexample(self):
+        report = self._ring_sim().verify_deadlock_free(strict=False)
+        assert not report.deadlock_free
+        assert len(report.cycle) >= 2
+
+    def test_prover_clean_config_never_deadlocks(self):
+        """Golden parity config: prover accepts, and a seeded traffic
+        run drains with every message accounted for."""
+        mesh = Mesh((8, 8))
+        for seed in (0, 1):
+            faults = random_node_faults(mesh, 3, np.random.default_rng(seed))
+            sim = WormholeSimulator(faults, repeated(xy(), 2), seed=seed)
+            assert sim.verify_deadlock_free().deadlock_free
+            good = [
+                v for v in mesh.nodes() if not faults.node_is_faulty(v)
+            ]
+            rng = np.random.default_rng(seed + 1)
+            for _ in range(60):
+                s, d = rng.choice(len(good), size=2, replace=False)
+                sim.send(good[s], good[d],
+                         num_flits=int(rng.integers(2, 7)),
+                         inject_cycle=int(rng.integers(0, 40)))
+            stats = sim.run(max_cycles=100000)  # must not raise
+            assert stats.delivered == stats.total_messages
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestProveCli:
+    def test_clean_config_exits_zero(self, capsys):
+        from repro.cli import main
+
+        rc = main(["prove", "--mesh", "6x6", "--faults", "2", "--seed", "3"])
+        assert rc == 0
+        assert "acyclic" in capsys.readouterr().out
+
+    def test_single_vc_exits_nonzero_with_cycle(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        rc = main(["prove", "--mesh", "4x4", "--single-vc",
+                   "--out", str(out)])
+        assert rc == 1
+        assert "CYCLIC" in capsys.readouterr().out
+        assert json.loads(out.read_text())["deadlock_free"] is False
+
+    def test_torus_exits_nonzero(self):
+        from repro.cli import main
+
+        assert main(["prove", "--mesh", "torus:4x4", "--rounds", "1"]) == 1

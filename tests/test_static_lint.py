@@ -1,0 +1,240 @@
+"""The domain lint engine: rule behavior, suppression, CLI, and the
+"fixed tree stays clean" acceptance check."""
+
+import json
+
+import pytest
+
+from repro.analysis.static import LintEngine, analyze_paths
+from repro.analysis.static.lint import format_violations
+from repro.analysis.static.rules import (
+    ALL_RULES,
+    SEEDED_FIXTURES,
+    rule_by_id,
+)
+
+
+def _ids(violations):
+    return [v.rule_id for v in violations]
+
+
+# ----------------------------------------------------------------------
+# Each seeded fixture trips exactly its own rule
+# ----------------------------------------------------------------------
+class TestSeededFixtures:
+    @pytest.mark.parametrize("rule_id", sorted(SEEDED_FIXTURES))
+    def test_fixture_trips_its_rule(self, rule_id):
+        violations = LintEngine().check_source(
+            SEEDED_FIXTURES[rule_id], f"fixture_{rule_id}.py"
+        )
+        assert rule_id in _ids(violations), (
+            f"{rule_id} fixture produced {violations}"
+        )
+
+    @pytest.mark.parametrize("rule_id", sorted(SEEDED_FIXTURES))
+    def test_seeding_a_fixture_breaks_the_tree(self, rule_id, tmp_path):
+        """Acceptance: a seeded-violation file turns the exit nonzero."""
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(SEEDED_FIXTURES[rule_id])
+        assert _ids(analyze_paths([str(pkg)]))  # nonempty -> exit 1
+
+
+# ----------------------------------------------------------------------
+# Rule-level behavior
+# ----------------------------------------------------------------------
+class TestUnseededRandom:
+    def check(self, src):
+        return _ids(rule_by_id("REP101").check(
+            __import__("ast").parse(src), "t.py"
+        ))
+
+    def test_flags_legacy_np_random(self):
+        assert self.check("np.random.rand(3)\n") == ["REP101"]
+        assert self.check("np.random.seed(0)\n") == ["REP101"]
+
+    def test_flags_unseeded_default_rng(self):
+        assert self.check("rng = np.random.default_rng()\n") == ["REP101"]
+
+    def test_allows_seeded_default_rng(self):
+        assert self.check("rng = np.random.default_rng(42)\n") == []
+        assert self.check("rng = np.random.default_rng(seed=s)\n") == []
+
+    def test_allows_generator_types(self):
+        assert self.check("g = np.random.Generator(np.random.PCG64(1))\n") == []
+
+    def test_flags_stdlib_random(self):
+        assert self.check("import random\nrandom.shuffle(xs)\n") == ["REP101"]
+        assert self.check("from random import shuffle\n") == ["REP101"]
+        assert self.check("r = random.Random()\n") == ["REP101"]
+        assert self.check("r = random.Random(7)\n") == []
+
+
+class TestHashOrderIteration:
+    def check(self, src):
+        return _ids(rule_by_id("REP102").check(
+            __import__("ast").parse(src), "t.py"
+        ))
+
+    def test_flags_set_literal_iteration(self):
+        assert self.check("for v in {1, 2}:\n    pass\n") == ["REP102"]
+
+    def test_flags_comprehension_over_set_call(self):
+        assert self.check("out = [v for v in set(xs)]\n") == ["REP102"]
+
+    def test_flags_list_of_set(self):
+        assert self.check("xs = list({1, 2})\n") == ["REP102"]
+
+    def test_flags_set_typed_local(self):
+        src = (
+            "def f():\n"
+            "    seen = set()\n"
+            "    for v in seen:\n"
+            "        pass\n"
+        )
+        assert self.check(src) == ["REP102"]
+
+    def test_flags_set_pop(self):
+        src = (
+            "def f():\n"
+            "    remaining = set(xs)\n"
+            "    while remaining:\n"
+            "        v = remaining.pop()\n"
+        )
+        assert self.check(src) == ["REP102"]
+
+    def test_sorted_wrapper_is_clean(self):
+        assert self.check("for v in sorted({1, 2}):\n    pass\n") == []
+        src = (
+            "def f():\n"
+            "    seen = set()\n"
+            "    for v in sorted(seen):\n"
+            "        pass\n"
+        )
+        assert self.check(src) == []
+
+    def test_rebound_name_not_flagged(self):
+        # A name also bound to a list is not treated as a set.
+        src = (
+            "def f(flag):\n"
+            "    xs = set()\n"
+            "    xs = [1, 2]\n"
+            "    for v in xs:\n"
+            "        pass\n"
+        )
+        assert self.check(src) == []
+
+    def test_membership_test_is_clean(self):
+        assert self.check("ok = 3 in {1, 2, 3}\n") == []
+
+
+class TestMutableDefaultAndBareExcept:
+    def test_mutable_defaults(self):
+        engine = LintEngine([rule_by_id("REP103")])
+        assert _ids(engine.check_source("def f(a=[], b={}):\n    pass\n")) == \
+            ["REP103", "REP103"]
+        assert _ids(engine.check_source("def f(a=None, b=()):\n    pass\n")) == []
+
+    def test_bare_except(self):
+        engine = LintEngine([rule_by_id("REP104")])
+        assert _ids(engine.check_source(SEEDED_FIXTURES["REP104"])) == ["REP104"]
+        ok = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert _ids(engine.check_source(ok)) == []
+
+
+class TestParallelClosure:
+    def check(self, src):
+        return _ids(LintEngine([rule_by_id("REP105")]).check_source(src))
+
+    def test_flags_lambda_worker(self):
+        assert self.check("engine.run_trials(lambda p, t: t, 4, {})\n") == \
+            ["REP105"]
+
+    def test_flags_nested_function_worker(self):
+        assert self.check(SEEDED_FIXTURES["REP105"]) == ["REP105"]
+
+    def test_module_level_worker_is_clean(self):
+        src = (
+            "def worker(payload, t):\n"
+            "    return t\n"
+            "def sweep(engine):\n"
+            "    return engine.map_ordered(worker, 4, {})\n"
+        )
+        assert self.check(src) == []
+
+
+# ----------------------------------------------------------------------
+# Engine behavior: suppression, syntax errors, determinism, formats
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_bare_noqa_suppresses(self):
+        src = "xs = list({1, 2})  # noqa\n"
+        assert LintEngine().check_source(src) == []
+
+    def test_coded_noqa_suppresses_only_named_rules(self):
+        src = "xs = list({1, 2})  # noqa: REP102\n"
+        assert LintEngine().check_source(src) == []
+        other = "xs = list({1, 2})  # noqa: REP101\n"
+        assert _ids(LintEngine().check_source(other)) == ["REP102"]
+
+    def test_syntax_error_reports_rep000(self):
+        out = LintEngine().check_source("def f(:\n", "broken.py")
+        assert _ids(out) == ["REP000"]
+        assert out[0].path == "broken.py"
+
+    def test_violations_sorted_deterministically(self):
+        src = SEEDED_FIXTURES["REP104"] + SEEDED_FIXTURES["REP103"]
+        a = LintEngine().check_source(src)
+        b = LintEngine().check_source(src)
+        assert a == b == sorted(a)
+
+    def test_directory_walk_finds_nested_file(self, tmp_path):
+        pkg = tmp_path / "a" / "b"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(SEEDED_FIXTURES["REP103"])
+        (pkg / "notes.txt").write_text("not python")
+        out = analyze_paths([str(tmp_path)])
+        assert _ids(out) == ["REP103"]
+
+    def test_json_format(self):
+        out = LintEngine().check_source(SEEDED_FIXTURES["REP104"])
+        data = json.loads(format_violations(out, fmt="json"))
+        assert data["count"] == 1
+        assert data["violations"][0]["rule"] == "REP104"
+
+    def test_rule_catalog_complete(self):
+        assert [r.id for r in ALL_RULES] == \
+            ["REP101", "REP102", "REP103", "REP104", "REP105"]
+        with pytest.raises(KeyError):
+            rule_by_id("REP999")
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the fixed tree is clean; the CLI gates on it
+# ----------------------------------------------------------------------
+class TestAcceptance:
+    def test_src_tree_is_clean(self):
+        assert analyze_paths(["src"]) == []
+
+    def test_cli_clean_tree_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "src/repro/analysis"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_seeded_violation_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(SEEDED_FIXTURES["REP101"])
+        assert main(["analyze", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REP101" in out and "1 violation" in out
+
+    def test_cli_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out

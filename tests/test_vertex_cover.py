@@ -38,7 +38,11 @@ def weighted_graphs(draw, max_n=9):
     n = draw(st.integers(2, max_n))
     weights = [draw(st.integers(1, 9)) for _ in range(n)]
     possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    edges = draw(st.lists(st.sampled_from(possible), max_size=12, unique=True)) if possible else []
+    edges = (
+        draw(st.lists(st.sampled_from(possible), max_size=12, unique=True))
+        if possible
+        else []
+    )
     return n, [float(w) for w in weights], edges
 
 
