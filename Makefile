@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke lint analyze prove-smoke clean
+.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke lint analyze prove-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -45,6 +45,21 @@ chaos-smoke:
 	grep -q "epoch 2 " /tmp/chaos-smoke-1.txt
 	@echo "chaos smoke OK: deterministic and >=3 epochs"
 
+# Control-plane smoke: the end-to-end acceptance scenario (16x16 mesh,
+# 5 seeded faults, 1000 queries over real TCP; cache hit verified via
+# the stats RPC, mid-run fault delta -> epoch bump, stale-epoch
+# rejection, graceful drain).  Every line is deterministic for a fixed
+# seed, so run twice and diff to prove it.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve --smoke > /tmp/serve-smoke-1.txt
+	PYTHONPATH=src $(PYTHON) -m repro serve --smoke > /tmp/serve-smoke-2.txt
+	diff /tmp/serve-smoke-1.txt /tmp/serve-smoke-2.txt
+	grep -q "cache_hit True" /tmp/serve-smoke-1.txt
+	grep -q "stale query: typed stale-epoch" /tmp/serve-smoke-1.txt
+	grep -q "drain: orphaned compiles 0" /tmp/serve-smoke-1.txt
+	grep -q "^smoke OK" /tmp/serve-smoke-1.txt
+	@echo "serve smoke OK: deterministic, cached, epoch-safe, drained"
+
 # Static analysis gate (CI job: lint).  ruff and mypy are skipped
 # gracefully when not installed (offline dev containers); the domain
 # lint suite (`repro analyze`) always runs and always blocks.
@@ -54,7 +69,8 @@ lint:
 	else echo "ruff not installed; skipping (CI runs it)"; fi
 	PYTHONPATH=src $(PYTHON) -m repro analyze src
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
-	then PYTHONPATH=src $(PYTHON) -m mypy -p repro.routing -p repro.graphs; \
+	then PYTHONPATH=src $(PYTHON) -m mypy -p repro.routing -p repro.graphs \
+	    -p repro.service -p repro.core.routing_table; \
 	else echo "mypy not installed; skipping (CI runs it)"; fi
 
 # Just the domain lint suite.

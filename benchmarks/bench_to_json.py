@@ -2,9 +2,10 @@
 
 Runs a small curated benchmark subset — the lamb pipeline, the
 reachability product kernel, the wormhole simulator under saturation,
-the seeded chaos scenario, and the parallel trial engine — and writes
-``BENCH_<date>.json`` rows of ``{bench, mesh, wall_s, cycles_per_s /
-trials_per_s}``.  A comparator mode diffs a fresh run against the
+the seeded chaos scenario, the parallel trial engine, and the
+route-query service data path — and writes ``BENCH_<date>.json`` rows
+of ``{bench, mesh, wall_s, cycles_per_s / trials_per_s /
+queries_per_s}``.  A comparator mode diffs a fresh run against the
 latest committed baseline and fails on a >25% wall-clock regression.
 
 Usage (from the repo root, ``PYTHONPATH=src``)::
@@ -136,12 +137,71 @@ def _bench_trial_engine() -> Dict[str, object]:
             "wall_s": wall, "trials_per_s": trials / wall}
 
 
+def _bench_service_throughput() -> Dict[str, object]:
+    """Route-query service data path: real TCP on localhost, 1000
+    pipelined queries (batches of 100) against a pre-compiled 16x16
+    artifact.  Times only the query phase — the compile is the control
+    path and has its own bench (``lamb_pipeline``)."""
+    import asyncio
+
+    from repro.service.client import RouteQueryClient
+    from repro.service.compiler import ReconfigurationCompiler
+    from repro.service.server import RouteQueryServer
+
+    mesh = Mesh.square(2, 16)
+    faults = random_node_faults(mesh, 5, np.random.default_rng(4))
+    queries = 1000
+
+    async def run() -> float:
+        compiler = ReconfigurationCompiler(mesh, repeated(xy(), 2))
+        server = RouteQueryServer(compiler)
+        host, port = await server.start()
+        client = await RouteQueryClient.connect(
+            host, port, default_timeout=120.0
+        )
+        compiled = await client.compile(faults)
+        excluded = {
+            tuple(v)
+            for v in list(compiled["lamb_nodes"])
+            + list(compiled["quarantined"])
+        }
+        survivors = [
+            v
+            for v in mesh.nodes()
+            if not faults.node_is_faulty(v) and v not in excluded
+        ]
+        rng = np.random.default_rng(9)
+        pairs = []
+        while len(pairs) < queries:
+            i = int(rng.integers(len(survivors)))
+            j = int(rng.integers(len(survivors)))
+            if i != j:
+                pairs.append((survivors[i], survivors[j]))
+        # Warm the route cache is *not* wanted here: the first pass IS
+        # the measurement (cold lookups are the realistic case).
+        t0 = time.perf_counter()
+        for at in range(0, queries, 100):
+            replies = await client.query_batch(
+                pairs[at:at + 100], epoch=compiled["epoch"]
+            )
+            assert all(r.get("ok") for r in replies)
+        wall = time.perf_counter() - t0
+        await client.close()
+        await server.stop()
+        return wall
+
+    wall = asyncio.run(run())
+    return {"bench": "service_throughput", "mesh": "M2(16) 1000 q",
+            "wall_s": wall, "queries_per_s": queries / wall}
+
+
 BENCHES: Tuple[Callable[[], Dict[str, object]], ...] = (
     _bench_lamb_pipeline,
     _bench_reachability_product,
     _bench_sim_saturation,
     _bench_chaos_smoke,
     _bench_trial_engine,
+    _bench_service_throughput,
 )
 
 
@@ -168,7 +228,7 @@ def run_benches(repeats: int = 3) -> List[Dict[str, object]]:
             if best is None or row["wall_s"] < best["wall_s"]:
                 best = row
         best["wall_s"] = round(float(best["wall_s"]), 6)
-        for key in ("cycles_per_s", "trials_per_s"):
+        for key in ("cycles_per_s", "trials_per_s", "queries_per_s"):
             if key in best:
                 best[key] = round(float(best[key]), 3)
         rows.append(best)

@@ -14,6 +14,9 @@
 - ``analyze``     run the domain lint suite over Python sources
 - ``prove``       statically prove a routing configuration deadlock-free
   (channel-dependency-graph acyclicity)
+- ``serve``       run the reconfiguration control plane (asyncio TCP
+  route-query service with a content-addressed compile cache)
+- ``query``       resolve routes / fetch stats from a running server
 
 Examples
 --------
@@ -29,6 +32,9 @@ Examples
     python -m repro worked-example
     python -m repro analyze src/ tests/
     python -m repro prove --mesh 16x16 --faults 8 --rounds 2
+    python -m repro serve --mesh 16x16 --faults 5 --seed 4 --port 7420
+    python -m repro serve --smoke
+    python -m repro query --port 7420 --source 0,0 --dest 9,9
 """
 
 from __future__ import annotations
@@ -419,6 +425,122 @@ def cmd_prove(args) -> int:
     return 0 if report.deadlock_free else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import json as _json
+
+    from .routing import ascending, repeated
+    from .service import ArtifactStore, ReconfigurationCompiler
+    from .service.server import RouteQueryServer
+    from .service.smoke import default_smoke_faults, serve_smoke
+
+    if args.smoke:
+        if args.mesh is None and not args.fault and not args.faults \
+                and not args.percent and not args.load:
+            faults = default_smoke_faults()
+        else:
+            faults = _build_faults(args)
+        return serve_smoke(
+            faults,
+            rounds=args.rounds,
+            queries=args.queries,
+            seed=args.seed,
+            verify=args.verify,
+            store_root=args.store,
+        )
+
+    faults = _build_faults(args)
+    mesh = faults.mesh
+    orderings = repeated(ascending(mesh.d), args.rounds)
+    compiler = ReconfigurationCompiler(
+        mesh,
+        orderings,
+        store=ArtifactStore(root=args.store),
+        method=args.method,
+        policy=args.policy,
+        verify=args.verify,
+        lamb_budget=args.budget,
+        max_extra_rounds=args.extra_rounds,
+    )
+
+    async def _run() -> int:
+        server = RouteQueryServer(
+            compiler, host=args.host, port=args.port,
+            request_timeout=args.request_timeout,
+        )
+        host, port = await server.start()
+        loop = asyncio.get_running_loop()
+        artifact, source = await loop.run_in_executor(
+            None, compiler.compile, faults
+        )
+        print(f"serving {mesh} on {host}:{port} | epoch {artifact.epoch} "
+              f"digest {artifact.digest[:12]} ({source})")
+        print(f"faults {faults.f} | lambs {artifact.num_lambs} | "
+              f"survivors {artifact.num_survivors} | k {artifact.k}"
+              + (" | DEGRADED" if artifact.degraded else ""))
+        try:
+            await server.serve_until_shutdown()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            await server.stop()
+        if args.metrics_json:
+            snapshot = {
+                "stats": compiler.metrics.snapshot(),
+                "store": compiler.store.stats(),
+            }
+            with open(args.metrics_json, "w") as fh:
+                _json.dump(snapshot, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.metrics_json}")
+        print(f"drained: orphaned compiles {server.orphaned_compiles}")
+        return 1 if server.orphaned_compiles else 0
+
+    return asyncio.run(_run())
+
+
+def cmd_query(args) -> int:
+    import asyncio
+    import json as _json
+
+    from .service.client import RouteQueryClient
+    from .service.errors import ServiceError
+
+    async def _run() -> int:
+        client = await RouteQueryClient.connect(
+            args.host, args.port, default_timeout=args.timeout
+        )
+        try:
+            if args.stats:
+                reply = await client.stats()
+                print(_json.dumps(reply["stats"], indent=2, sort_keys=True))
+                return 0
+            if args.shutdown:
+                await client.shutdown()
+                print("server draining")
+                return 0
+            if args.source is None or args.dest is None:
+                raise SystemExit(
+                    "give --source and --dest (or --stats / --shutdown)"
+                )
+            reply = await client.query(
+                args.source, args.dest, epoch=args.epoch
+            )
+            inter = " via " + " -> ".join(
+                str(tuple(v)) for v in reply["intermediates"]
+            ) if reply["intermediates"] else ""
+            print(f"epoch {reply['epoch']}: {tuple(reply['source'])} -> "
+                  f"{tuple(reply['dest'])}{inter}")
+            print(f"rounds {reply['rounds_used']} | hops {reply['hops']} | "
+                  f"turns {reply['turns']}")
+            return 0
+        except ServiceError as exc:
+            print(f"error [{exc.code}]: {exc}")
+            return 1
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -569,6 +691,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the report (incl. any counterexample "
                    "cycle) as a JSON artifact")
     p.set_defaults(fn=cmd_prove)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the reconfiguration control plane "
+        "(compile cache + route-query service)",
+    )
+    _add_fault_args(p)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed at startup)")
+    p.add_argument("--method", choices=("bipartite", "general", "general-exact"),
+                   default="bipartite")
+    p.add_argument("--policy", choices=("shortest", "first", "random"),
+                   default="shortest")
+    p.add_argument("--store", type=str, default=None,
+                   help="artifact-store directory (default: in-memory only)")
+    p.add_argument("--verify", action="store_true",
+                   help="CDG-prove every artifact deadlock-free before "
+                   "publishing")
+    p.add_argument("--budget", type=int, default=None,
+                   help="lamb budget before the degradation ladder escalates")
+    p.add_argument("--extra-rounds", type=int, default=1)
+    p.add_argument("--request-timeout", type=float, default=30.0)
+    p.add_argument("--metrics-json", type=str, default=None,
+                   help="write a metrics snapshot here on shutdown")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the deterministic end-to-end acceptance "
+                   "scenario and exit (default config: 16x16, 5 faults)")
+    p.add_argument("--queries", type=int, default=1000,
+                   help="route queries issued by --smoke")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="resolve routes / fetch stats from a running control plane",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--source", type=_parse_node, default=None)
+    p.add_argument("--dest", type=_parse_node, default=None)
+    p.add_argument("--epoch", type=int, default=None,
+                   help="pin the reconfiguration epoch (typed stale-epoch "
+                   "error on mismatch)")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--stats", action="store_true",
+                   help="print the stats RPC snapshot instead of querying")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the server to drain gracefully")
+    p.set_defaults(fn=cmd_query)
 
     return parser
 

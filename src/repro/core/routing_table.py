@@ -19,7 +19,7 @@ flood machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,15 +58,25 @@ class RoutingTable:
         result: LambResult,
         policy: str = "shortest",
         seed: int = 0,
-    ):
+        grids: Optional[FaultGrids] = None,
+    ) -> None:
         self.result = result
         self.faults: FaultSet = result.faults
         self.mesh: Mesh = result.mesh
         self.orderings: KRoundOrdering = result.orderings
         self.policy = policy
-        self._grids = FaultGrids(self.faults)
+        # ``grids`` lets an incremental caller (the control-plane
+        # compiler) hand over pre-updated fault grids instead of
+        # rebuilding them from the cumulative fault set.
+        self._grids = FaultGrids(self.faults) if grids is None else grids
         self._rng = np.random.default_rng(seed)
         self._entries: Dict[Tuple[Node, Node], RouteEntry] = {}
+
+    @property
+    def grids(self) -> FaultGrids:
+        """The fault grids backing route resolution (clone before
+        mutating — published tables are immutable by convention)."""
+        return self._grids
 
     # ------------------------------------------------------------------
     def lookup(self, source: Sequence[int], dest: Sequence[int]) -> RouteEntry:
@@ -114,6 +124,24 @@ class RoutingTable:
             hops=hops,
             turns=turns,
         )
+
+    # ------------------------------------------------------------------
+    def preload(self, entries: Iterable[RouteEntry]) -> None:
+        """Seed the cache with precomputed entries (deserialization,
+        warm hand-off between control-plane epochs).
+
+        Every entry's endpoints must be survivors of this table's
+        reconfiguration — entries from a different epoch are rejected
+        rather than silently serving routes through dead hardware.
+        """
+        for e in entries:
+            for end, name in ((e.source, "source"), (e.dest, "destination")):
+                if not self.result.is_survivor(end):
+                    raise ValueError(
+                        f"preloaded route {e.source}->{e.dest}: "
+                        f"{name} {end} is not a survivor node"
+                    )
+            self._entries[(e.source, e.dest)] = e
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

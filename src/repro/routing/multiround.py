@@ -78,6 +78,23 @@ class FaultGrids:
             idx = list(w)
             self.down_cut[j][tuple(idx)] = True
 
+    def clone(self) -> "FaultGrids":
+        """An independent copy (array-level).
+
+        The incremental-recompile path of the control plane clones the
+        current epoch's grids and applies a fault delta via
+        :meth:`add_faults` instead of rebuilding from the cumulative
+        :class:`~repro.mesh.faults.FaultSet` — the same O(delta) trick
+        the live-fault simulator uses, without mutating the published
+        epoch's state.
+        """
+        other = object.__new__(FaultGrids)
+        other.mesh = self.mesh
+        other.good = self.good.copy()
+        other.up_cut = [a.copy() for a in self.up_cut]
+        other.down_cut = [a.copy() for a in self.down_cut]
+        return other
+
     def add_faults(
         self,
         node_faults: Sequence[Node] = (),

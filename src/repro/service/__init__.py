@@ -1,0 +1,76 @@
+"""Reconfiguration control plane.
+
+The paper's selling point is that lamb reconfiguration is cheap enough
+— O(k d^3 f^3 + |Λ|), independent of mesh size — to rerun on every
+fault event.  This package turns that in-process call into a control
+plane with a slow control path and a fast data path:
+
+- :mod:`repro.service.store` — canonical config identity (blake2
+  content addressing) and a two-tier artifact store (LRU + disk);
+- :mod:`repro.service.compiler` — compile-once semantics over the lamb
+  pipeline with the degradation ladder and an optional CDG
+  deadlock-freedom cross-check before publication;
+- :mod:`repro.service.server` / :mod:`repro.service.client` — an
+  asyncio NDJSON TCP service (batching, per-request timeouts, graceful
+  drain) serving route queries at high QPS;
+- :mod:`repro.service.metrics` — cache/compile/query observability
+  behind the ``stats`` RPC;
+- :mod:`repro.service.errors` — typed wire errors under the
+  :class:`repro.wormhole.SimulationError` taxonomy.
+
+See ``docs/service.md`` for the protocol and artifact schema, and
+``repro serve`` / ``repro query`` for the CLI front ends.
+"""
+
+from .compiler import CompiledArtifact, ReconfigurationCompiler
+from .errors import (
+    CompileError,
+    MalformedRequestError,
+    RequestTimeoutError,
+    ServiceError,
+    ServiceUnavailableError,
+    StaleEpochError,
+    UnknownOperationError,
+)
+from .metrics import Counter, Gauge, Histogram, ServiceMetrics
+from .store import ArtifactStore, canonical_config, config_digest
+
+__all__ = [
+    "ArtifactStore",
+    "canonical_config",
+    "config_digest",
+    "CompiledArtifact",
+    "ReconfigurationCompiler",
+    "ServiceMetrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ServiceError",
+    "MalformedRequestError",
+    "UnknownOperationError",
+    "StaleEpochError",
+    "CompileError",
+    "RequestTimeoutError",
+    "ServiceUnavailableError",
+    "RouteQueryClient",
+    "RouteQueryServer",
+    "serve_smoke",
+]
+
+
+def __getattr__(name: str):
+    # Server/client pull in asyncio; import lazily so the core package
+    # stays light for library users.
+    if name == "RouteQueryServer":
+        from .server import RouteQueryServer
+
+        return RouteQueryServer
+    if name == "RouteQueryClient":
+        from .client import RouteQueryClient
+
+        return RouteQueryClient
+    if name == "serve_smoke":
+        from .smoke import serve_smoke
+
+        return serve_smoke
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,229 @@
+"""Asyncio client for the route-query service.
+
+Mirrors the wire protocol of :mod:`repro.service.server`: one JSON
+request per line (or a JSON array for a pipelined batch), replies in
+request order.  Error replies are rebuilt into the *same* typed
+exceptions the server raised (:mod:`repro.service.errors`), so client
+code handles :class:`~repro.service.errors.StaleEpochError` exactly as
+in-process callers do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..mesh.faults import FaultSet
+from ..mesh.serialization import faults_to_dict
+from .errors import (
+    MalformedRequestError,
+    RequestTimeoutError,
+    ServiceError,
+    from_wire,
+)
+
+__all__ = ["RouteQueryClient", "raise_typed"]
+
+
+def raise_typed(reply: Dict[str, Any]) -> Dict[str, Any]:
+    """Return ``reply`` if ``ok``; raise its typed error otherwise."""
+    if reply.get("ok"):
+        return reply
+    error = reply.get("error")
+    if isinstance(error, dict):
+        raise from_wire(error)
+    raise ServiceError(f"malformed error reply: {reply!r}")
+
+
+class RouteQueryClient:
+    """One connection to a :class:`~repro.service.server.RouteQueryServer`.
+
+    Use :meth:`connect`; every RPC accepts an optional per-call
+    ``timeout`` (seconds) overriding ``default_timeout`` — an expired
+    wait raises :class:`~repro.service.errors.RequestTimeoutError`.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        default_timeout: float = 10.0,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.default_timeout = float(default_timeout)
+        self._next_id = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        default_timeout: float = 10.0,
+        connect_timeout: float = 10.0,
+    ) -> "RouteQueryClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=connect_timeout
+        )
+        return cls(reader, writer, default_timeout=default_timeout)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "RouteQueryClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _make_request(self, op: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        req = {"id": self._next_id, "op": op}
+        self._next_id += 1
+        req.update(payload)
+        return req
+
+    async def _read_reply(self, timeout: Optional[float]) -> Dict[str, Any]:
+        deadline = self.default_timeout if timeout is None else float(timeout)
+        try:
+            line = await asyncio.wait_for(
+                self._reader.readline(), timeout=deadline
+            )
+        except asyncio.TimeoutError:
+            raise RequestTimeoutError(
+                f"no reply within {deadline}s (client-side deadline)"
+            )
+        if not line:
+            raise ServiceError("connection closed before a reply arrived")
+        try:
+            reply = json.loads(line)
+        except ValueError:
+            raise ServiceError(f"unparseable reply line: {line[:80]!r}")
+        if not isinstance(reply, dict):
+            raise ServiceError(f"reply is not an object: {reply!r}")
+        return reply
+
+    async def request(
+        self,
+        op: str,
+        timeout: Optional[float] = None,
+        **payload: Any,
+    ) -> Dict[str, Any]:
+        """Send one request; return the ok-reply body or raise its
+        typed error."""
+        req = self._make_request(op, payload)
+        self._writer.write((json.dumps(req) + "\n").encode("utf-8"))
+        await self._writer.drain()
+        reply = await self._read_reply(timeout)
+        if reply.get("id") != req["id"]:
+            raise ServiceError(
+                f"reply id {reply.get('id')!r} does not match "
+                f"request id {req['id']}"
+            )
+        return raise_typed(reply)
+
+    async def request_batch(
+        self,
+        requests: Sequence[Tuple[str, Dict[str, Any]]],
+        timeout: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Pipeline a batch of ``(op, payload)`` requests as a single
+        line; returns the raw reply dicts in order (errors are *not*
+        raised — inspect ``reply["ok"]`` or pass through
+        :func:`raise_typed` per element)."""
+        if not requests:
+            raise MalformedRequestError("empty batch")
+        reqs = [self._make_request(op, payload) for op, payload in requests]
+        self._writer.write((json.dumps(reqs) + "\n").encode("utf-8"))
+        await self._writer.drain()
+        replies: List[Dict[str, Any]] = []
+        for req in reqs:
+            reply = await self._read_reply(timeout)
+            if reply.get("id") != req["id"]:
+                raise ServiceError(
+                    f"reply id {reply.get('id')!r} does not match "
+                    f"request id {req['id']}"
+                )
+            replies.append(reply)
+        return replies
+
+    # ------------------------------------------------------------------
+    # Typed RPCs
+    # ------------------------------------------------------------------
+    async def ping(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return await self.request("ping", timeout=timeout)
+
+    async def compile(
+        self, faults: FaultSet, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Compile (or cache-fetch) the artifact for ``faults``."""
+        return await self.request(
+            "compile", timeout=timeout, faults=faults_to_dict(faults)
+        )
+
+    async def delta(
+        self,
+        node_faults: Sequence[Sequence[int]] = (),
+        link_faults: Sequence[Tuple[Sequence[int], Sequence[int]]] = (),
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Report newly detected faults; triggers an incremental
+        recompile and an epoch bump."""
+        return await self.request(
+            "delta",
+            timeout=timeout,
+            node_faults=[list(int(x) for x in v) for v in node_faults],
+            link_faults=[
+                [list(int(x) for x in u), list(int(x) for x in w)]
+                for (u, w) in link_faults
+            ],
+        )
+
+    async def query(
+        self,
+        source: Sequence[int],
+        dest: Sequence[int],
+        epoch: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Resolve one route (optionally pinned to ``epoch``)."""
+        payload: Dict[str, Any] = {
+            "source": [int(x) for x in source],
+            "dest": [int(x) for x in dest],
+        }
+        if epoch is not None:
+            payload["epoch"] = int(epoch)
+        return await self.request("query", timeout=timeout, **payload)
+
+    async def query_batch(
+        self,
+        pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+        epoch: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Pipeline many route queries in one round trip (raw replies,
+        see :meth:`request_batch`)."""
+        requests: List[Tuple[str, Dict[str, Any]]] = []
+        for (source, dest) in pairs:
+            payload: Dict[str, Any] = {
+                "source": [int(x) for x in source],
+                "dest": [int(x) for x in dest],
+            }
+            if epoch is not None:
+                payload["epoch"] = int(epoch)
+            requests.append(("query", payload))
+        return await self.request_batch(requests, timeout=timeout)
+
+    async def stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return await self.request("stats", timeout=timeout)
+
+    async def shutdown(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Ask the server to drain gracefully."""
+        return await self.request("shutdown", timeout=timeout)

@@ -1,0 +1,427 @@
+"""The control-plane compiler: fault set in, routing artifact out.
+
+``compile`` is a pure function of the canonical config (that is what
+makes content-addressed caching sound), so the compiler deliberately
+runs **without** sticky lambs — cross-epoch lamb stability would make
+the artifact depend on compile *history* and reintroduce the
+stale-cache hazard the digest exists to kill.
+
+The compile path is the full production ladder:
+
+1. digest the canonical config and probe the two-tier
+   :class:`~repro.service.store.ArtifactStore` (live LRU, then disk);
+2. on a miss, run the lamb pipeline through the PR-1 degradation
+   ladder (:meth:`~repro.core.reconfigure.ReconfigurationManager.\
+report_faults_degraded`: recompute, escalate ``k -> k+1``, quarantine,
+   least-bad fallback);
+3. optionally cross-check the result with the PR-3 CDG prover —
+   an artifact is only published if its channel-dependency graph is
+   acyclic;
+4. publish the artifact (store + live cache) and bump the
+   reconfiguration epoch.
+
+Fault *deltas* (:meth:`ReconfigurationCompiler.apply_delta`) reuse the
+current epoch's state incrementally: ``FaultSet.with_faults`` for the
+fault set and a cloned ``FaultGrids`` + ``add_faults`` for the routing
+grids, instead of rebuilding either from scratch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from ..core.lamb import LambResult
+from ..core.reconfigure import ReconfigurationError, ReconfigurationManager
+from ..core.routing_table import RouteEntry, RoutingTable
+from ..mesh.faults import FaultSet
+from ..mesh.geometry import Link, Mesh, Node
+from ..mesh.serialization import (
+    routing_table_from_dict,
+    routing_table_to_dict,
+)
+from ..routing.multiround import FaultGrids
+from ..routing.ordering import KRoundOrdering
+from .errors import CompileError, MalformedRequestError, StaleEpochError
+from .errors import ServiceError, ServiceUnavailableError
+from .metrics import ServiceMetrics
+from .store import ArtifactStore, config_digest
+
+__all__ = ["CompiledArtifact", "ReconfigurationCompiler"]
+
+
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """One published reconfiguration: identity, epoch, and the routable
+    state.
+
+    ``epoch`` is the activation counter — it changes every time the
+    machine's routing state changes (fresh compile, delta, or
+    re-activation of an older cached config), which is what queries pin
+    against.  ``digest`` is the content identity — it never changes for
+    a given config, which is what the cache keys on.
+    """
+
+    digest: str
+    epoch: int
+    result: LambResult
+    table: RoutingTable
+    compile_seconds: float
+    escalated_rounds: int = 0
+    quarantined: Tuple[Node, ...] = ()
+    verified: bool = False
+    incremental: bool = False
+
+    @property
+    def k(self) -> int:
+        return self.result.orderings.k
+
+    @property
+    def num_lambs(self) -> int:
+        return self.result.size
+
+    @property
+    def num_survivors(self) -> int:
+        return (
+            self.result.mesh.num_nodes
+            - self.result.faults.num_node_faults
+            - self.result.size
+        )
+
+    @property
+    def degraded(self) -> bool:
+        return self.escalated_rounds > 0 or bool(self.quarantined)
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-able body of a ``compile``/``delta`` reply."""
+        return {
+            "digest": self.digest,
+            "epoch": self.epoch,
+            "faults": self.result.faults.f,
+            "k": self.k,
+            "lambs": self.num_lambs,
+            "lamb_nodes": sorted(list(v) for v in self.result.lambs),
+            "survivors": self.num_survivors,
+            "escalated_rounds": self.escalated_rounds,
+            "quarantined": sorted(list(v) for v in self.quarantined),
+            "degraded": self.degraded,
+            "verified": self.verified,
+            "incremental": self.incremental,
+        }
+
+
+class ReconfigurationCompiler:
+    """Compile-once-serve-forever front end over the lamb pipeline.
+
+    Parameters
+    ----------
+    mesh, orderings:
+        The machine and its (initial) routing discipline; the ladder
+        may escalate ``orderings`` and the escalated discipline is
+        adopted for subsequent compiles, mirroring
+        :class:`~repro.core.reconfigure.ReconfigurationManager`.
+    store:
+        Artifact store (default: in-memory only).
+    metrics:
+        Shared :class:`~repro.service.metrics.ServiceMetrics`.
+    method, policy:
+        Lamb method and route-selection policy — both part of the
+        canonical cache identity.
+    verify:
+        Cross-check every fresh artifact with the CDG deadlock prover
+        before publishing (a cyclic CDG is a :class:`CompileError`,
+        never a published artifact).
+    lamb_budget, max_extra_rounds:
+        Degradation-ladder knobs (see ``report_faults_degraded``).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        orderings: KRoundOrdering,
+        store: Optional[ArtifactStore] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        method: str = "bipartite",
+        policy: str = "shortest",
+        verify: bool = False,
+        lamb_budget: Optional[int] = None,
+        max_extra_rounds: int = 1,
+        engine: str = "lines",
+    ) -> None:
+        self.mesh = mesh
+        self.orderings = orderings
+        self.store = store if store is not None else ArtifactStore()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.method = method
+        self.policy = policy
+        self.verify = verify
+        self.lamb_budget = lamb_budget
+        self.max_extra_rounds = int(max_extra_rounds)
+        self.engine = engine
+        self._live: Dict[str, CompiledArtifact] = {}
+        self._current: Optional[CompiledArtifact] = None
+        self._next_epoch = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[CompiledArtifact]:
+        return self._current
+
+    @property
+    def current_epoch(self) -> int:
+        return -1 if self._current is None else self._current.epoch
+
+    def digest_for(self, faults: FaultSet) -> str:
+        return config_digest(
+            faults, self.orderings, method=self.method, policy=self.policy
+        )
+
+    # ------------------------------------------------------------------
+    def compile(self, faults: FaultSet) -> Tuple[CompiledArtifact, str]:
+        """Compile (or fetch) the artifact for ``faults`` and make it
+        the current epoch.
+
+        Returns ``(artifact, source)`` where ``source`` is ``"current"``
+        (identical to the live epoch — a cache hit that does *not* bump
+        the epoch), ``"memory"``/``"store"`` (cache hit re-activated
+        under a fresh epoch), or ``"compiled"`` (cache miss).
+        """
+        if faults.mesh != self.mesh:
+            raise MalformedRequestError(
+                f"fault set targets {faults.mesh}, server machine is "
+                f"{self.mesh}"
+            )
+        digest = self.digest_for(faults)
+        with self._lock:
+            if self._current is not None and self._current.digest == digest:
+                self.metrics.cache_hits.inc()
+                return self._current, "current"
+            artifact = self._live.get(digest)
+            if artifact is not None:
+                self.metrics.cache_hits.inc()
+                return self._activate(artifact), "memory"
+        record = self.store.get(digest)
+        if record is not None:
+            artifact = self._restore(digest, record)
+            if artifact is not None:
+                self.metrics.cache_hits.inc()
+                with self._lock:
+                    return self._activate(artifact), "store"
+        self.metrics.cache_misses.inc()
+        artifact = self._compile_miss(digest, faults, grids=None)
+        with self._lock:
+            return self._activate(artifact), "compiled"
+
+    def apply_delta(
+        self,
+        node_faults: Iterable[Sequence[int]] = (),
+        link_faults: Iterable[Tuple[Sequence[int], Sequence[int]]] = (),
+    ) -> Tuple[CompiledArtifact, str]:
+        """Incremental recompile: extend the current epoch's fault set
+        with newly detected faults and activate the result.
+
+        The new fault set comes from ``FaultSet.with_faults`` and the
+        routing grids from a clone of the current epoch's grids updated
+        in place via ``FaultGrids.add_faults`` — O(delta) state
+        transfer, no from-scratch rebuild of either.
+        """
+        if self._current is None:
+            raise ServiceUnavailableError(
+                "no current artifact; compile a base config before "
+                "applying fault deltas"
+            )
+        new_nodes = tuple(tuple(int(x) for x in v) for v in node_faults)
+        new_links: Tuple[Link, ...] = tuple(
+            (tuple(int(x) for x in u), tuple(int(x) for x in w))
+            for (u, w) in link_faults
+        )
+        if not new_nodes and not new_links:
+            raise MalformedRequestError("a fault delta must name faults")
+        base = self._current
+        faults = base.result.faults.with_faults(new_nodes, new_links)
+        self.metrics.incremental_compiles.inc()
+        digest = self.digest_for(faults)
+        with self._lock:
+            if base.digest == digest:  # delta was fully redundant
+                self.metrics.cache_hits.inc()
+                return base, "current"
+            artifact = self._live.get(digest)
+            if artifact is not None:
+                self.metrics.cache_hits.inc()
+                return self._activate(artifact), "memory"
+        record = self.store.get(digest)
+        if record is not None:
+            artifact = self._restore(digest, record)
+            if artifact is not None:
+                self.metrics.cache_hits.inc()
+                with self._lock:
+                    return self._activate(artifact), "store"
+        self.metrics.cache_misses.inc()
+        grids = base.table.grids.clone()
+        grids.add_faults(new_nodes, new_links)
+        artifact = self._compile_miss(
+            digest, faults, grids=grids, incremental=True
+        )
+        with self._lock:
+            return self._activate(artifact), "compiled"
+
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        source: Sequence[int],
+        dest: Sequence[int],
+        epoch: Optional[int] = None,
+    ) -> RouteEntry:
+        """Resolve a route against the current epoch.
+
+        ``epoch`` pins the reconfiguration the caller believes is live;
+        a mismatch is a :class:`StaleEpochError` (the fast data path
+        must never be served routes from a superseded configuration).
+        """
+        current = self._current
+        if current is None:
+            raise ServiceUnavailableError(
+                "no current artifact; compile a config first"
+            )
+        if epoch is not None and int(epoch) != current.epoch:
+            self.metrics.stale_epoch_rejections.inc()
+            raise StaleEpochError(int(epoch), current.epoch)
+        self.metrics.queries.inc()
+        t0 = time.perf_counter()
+        try:
+            entry = current.table.lookup(source, dest)
+        except ValueError as exc:  # non-survivor endpoint
+            raise MalformedRequestError(str(exc))
+        except RuntimeError as exc:  # unreachable => invalid lamb set
+            raise ServiceError(str(exc))
+        self.metrics.query_latency.observe(time.perf_counter() - t0)
+        return entry
+
+    # ------------------------------------------------------------------
+    def persist_current(self) -> None:
+        """Re-publish the current artifact with its warmed route
+        entries (called on graceful drain so the next process starts
+        with a hot table)."""
+        current = self._current
+        if current is None:
+            return
+        self.store.put(current.digest, self._record(current))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _activate(self, artifact: CompiledArtifact) -> CompiledArtifact:
+        """Make ``artifact`` the current epoch (caller holds the lock
+        for cached paths; fresh compiles pass a brand-new object)."""
+        if self._current is not None and artifact.digest == self._current.digest:
+            return self._current
+        activated = replace(artifact, epoch=self._next_epoch)
+        self._next_epoch += 1
+        self._live[artifact.digest] = activated
+        self._current = activated
+        self.metrics.epoch.set(activated.epoch)
+        return activated
+
+    def _compile_miss(
+        self,
+        digest: str,
+        faults: FaultSet,
+        grids: Optional[FaultGrids],
+        incremental: bool = False,
+    ) -> CompiledArtifact:
+        t0 = time.perf_counter()
+        mgr = ReconfigurationManager(
+            self.mesh,
+            self.orderings,
+            sticky_lambs=False,
+            method=self.method,
+            engine=self.engine,
+        )
+        try:
+            epoch = mgr.report_faults_degraded(
+                node_faults=faults.node_faults,
+                link_faults=faults.link_faults,
+                lamb_budget=self.lamb_budget,
+                max_extra_rounds=self.max_extra_rounds,
+            )
+        except ReconfigurationError as exc:
+            raise CompileError(str(exc))
+        result = epoch.result
+        if epoch.escalated_rounds > 0:
+            # Adopt the escalated discipline, as the ladder contract
+            # prescribes; later digests include the extra rounds.
+            self.orderings = mgr.orderings
+        if epoch.degraded:
+            self.metrics.degraded_compiles.inc()
+        if self.verify:
+            self._cross_check(result)
+        # Degradation may have quarantined nodes (extra faults beyond
+        # the delta), in which case the cloned grids are stale — fall
+        # back to a rebuild for correctness.
+        if grids is not None and result.faults != faults:
+            grids = None
+        table = RoutingTable(result, policy=self.policy, grids=grids)
+        wall = time.perf_counter() - t0
+        self.metrics.compiles.inc()
+        self.metrics.compile_latency.observe(wall)
+        artifact = CompiledArtifact(
+            digest=digest,
+            epoch=-1,  # assigned at activation
+            result=result,
+            table=table,
+            compile_seconds=wall,
+            escalated_rounds=epoch.escalated_rounds,
+            quarantined=epoch.quarantined,
+            verified=self.verify,
+            incremental=incremental,
+        )
+        self.store.put(digest, self._record(artifact))
+        return artifact
+
+    def _cross_check(self, result: LambResult) -> None:
+        from ..analysis.static.cdg import StaticDeadlockError, assert_deadlock_free
+
+        try:
+            assert_deadlock_free(result.faults, result.orderings)
+        except StaticDeadlockError as exc:
+            raise CompileError(
+                f"CDG cross-check refused to publish the artifact: {exc}"
+            )
+
+    def _record(self, artifact: CompiledArtifact) -> Dict[str, Any]:
+        record = routing_table_to_dict(artifact.table)
+        record["service"] = {
+            "compile_seconds": round(artifact.compile_seconds, 6),
+            "escalated_rounds": artifact.escalated_rounds,
+            "quarantined": sorted(list(v) for v in artifact.quarantined),
+            "verified": artifact.verified,
+        }
+        return record
+
+    def _restore(
+        self, digest: str, record: Dict[str, Any]
+    ) -> Optional[CompiledArtifact]:
+        """Rebuild a :class:`CompiledArtifact` from a disk record, or
+        ``None`` when the record does not validate (a corrupt artifact
+        is a cache miss, never a crash)."""
+        try:
+            table = routing_table_from_dict(record)
+        except (KeyError, TypeError, ValueError):
+            return None
+        meta = record.get("service") or {}
+        return CompiledArtifact(
+            digest=digest,
+            epoch=-1,
+            result=table.result,
+            table=table,
+            compile_seconds=float(meta.get("compile_seconds", 0.0)),
+            escalated_rounds=int(meta.get("escalated_rounds", 0)),
+            quarantined=tuple(
+                tuple(int(x) for x in v)
+                for v in meta.get("quarantined", [])
+            ),
+            verified=bool(meta.get("verified", False)),
+        )

@@ -1,0 +1,161 @@
+"""Control-plane metrics: counters, latency histograms, gauges.
+
+Dependency-free (no prometheus client in the image) but shaped like
+one: :class:`ServiceMetrics` aggregates named counters, log-bucketed
+latency histograms, and gauges, and renders a deterministic,
+JSON-able snapshot — served by the ``stats`` RPC and written by
+``repro serve --metrics-json``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "ServiceMetrics"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (e.g. the current reconfiguration epoch)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+#: Default latency buckets (seconds): ~100us .. ~10s, log-spaced.
+_DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with quantile estimation.
+
+    ``observe`` is O(log buckets); quantiles are estimated from the
+    bucket counts (upper bound of the containing bucket — pessimistic,
+    which is the right bias for an SLO readout).
+    """
+
+    __slots__ = ("buckets", "counts", "overflow", "total", "sum", "max")
+
+    def __init__(self, buckets: Tuple[float, ...] = _DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("buckets must be a nonempty ascending sequence")
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self.counts: List[int] = [0] * len(self.buckets)
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError("latencies cannot be negative")
+        i = bisect.bisect_left(self.buckets, seconds)
+        if i >= len(self.buckets):
+            self.overflow += 1
+        else:
+            self.counts[i] += 1
+        self.total += 1
+        self.sum += seconds
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (upper bucket bound); 0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for bound, count in zip(self.buckets, self.counts):
+            seen += count
+            if seen >= rank:
+                return bound
+        return self.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.total,
+            "max_s": round(self.max, 6),
+            "mean_s": round(self.mean, 6),
+            "overflow": self.overflow,
+            "p50_s": round(self.quantile(0.50), 6),
+            "p95_s": round(self.quantile(0.95), 6),
+            "p99_s": round(self.quantile(0.99), 6),
+        }
+
+
+class ServiceMetrics:
+    """Everything the control plane measures about itself."""
+
+    def __init__(self) -> None:
+        self.requests = Counter()
+        self.replies_ok = Counter()
+        self.replies_error = Counter()
+        self.cache_hits = Counter()
+        self.cache_misses = Counter()
+        self.compiles = Counter()
+        self.incremental_compiles = Counter()
+        self.degraded_compiles = Counter()
+        self.queries = Counter()
+        self.stale_epoch_rejections = Counter()
+        self.malformed_requests = Counter()
+        self.timeouts = Counter()
+        self.compile_latency = Histogram()
+        self.query_latency = Histogram()
+        self.epoch = Gauge(-1.0)
+
+    def hit_rate(self) -> float:
+        total = self.cache_hits.value + self.cache_misses.value
+        return self.cache_hits.value / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic JSON-able readout (the ``stats`` RPC body)."""
+        return {
+            "cache": {
+                "hit_rate": round(self.hit_rate(), 4),
+                "hits": self.cache_hits.value,
+                "misses": self.cache_misses.value,
+            },
+            "compile_latency": self.compile_latency.snapshot(),
+            "counters": {
+                "compiles": self.compiles.value,
+                "degraded_compiles": self.degraded_compiles.value,
+                "incremental_compiles": self.incremental_compiles.value,
+                "malformed_requests": self.malformed_requests.value,
+                "queries": self.queries.value,
+                "replies_error": self.replies_error.value,
+                "replies_ok": self.replies_ok.value,
+                "requests": self.requests.value,
+                "stale_epoch_rejections": self.stale_epoch_rejections.value,
+                "timeouts": self.timeouts.value,
+            },
+            "epoch": int(self.epoch.value),
+            "query_latency": self.query_latency.snapshot(),
+        }

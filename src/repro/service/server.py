@@ -1,0 +1,356 @@
+"""Asyncio route-query server: the slow control path as a service.
+
+Wire protocol (newline-delimited JSON over TCP):
+
+- One request per line: ``{"id": 7, "op": "query", ...}``.
+- **Batching**: a line may also carry a JSON *array* of requests; the
+  server processes them in order and writes one reply line per element
+  before flushing — a single round trip for the whole batch.  Batches
+  are processed against live state, so a ``delta`` inside a batch bumps
+  the epoch for the requests behind it (queries pinned to the old epoch
+  then get typed ``stale-epoch`` replies).
+- Replies echo the request ``id``: ``{"id": 7, "ok": true, ...}`` on
+  success, ``{"id": 7, "ok": false, "error": {"code", "message",
+  "data"}}`` on a typed failure (see :mod:`repro.service.errors`).
+
+Operations: ``ping``, ``compile``, ``delta``, ``query``, ``stats``,
+``shutdown``.
+
+Compiles are offloaded to a worker thread so queries on other
+connections keep flowing while the lamb pipeline runs.  Shutdown is a
+**graceful drain**: the listener closes, in-flight requests (including
+running compiles) are awaited to completion, the warmed routing table
+is persisted, and only then do connections drop —
+:attr:`RouteQueryServer.orphaned_compiles` stays 0 unless the drain
+timeout expires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..mesh.serialization import faults_from_dict
+from .compiler import ReconfigurationCompiler
+from .errors import (
+    MalformedRequestError,
+    RequestTimeoutError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownOperationError,
+    to_wire,
+)
+from .metrics import ServiceMetrics
+
+__all__ = ["RouteQueryServer", "WIRE_VERSION"]
+
+WIRE_VERSION = 1
+
+#: Refuse absurd lines early (a malformed client should get a typed
+#: error, not OOM the control plane).
+_MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+def _encode(reply: Dict[str, Any]) -> bytes:
+    return (json.dumps(reply, sort_keys=True) + "\n").encode("utf-8")
+
+
+class RouteQueryServer:
+    """Serve compile/query traffic for one machine.
+
+    Parameters
+    ----------
+    compiler:
+        The :class:`~repro.service.compiler.ReconfigurationCompiler`
+        owning artifact state.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read
+        :attr:`port` after :meth:`start`).
+    request_timeout:
+        Per-request deadline in seconds; an expired request gets a
+        typed ``request-timeout`` reply instead of a hung connection.
+    drain_timeout:
+        How long :meth:`stop` waits for in-flight work before cutting
+        connections loose.
+    """
+
+    def __init__(
+        self,
+        compiler: ReconfigurationCompiler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = 30.0,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        self.compiler = compiler
+        self.metrics: ServiceMetrics = compiler.metrics
+        self.host = host
+        self.port = port
+        self.request_timeout = float(request_timeout)
+        self.drain_timeout = float(drain_timeout)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self._inflight_compiles = 0
+        self.orphaned_compiles = 0
+        self._draining = False
+        self._shutdown_event: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)``."""
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connect,
+            self.host,
+            self.port,
+            limit=_MAX_LINE_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request arrives, then drain."""
+        assert self._shutdown_event is not None, "call start() first"
+        await self._shutdown_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        persist the warmed artifact, close connections."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {t for t in self._conn_tasks if not t.done()}
+        if pending:
+            done, still = await asyncio.wait(
+                pending, timeout=self.drain_timeout
+            )
+            for t in still:
+                t.cancel()
+            if still:
+                await asyncio.gather(*still, return_exceptions=True)
+        self.orphaned_compiles = self._inflight_compiles
+        self.compiler.persist_current()
+
+    # ------------------------------------------------------------------
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._draining:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                writer.write(
+                    self._error_reply(
+                        None, MalformedRequestError("request line too long")
+                    )
+                )
+                await writer.drain()
+                return
+            if not line:
+                return  # peer closed
+            stripped = line.strip()
+            if not stripped:
+                continue
+            requests, decode_error = self._decode_line(stripped)
+            if decode_error is not None:
+                self.metrics.malformed_requests.inc()
+                writer.write(self._error_reply(None, decode_error))
+                await writer.drain()
+                continue
+            shutdown = False
+            for req in requests:
+                reply, is_shutdown = await self._reply_for(req)
+                writer.write(reply)
+                shutdown = shutdown or is_shutdown
+            await writer.drain()  # one flush per batch
+            if shutdown:
+                assert self._shutdown_event is not None
+                self._shutdown_event.set()
+                return
+
+    def _decode_line(
+        self, stripped: bytes
+    ) -> Tuple[List[Dict[str, Any]], Optional[ServiceError]]:
+        try:
+            payload = json.loads(stripped)
+        except ValueError:
+            return [], MalformedRequestError("request is not valid JSON")
+        batch = payload if isinstance(payload, list) else [payload]
+        if not batch:
+            return [], MalformedRequestError("empty request batch")
+        for req in batch:
+            if not isinstance(req, dict):
+                return [], MalformedRequestError(
+                    "each request must be a JSON object"
+                )
+        return batch, None
+
+    # ------------------------------------------------------------------
+    async def _reply_for(self, req: Dict[str, Any]) -> Tuple[bytes, bool]:
+        """One reply line for one request (never raises)."""
+        req_id = req.get("id")
+        self.metrics.requests.inc()
+        op = req.get("op")
+        if not isinstance(op, str):
+            self.metrics.malformed_requests.inc()
+            return (
+                self._error_reply(
+                    req_id, MalformedRequestError("request is missing 'op'")
+                ),
+                False,
+            )
+        try:
+            body = await asyncio.wait_for(
+                self._handle(op, req), timeout=self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            self.metrics.timeouts.inc()
+            return (
+                self._error_reply(
+                    req_id,
+                    RequestTimeoutError(
+                        f"'{op}' exceeded the server deadline of "
+                        f"{self.request_timeout}s"
+                    ),
+                ),
+                False,
+            )
+        except ServiceError as exc:
+            if isinstance(exc, MalformedRequestError):
+                self.metrics.malformed_requests.inc()
+            return self._error_reply(req_id, exc), False
+        except Exception as exc:  # defensive: typed even when surprised
+            return self._error_reply(req_id, ServiceError(str(exc))), False
+        self.metrics.replies_ok.inc()
+        reply = {"id": req_id, "ok": True}
+        reply.update(body)
+        return _encode(reply), op == "shutdown"
+
+    def _error_reply(self, req_id: Any, err: Exception) -> bytes:
+        self.metrics.replies_error.inc()
+        return _encode({"id": req_id, "ok": False, "error": to_wire(err)})
+
+    # ------------------------------------------------------------------
+    async def _handle(self, op: str, req: Dict[str, Any]) -> Dict[str, Any]:
+        if op == "ping":
+            return {
+                "pong": True,
+                "epoch": self.compiler.current_epoch,
+                "wire_version": WIRE_VERSION,
+            }
+        if op == "compile":
+            return await self._handle_compile(req)
+        if op == "delta":
+            return await self._handle_delta(req)
+        if op == "query":
+            return self._handle_query(req)
+        if op == "stats":
+            return {
+                "stats": self.metrics.snapshot(),
+                "store": self.compiler.store.stats(),
+            }
+        if op == "shutdown":
+            return {"draining": True}
+        raise UnknownOperationError(f"unknown operation {op!r}")
+
+    async def _handle_compile(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        if self._draining:
+            raise ServiceUnavailableError("server is draining")
+        spec = req.get("faults")
+        if not isinstance(spec, dict):
+            raise MalformedRequestError(
+                "'compile' needs a 'faults' fault-set record"
+            )
+        try:
+            faults = faults_from_dict(spec)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MalformedRequestError(f"bad fault-set record: {exc}")
+        artifact, source = await self._run_compile(
+            self.compiler.compile, faults
+        )
+        body = artifact.summary()
+        body["cache_hit"] = source != "compiled"
+        body["source"] = source
+        return body
+
+    async def _handle_delta(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        if self._draining:
+            raise ServiceUnavailableError("server is draining")
+        try:
+            nodes = [
+                tuple(int(x) for x in v)
+                for v in req.get("node_faults", [])
+            ]
+            links = [
+                (tuple(int(x) for x in u), tuple(int(x) for x in w))
+                for (u, w) in req.get("link_faults", [])
+            ]
+        except (TypeError, ValueError) as exc:
+            raise MalformedRequestError(f"bad fault delta: {exc}")
+        artifact, source = await self._run_compile(
+            self.compiler.apply_delta, nodes, links
+        )
+        body = artifact.summary()
+        body["cache_hit"] = source != "compiled"
+        body["source"] = source
+        return body
+
+    async def _run_compile(self, fn: Any, *args: Any) -> Any:
+        """Offload a compile to a worker thread, tracked for drain."""
+        loop = asyncio.get_running_loop()
+        self._inflight_compiles += 1
+        try:
+            return await loop.run_in_executor(None, fn, *args)
+        finally:
+            self._inflight_compiles -= 1
+
+    def _handle_query(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        source = req.get("source")
+        dest = req.get("dest")
+        if not isinstance(source, list) or not isinstance(dest, list):
+            raise MalformedRequestError(
+                "'query' needs 'source' and 'dest' coordinate lists"
+            )
+        epoch = req.get("epoch")
+        if epoch is not None and not isinstance(epoch, int):
+            raise MalformedRequestError("'epoch' must be an integer")
+        try:
+            src = tuple(int(x) for x in source)
+            dst = tuple(int(x) for x in dest)
+        except (TypeError, ValueError) as exc:
+            raise MalformedRequestError(f"bad coordinates: {exc}")
+        entry = self.compiler.route(src, dst, epoch=epoch)
+        current = self.compiler.current
+        assert current is not None  # route() guarantees
+        return {
+            "epoch": current.epoch,
+            "source": list(entry.source),
+            "dest": list(entry.dest),
+            "intermediates": [list(v) for v in entry.intermediates],
+            "rounds_used": entry.rounds_used,
+            "hops": entry.hops,
+            "turns": entry.turns,
+        }

@@ -1,0 +1,380 @@
+"""Failure-path and lifecycle tests for the route-query service.
+
+Everything here runs real asyncio TCP on ephemeral localhost ports via
+plain ``asyncio.run`` (no pytest-asyncio dependency).  The focus is the
+satellite checklist: client-side timeouts, mid-batch epoch bumps,
+malformed requests becoming *typed* error replies, and graceful drain
+leaving no orphaned compile work behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.mesh import FaultSet, Mesh
+from repro.routing import ascending, repeated
+from repro.service import (
+    MalformedRequestError,
+    ReconfigurationCompiler,
+    RequestTimeoutError,
+    ServiceUnavailableError,
+    StaleEpochError,
+)
+from repro.service.client import RouteQueryClient, raise_typed
+from repro.service.errors import from_wire
+from repro.service.server import RouteQueryServer
+from repro.service.smoke import default_smoke_faults, serve_smoke
+
+
+def _base_faults() -> FaultSet:
+    return FaultSet(Mesh((8, 8)), [(2, 2), (5, 6)])
+
+
+def _compiler(**kwargs: Any) -> ReconfigurationCompiler:
+    mesh = Mesh((8, 8))
+    return ReconfigurationCompiler(mesh, repeated(ascending(2), 2), **kwargs)
+
+
+def _survivor_pair(
+    faults: FaultSet, compiled: Dict[str, Any]
+) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    """Two distinct survivor nodes usable as query endpoints."""
+    excluded = {
+        tuple(v)
+        for v in list(compiled["lamb_nodes"]) + list(compiled["quarantined"])
+    }
+    survivors = [
+        v
+        for v in faults.mesh.nodes()
+        if not faults.node_is_faulty(v) and v not in excluded
+    ]
+    return survivors[0], survivors[-1]
+
+
+def _with_service(
+    scenario: Callable[
+        [RouteQueryClient, RouteQueryServer, ReconfigurationCompiler],
+        Awaitable[Any],
+    ],
+    **compiler_kwargs: Any,
+) -> Any:
+    """Run ``scenario`` against a live server on an ephemeral port."""
+
+    async def main() -> Any:
+        compiler = _compiler(**compiler_kwargs)
+        server = RouteQueryServer(compiler)
+        host, port = await server.start()
+        client = await RouteQueryClient.connect(
+            host, port, default_timeout=30.0
+        )
+        try:
+            return await scenario(client, server, compiler)
+        finally:
+            await client.close()
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: compile -> query -> cache hit -> delta -> stale -> drain
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_end_to_end(self):
+        faults = _base_faults()
+
+        async def scenario(client, server, compiler):
+            compiled = await client.compile(faults)
+            assert compiled["cache_hit"] is False
+            assert compiled["source"] == "compiled"
+            epoch0 = compiled["epoch"]
+
+            src, dst = _survivor_pair(faults, compiled)
+            reply = await client.query(src, dst, epoch=epoch0)
+            assert tuple(reply["source"]) == src
+            assert tuple(reply["dest"]) == dst
+            assert reply["hops"] >= 1
+
+            # Identical compile: a cache hit that keeps the epoch.
+            again = await client.compile(faults)
+            assert again["cache_hit"] is True
+            assert again["source"] == "current"
+            assert again["epoch"] == epoch0
+            stats = (await client.stats())["stats"]
+            assert stats["cache"]["hits"] >= 1
+            assert stats["cache"]["misses"] == 1
+
+            # New fault: incremental recompile, epoch bump.
+            deltad = await client.delta(node_faults=[src])
+            assert deltad["epoch"] > epoch0
+            assert deltad["cache_hit"] is False
+            assert deltad["incremental"] is True
+
+            # The superseded epoch is refused with a typed error.
+            with pytest.raises(StaleEpochError) as exc_info:
+                await client.query(dst, src, epoch=epoch0)
+            assert exc_info.value.requested == epoch0
+            assert exc_info.value.current == deltad["epoch"]
+            return deltad["epoch"]
+
+        assert _with_service(scenario) >= 1
+
+    def test_reactivating_a_cached_config_bumps_the_epoch(self):
+        """Returning to an old config is a cache hit for the *digest*
+        but still a new activation: queries pinned to the previous
+        sighting of that config must go stale."""
+        compiler = _compiler()
+        faults_a = _base_faults()
+        art_a, source = compiler.compile(faults_a)
+        assert source == "compiled"
+        epoch_a = art_a.epoch
+
+        art_b, source = compiler.apply_delta(node_faults=[(0, 7)])
+        assert source == "compiled"
+        assert art_b.incremental
+        assert art_b.epoch == epoch_a + 1
+
+        art_a2, source = compiler.compile(faults_a)
+        assert source == "memory"  # digest hit in the live cache
+        assert art_a2.digest == art_a.digest
+        assert art_a2.epoch == epoch_a + 2  # ... but a fresh activation
+        with pytest.raises(StaleEpochError):
+            compiler.route((0, 0), (1, 1), epoch=epoch_a)
+
+    def test_graceful_drain_leaves_no_orphaned_compiles(self, tmp_path):
+        faults = _base_faults()
+
+        async def main() -> Tuple[int, int]:
+            compiler = _compiler()
+            compiler.store.root = None  # memory tier only for this run
+            server = RouteQueryServer(compiler)
+            host, port = await server.start()
+            async with await RouteQueryClient.connect(host, port) as client:
+                await client.compile(faults, timeout=60.0)
+                drain = await client.shutdown()
+                assert drain["draining"] is True
+            await server.serve_until_shutdown()
+            return server.orphaned_compiles, compiler.current_epoch
+
+        orphaned, epoch = asyncio.run(main())
+        assert orphaned == 0
+        assert epoch == 0
+
+    def test_drain_persists_the_warmed_table(self, tmp_path):
+        """After a drain the store holds the current artifact, so the
+        next process starts from a cache hit, not a recompile."""
+        faults = _base_faults()
+
+        async def main() -> str:
+            from repro.service import ArtifactStore
+
+            compiler = _compiler(store=ArtifactStore(root=str(tmp_path)))
+            server = RouteQueryServer(compiler)
+            host, port = await server.start()
+            async with await RouteQueryClient.connect(host, port) as client:
+                compiled = await client.compile(faults, timeout=60.0)
+                await client.shutdown()
+            await server.serve_until_shutdown()
+            return compiled["digest"]
+
+        digest = asyncio.run(main())
+        fresh = _compiler()
+        from repro.service import ArtifactStore
+
+        fresh.store = ArtifactStore(root=str(tmp_path))
+        artifact, source = fresh.compile(faults)
+        assert source == "store"
+        assert artifact.digest == digest
+
+
+# ----------------------------------------------------------------------
+# Failure paths
+# ----------------------------------------------------------------------
+class TestClientTimeout:
+    def test_mute_server_trips_the_client_deadline(self):
+        """A server that accepts but never replies must surface as a
+        typed RequestTimeoutError, not a hang."""
+
+        async def main() -> None:
+            async def mute(reader, writer):  # swallow requests forever
+                try:
+                    while await reader.readline():
+                        pass
+                except (ConnectionError, asyncio.CancelledError):
+                    pass
+
+            srv = await asyncio.start_server(mute, "127.0.0.1", 0)
+            host, port = srv.sockets[0].getsockname()[:2]
+            client = await RouteQueryClient.connect(
+                host, port, default_timeout=0.2
+            )
+            try:
+                with pytest.raises(RequestTimeoutError):
+                    await client.ping()
+                # An explicit per-call deadline overrides the default.
+                with pytest.raises(RequestTimeoutError):
+                    await client.stats(timeout=0.05)
+            finally:
+                await client.close()
+                srv.close()
+                await srv.wait_closed()
+
+        asyncio.run(main())
+
+
+class TestMidBatchEpochBump:
+    def test_delta_inside_a_batch_staleifies_later_queries(self):
+        """One pipelined line: [query@e0, delta, query@e0].  The delta
+        bumps the epoch mid-batch, so the trailing query must come back
+        as a typed stale-epoch reply while the leading one succeeded."""
+        faults = _base_faults()
+
+        async def scenario(client, server, compiler):
+            compiled = await client.compile(faults, timeout=60.0)
+            epoch0 = compiled["epoch"]
+            src, dst = _survivor_pair(faults, compiled)
+            query = {
+                "source": list(src),
+                "dest": list(dst),
+                "epoch": epoch0,
+            }
+            delta = {"node_faults": [[0, 7]], "link_faults": []}
+            replies = await client.request_batch(
+                [("query", dict(query)), ("delta", delta),
+                 ("query", dict(query))],
+                timeout=60.0,
+            )
+            assert replies[0]["ok"] is True
+            assert replies[1]["ok"] is True
+            assert replies[1]["epoch"] == epoch0 + 1
+            assert replies[2]["ok"] is False
+            typed = from_wire(replies[2]["error"])
+            assert isinstance(typed, StaleEpochError)
+            assert typed.requested == epoch0
+            assert typed.current == epoch0 + 1
+            # Replies preserve request order and ids.
+            ids = [r["id"] for r in replies]
+            assert ids == sorted(ids)
+
+        _with_service(scenario)
+
+
+class TestMalformedRequests:
+    def test_invalid_json_line_gets_a_typed_reply_with_null_id(self):
+        async def scenario(client, server, compiler):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            try:
+                writer.write(b"{ this is not json\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["id"] is None
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "malformed-request"
+                # The connection survives a malformed line.
+                writer.write(
+                    json.dumps({"id": 9, "op": "ping"}).encode() + b"\n"
+                )
+                await writer.drain()
+                pong = json.loads(await reader.readline())
+                assert pong["ok"] is True and pong["id"] == 9
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        _with_service(scenario)
+
+    def test_typed_error_codes_for_bad_requests(self):
+        faults = _base_faults()
+
+        async def scenario(client, server, compiler):
+            # Query before any compile: service-unavailable.
+            with pytest.raises(ServiceUnavailableError):
+                await client.query((0, 0), (1, 1))
+            # Unknown op.
+            reply = (await client.request_batch([("warp", {})]))[0]
+            assert reply["error"]["code"] == "unknown-operation"
+            # Missing op.
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(json.dumps({"id": 1}).encode() + b"\n")
+            await writer.drain()
+            noop = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            assert noop["error"]["code"] == "malformed-request"
+            # compile without a fault-set record.
+            reply = (await client.request_batch([("compile", {})]))[0]
+            assert reply["error"]["code"] == "malformed-request"
+            # delta naming no faults.
+            await client.compile(faults, timeout=60.0)
+            with pytest.raises(MalformedRequestError):
+                await client.delta()
+            # Non-survivor query endpoint.
+            with pytest.raises(MalformedRequestError):
+                await client.query((2, 2), (0, 0))  # (2,2) is faulty
+            # Bad epoch type.
+            reply = (
+                await client.request_batch(
+                    [("query", {"source": [0, 0], "dest": [1, 1],
+                                "epoch": "zero"})]
+                )
+            )[0]
+            assert reply["error"]["code"] == "malformed-request"
+
+        _with_service(scenario)
+
+    def test_delta_without_a_base_config_is_unavailable(self):
+        compiler = _compiler()
+        with pytest.raises(ServiceUnavailableError):
+            compiler.apply_delta(node_faults=[(0, 0)])
+        with pytest.raises(MalformedRequestError):
+            compiler.compile(FaultSet(Mesh((9, 9)), [(1, 1)]))
+
+    def test_redundant_delta_is_a_current_hit(self):
+        compiler = _compiler()
+        compiler.compile(_base_faults())
+        epoch = compiler.current_epoch
+        artifact, source = compiler.apply_delta(node_faults=[(2, 2)])
+        assert source == "current"
+        assert artifact.epoch == epoch
+
+
+# ----------------------------------------------------------------------
+# The acceptance smoke itself, shrunk, twice: determinism contract
+# ----------------------------------------------------------------------
+class TestSmokeDeterminism:
+    def test_smoke_transcript_is_deterministic(self):
+        def run() -> Tuple[int, List[str]]:
+            lines: List[str] = []
+            code = serve_smoke(
+                default_smoke_faults(), queries=60, emit=lines.append
+            )
+            return code, lines
+
+        code_a, lines_a = run()
+        code_b, lines_b = run()
+        assert code_a == 0
+        assert lines_a == lines_b
+        assert lines_a[-1] == "smoke OK"
+
+    def test_raise_typed_passthrough(self):
+        ok = {"ok": True, "hops": 3}
+        assert raise_typed(ok) is ok
+        with pytest.raises(StaleEpochError):
+            raise_typed(
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "stale-epoch",
+                        "message": "x",
+                        "data": {"requested": 0, "current": 2},
+                    },
+                }
+            )
