@@ -54,6 +54,7 @@ class RouteQueryClient:
         self._writer = writer
         self.default_timeout = float(default_timeout)
         self._next_id = 0
+        self._broken = False
 
     @classmethod
     async def connect(
@@ -84,6 +85,31 @@ class RouteQueryClient:
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
+    @property
+    def broken(self) -> bool:
+        """Whether this connection has been poisoned by a desync (a
+        client-side timeout or a reply-id mismatch) and must be
+        replaced with a fresh :meth:`connect`."""
+        return self._broken
+
+    def _poison(self) -> None:
+        """Mark the connection unusable and close it.
+
+        After a client-side timeout the un-consumed reply is still in
+        the socket buffer; the next request would read that stale
+        reply and mis-match ids forever.  A broken client fails fast
+        instead of looking usable while permanently desynced.
+        """
+        self._broken = True
+        self._writer.close()
+
+    def _ensure_usable(self) -> None:
+        if self._broken:
+            raise ServiceError(
+                "connection is desynchronized (an earlier request "
+                "timed out or mismatched reply ids); open a new client"
+            )
+
     def _make_request(self, op: str, payload: Dict[str, Any]) -> Dict[str, Any]:
         req = {"id": self._next_id, "op": op}
         self._next_id += 1
@@ -97,8 +123,10 @@ class RouteQueryClient:
                 self._reader.readline(), timeout=deadline
             )
         except asyncio.TimeoutError:
+            self._poison()
             raise RequestTimeoutError(
-                f"no reply within {deadline}s (client-side deadline)"
+                f"no reply within {deadline}s (client-side deadline); "
+                f"connection closed — reconnect to continue"
             )
         if not line:
             raise ServiceError("connection closed before a reply arrived")
@@ -118,11 +146,13 @@ class RouteQueryClient:
     ) -> Dict[str, Any]:
         """Send one request; return the ok-reply body or raise its
         typed error."""
+        self._ensure_usable()
         req = self._make_request(op, payload)
         self._writer.write((json.dumps(req) + "\n").encode("utf-8"))
         await self._writer.drain()
         reply = await self._read_reply(timeout)
         if reply.get("id") != req["id"]:
+            self._poison()
             raise ServiceError(
                 f"reply id {reply.get('id')!r} does not match "
                 f"request id {req['id']}"
@@ -140,6 +170,7 @@ class RouteQueryClient:
         :func:`raise_typed` per element)."""
         if not requests:
             raise MalformedRequestError("empty batch")
+        self._ensure_usable()
         reqs = [self._make_request(op, payload) for op, payload in requests]
         self._writer.write((json.dumps(reqs) + "\n").encode("utf-8"))
         await self._writer.drain()
@@ -147,6 +178,7 @@ class RouteQueryClient:
         for req in reqs:
             reply = await self._read_reply(timeout)
             if reply.get("id") != req["id"]:
+                self._poison()
                 raise ServiceError(
                     f"reply id {reply.get('id')!r} does not match "
                     f"request id {req['id']}"

@@ -24,6 +24,16 @@ Fault *deltas* (:meth:`ReconfigurationCompiler.apply_delta`) reuse the
 current epoch's state incrementally: ``FaultSet.with_faults`` for the
 fault set and a cloned ``FaultGrids`` + ``add_faults`` for the routing
 grids, instead of rebuilding either from scratch.
+
+Concurrency contract: the server offloads ``compile``/``apply_delta``
+to worker threads, so **mutations are serialized** by a dedicated
+mutation lock held across base-read -> compile -> activate.  Without
+it two concurrent deltas could both base on the same epoch and the
+second activation would silently drop the first delta's faults — the
+live table would then route through known-dead hardware.  Queries
+(:meth:`ReconfigurationCompiler.route`) never take the mutation lock;
+they read the current artifact reference atomically and stay fast
+while a compile runs.
 """
 
 from __future__ import annotations
@@ -163,7 +173,15 @@ class ReconfigurationCompiler:
         self._live: Dict[str, CompiledArtifact] = {}
         self._current: Optional[CompiledArtifact] = None
         self._next_epoch = 0
+        #: Guards fast shared state (`_current`, `_live`, `_next_epoch`,
+        #: ``orderings``) for readers on other threads.
         self._lock = threading.Lock()
+        #: Serializes *mutations* (compile/delta) end to end: the base
+        #: read, the lamb pipeline run, and the activation happen under
+        #: one critical section, so every delta bases on the latest
+        #: activated fault set (no lost updates between concurrent
+        #: worker threads).
+        self._mutation_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -175,8 +193,10 @@ class ReconfigurationCompiler:
         return -1 if self._current is None else self._current.epoch
 
     def digest_for(self, faults: FaultSet) -> str:
+        with self._lock:
+            orderings = self.orderings
         return config_digest(
-            faults, self.orderings, method=self.method, policy=self.policy
+            faults, orderings, method=self.method, policy=self.policy
         )
 
     # ------------------------------------------------------------------
@@ -194,26 +214,15 @@ class ReconfigurationCompiler:
                 f"fault set targets {faults.mesh}, server machine is "
                 f"{self.mesh}"
             )
-        digest = self.digest_for(faults)
-        with self._lock:
-            if self._current is not None and self._current.digest == digest:
-                self.metrics.cache_hits.inc()
-                return self._current, "current"
-            artifact = self._live.get(digest)
-            if artifact is not None:
-                self.metrics.cache_hits.inc()
-                return self._activate(artifact), "memory"
-        record = self.store.get(digest)
-        if record is not None:
-            artifact = self._restore(digest, record)
-            if artifact is not None:
-                self.metrics.cache_hits.inc()
-                with self._lock:
-                    return self._activate(artifact), "store"
-        self.metrics.cache_misses.inc()
-        artifact = self._compile_miss(digest, faults, grids=None)
-        with self._lock:
-            return self._activate(artifact), "compiled"
+        with self._mutation_lock:
+            digest = self.digest_for(faults)
+            cached = self._cached(digest)
+            if cached is not None:
+                return cached
+            self.metrics.cache_misses.inc()
+            artifact = self._compile_miss(digest, faults, grids=None)
+            with self._lock:
+                return self._activate(artifact), "compiled"
 
     def apply_delta(
         self,
@@ -227,12 +236,11 @@ class ReconfigurationCompiler:
         routing grids from a clone of the current epoch's grids updated
         in place via ``FaultGrids.add_faults`` — O(delta) state
         transfer, no from-scratch rebuild of either.
+
+        The base epoch is read *inside* the mutation lock: two
+        concurrent deltas serialize, and the second bases on the first
+        one's activated fault set instead of overwriting it.
         """
-        if self._current is None:
-            raise ServiceUnavailableError(
-                "no current artifact; compile a base config before "
-                "applying fault deltas"
-            )
         new_nodes = tuple(tuple(int(x) for x in v) for v in node_faults)
         new_links: Tuple[Link, ...] = tuple(
             (tuple(int(x) for x in u), tuple(int(x) for x in w))
@@ -240,33 +248,49 @@ class ReconfigurationCompiler:
         )
         if not new_nodes and not new_links:
             raise MalformedRequestError("a fault delta must name faults")
-        base = self._current
-        faults = base.result.faults.with_faults(new_nodes, new_links)
-        self.metrics.incremental_compiles.inc()
-        digest = self.digest_for(faults)
+        with self._mutation_lock:
+            base = self._current
+            if base is None:
+                raise ServiceUnavailableError(
+                    "no current artifact; compile a base config before "
+                    "applying fault deltas"
+                )
+            faults = base.result.faults.with_faults(new_nodes, new_links)
+            self.metrics.incremental_compiles.inc()
+            digest = self.digest_for(faults)
+            cached = self._cached(digest)
+            if cached is not None:
+                return cached  # "current" when the delta was redundant
+            self.metrics.cache_misses.inc()
+            grids = base.table.grids.clone()
+            grids.add_faults(new_nodes, new_links)
+            artifact = self._compile_miss(
+                digest, faults, grids=grids, incremental=True
+            )
+            with self._lock:
+                return self._activate(artifact), "compiled"
+
+    def _cached(
+        self, digest: str
+    ) -> Optional[Tuple[CompiledArtifact, str]]:
+        """Cache probe (caller holds the mutation lock): the current
+        epoch, then the live LRU, then the disk store."""
         with self._lock:
-            if base.digest == digest:  # delta was fully redundant
+            if self._current is not None and self._current.digest == digest:
                 self.metrics.cache_hits.inc()
-                return base, "current"
+                return self._current, "current"
             artifact = self._live.get(digest)
             if artifact is not None:
                 self.metrics.cache_hits.inc()
                 return self._activate(artifact), "memory"
         record = self.store.get(digest)
         if record is not None:
-            artifact = self._restore(digest, record)
-            if artifact is not None:
+            restored = self._restore(digest, record)
+            if restored is not None:
                 self.metrics.cache_hits.inc()
                 with self._lock:
-                    return self._activate(artifact), "store"
-        self.metrics.cache_misses.inc()
-        grids = base.table.grids.clone()
-        grids.add_faults(new_nodes, new_links)
-        artifact = self._compile_miss(
-            digest, faults, grids=grids, incremental=True
-        )
-        with self._lock:
-            return self._activate(artifact), "compiled"
+                    return self._activate(restored), "store"
+        return None
 
     # ------------------------------------------------------------------
     def route(
@@ -350,10 +374,25 @@ class ReconfigurationCompiler:
         except ReconfigurationError as exc:
             raise CompileError(str(exc))
         result = epoch.result
+        alias: Optional[str] = None
         if epoch.escalated_rounds > 0:
             # Adopt the escalated discipline, as the ladder contract
-            # prescribes; later digests include the extra rounds.
-            self.orderings = mgr.orderings
+            # prescribes; later digests include the extra rounds.  The
+            # update is lock-guarded (readers on other threads), and
+            # the artifact is *re-keyed* under the post-escalation
+            # digest so an immediately repeated compile of the same
+            # fault set — which now digests with the adopted orderings
+            # — hits the 'current' fast path instead of recompiling
+            # and bumping the epoch for an unchanged machine.  The
+            # pre-escalation digest is kept as a store alias so a
+            # restarted server with the initial discipline still warm
+            # starts from the cached record.
+            with self._lock:
+                self.orderings = mgr.orderings
+            rekeyed = self.digest_for(faults)
+            if rekeyed != digest:
+                alias = digest
+                digest = rekeyed
         if epoch.degraded:
             self.metrics.degraded_compiles.inc()
         if self.verify:
@@ -378,7 +417,10 @@ class ReconfigurationCompiler:
             verified=self.verify,
             incremental=incremental,
         )
-        self.store.put(digest, self._record(artifact))
+        record = self._record(artifact)
+        self.store.put(digest, record)
+        if alias is not None:
+            self.store.put(alias, record)
         return artifact
 
     def _cross_check(self, result: LambResult) -> None:

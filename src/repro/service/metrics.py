@@ -5,28 +5,36 @@ one: :class:`ServiceMetrics` aggregates named counters, log-bucketed
 latency histograms, and gauges, and renders a deterministic,
 JSON-able snapshot — served by the ``stats`` RPC and written by
 ``repro serve --metrics-json``.
+
+All primitives are thread-safe: the compiler increments counters and
+observes latencies from executor worker threads concurrently with the
+event loop serving ``stats``, and an unguarded ``+=`` loses updates
+under that interleaving.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Dict, List, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "ServiceMetrics"]
 
 
 class Counter:
-    """A monotonically increasing event count."""
+    """A monotonically increasing event count (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
             raise ValueError("counters only go up")
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
@@ -53,10 +61,13 @@ class Histogram:
 
     ``observe`` is O(log buckets); quantiles are estimated from the
     bucket counts (upper bound of the containing bucket — pessimistic,
-    which is the right bias for an SLO readout).
+    which is the right bias for an SLO readout).  ``observe`` is
+    thread-safe (compile latencies arrive from worker threads).
     """
 
-    __slots__ = ("buckets", "counts", "overflow", "total", "sum", "max")
+    __slots__ = (
+        "buckets", "counts", "overflow", "total", "sum", "max", "_lock",
+    )
 
     def __init__(self, buckets: Tuple[float, ...] = _DEFAULT_BUCKETS) -> None:
         if list(buckets) != sorted(buckets) or not buckets:
@@ -67,19 +78,21 @@ class Histogram:
         self.total = 0
         self.sum = 0.0
         self.max = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
         seconds = float(seconds)
         if seconds < 0:
             raise ValueError("latencies cannot be negative")
         i = bisect.bisect_left(self.buckets, seconds)
-        if i >= len(self.buckets):
-            self.overflow += 1
-        else:
-            self.counts[i] += 1
-        self.total += 1
-        self.sum += seconds
-        self.max = max(self.max, seconds)
+        with self._lock:
+            if i >= len(self.buckets):
+                self.overflow += 1
+            else:
+                self.counts[i] += 1
+            self.total += 1
+            self.sum += seconds
+            self.max = max(self.max, seconds)
 
     @property
     def mean(self) -> float:

@@ -91,6 +91,11 @@ class RouteQueryServer:
         self.drain_timeout = float(drain_timeout)
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        #: Executor futures of running compiles.  These track the
+        #: worker *threads* — a request timeout abandons the awaiting
+        #: coroutine but never the thread, so drain bookkeeping must
+        #: hang off the future itself.
+        self._compile_futures: Set["asyncio.Future[Any]"] = set()
         self._inflight_compiles = 0
         self.orphaned_compiles = 0
         self._draining = False
@@ -117,22 +122,40 @@ class RouteQueryServer:
         await self.stop()
 
     async def stop(self) -> None:
-        """Graceful drain: stop accepting, finish in-flight requests,
-        persist the warmed artifact, close connections."""
+        """Graceful drain: stop accepting, finish in-flight requests
+        *and compile threads*, persist the warmed artifact, close
+        connections.
+
+        Compiles whose awaiting request already timed out keep running
+        in their worker thread and will still activate an epoch when
+        they finish — the drain waits for those threads too (within
+        ``drain_timeout``), so :attr:`orphaned_compiles` counts threads
+        actually left running, and ``persist_current`` cannot race a
+        compile that is about to publish.
+        """
         self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
         pending = {t for t in self._conn_tasks if not t.done()}
         if pending:
             done, still = await asyncio.wait(
-                pending, timeout=self.drain_timeout
+                pending, timeout=max(0.0, deadline - loop.time())
             )
             for t in still:
                 t.cancel()
             if still:
                 await asyncio.gather(*still, return_exceptions=True)
-        self.orphaned_compiles = self._inflight_compiles
+        compiles = {f for f in self._compile_futures if not f.done()}
+        if compiles:
+            _, orphaned = await asyncio.wait(
+                compiles, timeout=max(0.0, deadline - loop.time())
+            )
+            self.orphaned_compiles = len(orphaned)
+        else:
+            self.orphaned_compiles = 0
         self.compiler.persist_current()
 
     # ------------------------------------------------------------------
@@ -319,13 +342,33 @@ class RouteQueryServer:
         return body
 
     async def _run_compile(self, fn: Any, *args: Any) -> Any:
-        """Offload a compile to a worker thread, tracked for drain."""
+        """Offload a compile to a worker thread, tracked for drain.
+
+        The bookkeeping hangs off the executor *future*, not the
+        awaiting coroutine: when a request timeout cancels the await,
+        the thread keeps running, so ``_inflight_compiles`` must only
+        drop when the thread actually finishes.  ``asyncio.shield``
+        keeps the cancellation from reaching the future itself (a
+        cancelled future would fire the done-callback while the thread
+        is still alive — exactly the undercount being prevented).
+        """
         loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(None, fn, *args)
         self._inflight_compiles += 1
-        try:
-            return await loop.run_in_executor(None, fn, *args)
-        finally:
+        self._compile_futures.add(future)
+
+        def _on_done(fut: "asyncio.Future[Any]") -> None:
             self._inflight_compiles -= 1
+            self._compile_futures.discard(fut)
+            if not fut.cancelled():
+                # Mark a late failure as retrieved: after a timeout
+                # nobody awaits this future any more, and its typed
+                # error was already reported to the client as a
+                # request-timeout reply.
+                fut.exception()
+
+        future.add_done_callback(_on_done)
+        return await asyncio.shield(future)
 
     def _handle_query(self, req: Dict[str, Any]) -> Dict[str, Any]:
         source = req.get("source")

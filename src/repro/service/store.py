@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -129,6 +130,12 @@ class ArtifactStore:
         self.root = root
         self.max_memory_entries = int(max_memory_entries)
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: The compiler calls get/put from worker threads (possibly
+        #: several compilers sharing one store), so the memory tier and
+        #: the counters are lock-guarded — an unguarded OrderedDict
+        #: ``move_to_end``/``popitem`` race can corrupt LRU order or
+        #: raise outright.
+        self._lock = threading.Lock()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -143,24 +150,28 @@ class ArtifactStore:
         return os.path.join(self.root, digest[:2], f"{digest}.json")
 
     def __contains__(self, digest: str) -> bool:
-        if digest in self._memory:
-            return True
+        with self._lock:
+            if digest in self._memory:
+                return True
         return self.root is not None and os.path.exists(self._path(digest))
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     # ------------------------------------------------------------------
     def get(self, digest: str) -> Optional[Dict[str, Any]]:
         """The record stored under ``digest``, or ``None``.
 
         Memory tier first; a disk hit is promoted into the LRU.
+        Thread-safe (called from compile worker threads).
         """
-        record = self._memory.get(digest)
-        if record is not None:
-            self._memory.move_to_end(digest)
-            self.memory_hits += 1
-            return record
+        with self._lock:
+            record = self._memory.get(digest)
+            if record is not None:
+                self._memory.move_to_end(digest)
+                self.memory_hits += 1
+                return record
         if self.root is not None:
             path = self._path(digest)
             try:
@@ -175,16 +186,20 @@ class ArtifactStore:
                 and isinstance(envelope.get("record"), dict)
             ):
                 record = envelope["record"]
-                self._remember(digest, record)
-                self.disk_hits += 1
+                with self._lock:
+                    self._remember(digest, record)
+                    self.disk_hits += 1
                 return record
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def put(self, digest: str, record: Dict[str, Any]) -> None:
-        """Publish a record under its content address (both tiers)."""
-        self._remember(digest, record)
-        self.writes += 1
+        """Publish a record under its content address (both tiers).
+        Thread-safe; the disk write stays atomic (temp + replace)."""
+        with self._lock:
+            self._remember(digest, record)
+            self.writes += 1
         if self.root is None:
             return
         path = self._path(digest)
@@ -209,6 +224,7 @@ class ArtifactStore:
             raise
 
     def _remember(self, digest: str, record: Dict[str, Any]) -> None:
+        """LRU insert/refresh.  Caller holds ``self._lock``."""
         self._memory[digest] = record
         self._memory.move_to_end(digest)
         while len(self._memory) > self.max_memory_entries:
@@ -218,7 +234,8 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     def digests(self) -> Tuple[str, ...]:
         """Every digest currently known (memory + disk), sorted."""
-        known = set(self._memory)
+        with self._lock:
+            known = set(self._memory)
         if self.root is not None:
             for shard in sorted(os.listdir(self.root)):
                 shard_dir = os.path.join(self.root, shard)
@@ -231,11 +248,12 @@ class ArtifactStore:
 
     def stats(self) -> Dict[str, int]:
         """Counters snapshot (stable key order for JSON encoding)."""
-        return {
-            "disk_hits": self.disk_hits,
-            "evictions": self.evictions,
-            "memory_entries": len(self._memory),
-            "memory_hits": self.memory_hits,
-            "misses": self.misses,
-            "writes": self.writes,
-        }
+        with self._lock:
+            return {
+                "disk_hits": self.disk_hits,
+                "evictions": self.evictions,
+                "memory_entries": len(self._memory),
+                "memory_hits": self.memory_hits,
+                "misses": self.misses,
+                "writes": self.writes,
+            }

@@ -11,16 +11,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
+import time
 from typing import Any, Awaitable, Callable, Dict, List, Tuple
 
 import pytest
 
 from repro.mesh import FaultSet, Mesh
-from repro.routing import ascending, repeated
+from repro.routing import ascending, repeated, xy
 from repro.service import (
     MalformedRequestError,
     ReconfigurationCompiler,
     RequestTimeoutError,
+    ServiceError,
     ServiceUnavailableError,
     StaleEpochError,
 )
@@ -197,7 +200,9 @@ class TestLifecycle:
 class TestClientTimeout:
     def test_mute_server_trips_the_client_deadline(self):
         """A server that accepts but never replies must surface as a
-        typed RequestTimeoutError, not a hang."""
+        typed RequestTimeoutError, not a hang — and the timed-out
+        connection is poisoned, because a late reply left in the socket
+        buffer would desynchronize every subsequent request."""
 
         async def main() -> None:
             async def mute(reader, writer):  # swallow requests forever
@@ -213,13 +218,29 @@ class TestClientTimeout:
                 host, port, default_timeout=0.2
             )
             try:
+                assert client.broken is False
                 with pytest.raises(RequestTimeoutError):
                     await client.ping()
-                # An explicit per-call deadline overrides the default.
-                with pytest.raises(RequestTimeoutError):
-                    await client.stats(timeout=0.05)
+                # The connection is now desynced-by-construction; the
+                # client fails fast instead of mismatching reply ids.
+                assert client.broken is True
+                with pytest.raises(ServiceError, match="desynchronized"):
+                    await client.ping()
+                with pytest.raises(ServiceError, match="desynchronized"):
+                    await client.request_batch([("ping", {})])
             finally:
                 await client.close()
+            # An explicit per-call deadline overrides the default
+            # (fresh connection — the previous one is poisoned).
+            fresh = await RouteQueryClient.connect(
+                host, port, default_timeout=30.0
+            )
+            try:
+                with pytest.raises(RequestTimeoutError):
+                    await fresh.stats(timeout=0.05)
+                assert fresh.broken is True
+            finally:
+                await fresh.close()
                 srv.close()
                 await srv.wait_closed()
 
@@ -344,6 +365,105 @@ class TestMalformedRequests:
         artifact, source = compiler.apply_delta(node_faults=[(2, 2)])
         assert source == "current"
         assert artifact.epoch == epoch
+
+
+# ----------------------------------------------------------------------
+# Concurrency: mutations serialize, timed-out compiles stay tracked
+# ----------------------------------------------------------------------
+class TestConcurrentMutations:
+    def test_concurrent_deltas_lose_no_faults(self):
+        """Two deltas racing from separate threads must serialize: the
+        second bases on the first one's activated fault set, so the
+        final epoch carries *both* reported faults (the lost-update
+        hazard would silently drop one and route through dead
+        hardware)."""
+        compiler = _compiler()
+        compiler.compile(_base_faults())
+        errors: List[BaseException] = []
+
+        def report(node: Tuple[int, int]) -> None:
+            try:
+                compiler.apply_delta(node_faults=[node])
+            except BaseException as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=report, args=((0, 7),)),
+            threading.Thread(target=report, args=((7, 0),)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        current = compiler.current
+        assert current is not None
+        fault_nodes = set(current.result.faults.node_faults)
+        assert {(0, 7), (7, 0)} <= fault_nodes
+        # Exactly two activations on top of the base compile.
+        assert current.epoch == 2
+
+    def test_escalated_compile_rekeys_under_adopted_discipline(self):
+        """When the ladder escalates k -> k+1 the escalated discipline
+        is adopted, so the published artifact must be keyed under the
+        *post*-escalation digest: an immediately repeated compile of
+        the same fault set is a 'current' hit, not a recompile that
+        bumps the epoch for an unchanged machine."""
+        mesh = Mesh((8, 8))
+        compiler = ReconfigurationCompiler(
+            mesh,
+            repeated(xy(), 1),
+            lamb_budget=2,
+            max_extra_rounds=1,
+        )
+        faults = FaultSet(mesh, [(3, 3), (4, 4)])
+        first, source = compiler.compile(faults)
+        assert source == "compiled"
+        assert first.escalated_rounds == 1
+        assert compiler.orderings.k == 2  # adopted
+        # The artifact's identity matches what the *next* digest of
+        # this fault set computes under the adopted orderings.
+        assert first.digest == compiler.digest_for(faults)
+        again, source = compiler.compile(faults)
+        assert source == "current"
+        assert again.epoch == first.epoch
+        assert compiler.metrics.compiles.value == 1
+
+    def test_timed_out_compile_is_drained_not_orphaned(self):
+        """A compile that outlives the request deadline keeps running
+        in its worker thread; the client gets a typed request-timeout
+        reply, and stop() waits for the thread itself — the epoch it
+        activates is not lost and orphaned_compiles stays 0."""
+        faults = _base_faults()
+
+        async def main() -> Tuple[int, int, int]:
+            compiler = _compiler()
+            real_compile = compiler.compile
+
+            def slow_compile(fs: FaultSet):
+                time.sleep(0.4)
+                return real_compile(fs)
+
+            compiler.compile = slow_compile  # type: ignore[method-assign]
+            server = RouteQueryServer(
+                compiler, request_timeout=0.05, drain_timeout=30.0
+            )
+            host, port = await server.start()
+            async with await RouteQueryClient.connect(host, port) as client:
+                with pytest.raises(RequestTimeoutError):
+                    await client.compile(faults, timeout=30.0)
+                assert server._inflight_compiles == 1  # thread still alive
+            await server.stop()
+            return (
+                server.orphaned_compiles,
+                server._inflight_compiles,
+                compiler.current_epoch,
+            )
+
+        orphaned, inflight, epoch = asyncio.run(main())
+        assert orphaned == 0
+        assert inflight == 0
+        assert epoch == 0  # the drained thread still activated its epoch
 
 
 # ----------------------------------------------------------------------
