@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke lint analyze prove-smoke clean
+.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke obs-smoke lint analyze prove-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -59,6 +59,28 @@ serve-smoke:
 	grep -q "drain: orphaned compiles 0" /tmp/serve-smoke-1.txt
 	grep -q "^smoke OK" /tmp/serve-smoke-1.txt
 	@echo "serve smoke OK: deterministic, cached, epoch-safe, drained"
+
+# Telemetry smoke: run the seeded observability scenario (repro
+# stats: lamb pipeline + simulator with a mid-run fault + control
+# plane + trial engine, one registry) twice with timings redacted.
+# Everything except wall-clock durations is a pure function of the
+# seed, so all three export formats must be byte-identical; then
+# grep one key series from each instrumented layer.
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro stats --redact-timings \
+	    --format prom --telemetry /tmp/obs-smoke-1 > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro stats --redact-timings \
+	    --format prom --telemetry /tmp/obs-smoke-2 > /dev/null
+	diff /tmp/obs-smoke-1.prom /tmp/obs-smoke-2.prom
+	diff /tmp/obs-smoke-1.ndjson /tmp/obs-smoke-2.ndjson
+	diff /tmp/obs-smoke-1.json /tmp/obs-smoke-2.json
+	grep -q 'span="lamb.wvc"' /tmp/obs-smoke-1.prom
+	grep -q 'sim_aborts_total{engine="frontier",reason="endpoint-failed"} 1' \
+	    /tmp/obs-smoke-1.prom
+	grep -q 'service_compiles_total 2' /tmp/obs-smoke-1.prom
+	grep -q 'trial_chunks_total 1' /tmp/obs-smoke-1.prom
+	grep -q 'telemetry_events_dropped 0' /tmp/obs-smoke-1.prom
+	@echo "obs smoke OK: deterministic exports, every layer present"
 
 # Static analysis gate (CI job: lint).  ruff and mypy are skipped
 # gracefully when not installed (offline dev containers); the domain

@@ -17,6 +17,12 @@
 - ``serve``       run the reconfiguration control plane (asyncio TCP
   route-query service with a content-addressed compile cache)
 - ``query``       resolve routes / fetch stats from a running server
+- ``stats``       run the seeded telemetry smoke and print the unified
+  metrics registry (Prometheus / JSON / NDJSON)
+
+``simulate``, ``experiments``, ``serve`` and ``stats`` accept
+``--telemetry PREFIX`` to write the process's telemetry registry to
+``PREFIX.prom`` / ``PREFIX.ndjson`` / ``PREFIX.json`` on exit.
 
 Examples
 --------
@@ -108,6 +114,22 @@ def _orderings(args, d: int):
     from .routing import ascending, repeated
 
     return repeated(ascending(d), args.rounds)
+
+
+def _export_telemetry(args) -> None:
+    """Write the ambient registry to ``<prefix>.{prom,ndjson,json}``
+    when the command was given ``--telemetry <prefix>``."""
+    prefix = getattr(args, "telemetry", None)
+    if not prefix:
+        return
+    from .obs import export_all, get_registry
+
+    written = export_all(
+        get_registry(), prefix,
+        redact_timings=bool(getattr(args, "redact_timings", False)),
+    )
+    for fmt in sorted(written):
+        print(f"telemetry: wrote {written[fmt]}")
 
 
 def cmd_lamb(args) -> int:
@@ -215,6 +237,7 @@ def cmd_simulate(args) -> int:
         if stats.abort_reasons:
             print("abort reasons: "
                   + ", ".join(f"{r} x{n}" for r, n in stats.abort_reasons))
+    _export_telemetry(args)
     return 0 if stats.all_accounted else 1
 
 
@@ -291,7 +314,9 @@ def cmd_experiments(args) -> int:
                 f"unknown sections {sorted(unknown)}; "
                 f"choose from {', '.join(ALL_SECTIONS)}"
             )
-    return run_cli(args.out, seed=args.seed, sections=sections, jobs=args.jobs)
+    rc = run_cli(args.out, seed=args.seed, sections=sections, jobs=args.jobs)
+    _export_telemetry(args)
+    return rc
 
 
 def cmd_reconfigure(args) -> int:
@@ -429,8 +454,10 @@ def cmd_serve(args) -> int:
     import asyncio
     import json as _json
 
+    from .obs import get_registry
     from .routing import ascending, repeated
     from .service import ArtifactStore, ReconfigurationCompiler
+    from .service.metrics import ServiceMetrics
     from .service.server import RouteQueryServer
     from .service.smoke import default_smoke_faults, serve_smoke
 
@@ -456,6 +483,9 @@ def cmd_serve(args) -> int:
         mesh,
         orderings,
         store=ArtifactStore(root=args.store),
+        # Publish the control-plane series into the ambient registry so
+        # --telemetry exports one coherent snapshot for the process.
+        metrics=ServiceMetrics(registry=get_registry()),
         method=args.method,
         policy=args.policy,
         verify=args.verify,
@@ -494,7 +524,38 @@ def cmd_serve(args) -> int:
         print(f"drained: orphaned compiles {server.orphaned_compiles}")
         return 1 if server.orphaned_compiles else 0
 
-    return asyncio.run(_run())
+    rc = asyncio.run(_run())
+    _export_telemetry(args)
+    return rc
+
+
+def cmd_stats(args) -> int:
+    """Run the seeded telemetry smoke and print/export the registry."""
+    from .obs import (
+        events_to_ndjson,
+        export_all,
+        run_telemetry_smoke,
+        snapshot_to_json,
+        to_prometheus,
+    )
+
+    reg = run_telemetry_smoke(
+        seed=args.seed,
+        messages=args.messages,
+        sim_engine=args.sim_engine,
+    )
+    redact = bool(args.redact_timings)
+    renders = {
+        "prom": to_prometheus,
+        "json": snapshot_to_json,
+        "ndjson": events_to_ndjson,
+    }
+    print(renders[args.format](reg, redact_timings=redact), end="")
+    if args.telemetry:
+        written = export_all(reg, args.telemetry, redact_timings=redact)
+        for fmt in sorted(written):
+            print(f"telemetry: wrote {written[fmt]}")
+    return 0
 
 
 def cmd_query(args) -> int:
@@ -585,6 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="CYCLE:NODE",
                    help="kill hardware mid-flight (repeatable): "
                    "CYCLE:X,Y for a node, CYCLE:X,Y-U,V for a directed link")
+    p.add_argument("--telemetry", type=str, default=None, metavar="PREFIX",
+                   help="write the telemetry registry to "
+                   "PREFIX.{prom,ndjson,json} on exit")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser(
@@ -639,6 +703,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the trial engine; 0 = "
                    "auto (REPRO_JOBS, else all CPUs); default: "
                    "REPRO_JOBS if set, else serial")
+    p.add_argument("--telemetry", type=str, default=None, metavar="PREFIX",
+                   help="write the telemetry registry to "
+                   "PREFIX.{prom,ndjson,json} on exit")
     p.add_argument("--section", action="append", default=[],
                    metavar="NAME",
                    help="regenerate only the named section(s) "
@@ -722,7 +789,32 @@ def build_parser() -> argparse.ArgumentParser:
                    "scenario and exit (default config: 16x16, 5 faults)")
     p.add_argument("--queries", type=int, default=1000,
                    help="route queries issued by --smoke")
+    p.add_argument("--telemetry", type=str, default=None, metavar="PREFIX",
+                   help="write the telemetry registry to "
+                   "PREFIX.{prom,ndjson,json} on shutdown")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="run the seeded telemetry smoke and print the unified "
+        "metrics registry (per-phase lamb timings, simulator "
+        "stall/abort counters, control-plane latencies)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--messages", type=int, default=60,
+                   help="messages pushed through the smoke simulation")
+    p.add_argument("--sim-engine", choices=("frontier", "scan"),
+                   default="frontier")
+    p.add_argument("--format", choices=("prom", "json", "ndjson"),
+                   default="prom",
+                   help="stdout format (Prometheus exposition, JSON "
+                   "snapshot, or NDJSON event log)")
+    p.add_argument("--redact-timings", action="store_true",
+                   help="zero every duration field (two seeded runs "
+                   "become byte-identical; used by make obs-smoke)")
+    p.add_argument("--telemetry", type=str, default=None, metavar="PREFIX",
+                   help="also write PREFIX.{prom,ndjson,json}")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser(
         "query",

@@ -24,7 +24,6 @@ re-added to the final lamb set).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -42,6 +41,7 @@ import numpy as np
 
 from ..graphs.bipartite_vc import min_weight_vertex_cover_bipartite
 from ..graphs.wvc import wvc_exact, wvc_local_ratio
+from ..obs import get_registry
 from ..mesh.faults import FaultSet
 from ..mesh.geometry import Mesh, Node
 from ..mesh.regions import Rect
@@ -222,77 +222,86 @@ def find_lamb_set(
     for v in predetermined:
         values[v] = 0.0
 
-    t0 = time.perf_counter()
-    if index is None:
-        index = LineFaultIndex(faults)
+    reg = get_registry()
+    with reg.span(
+        "lamb.find_lamb_set", method=method, engine=engine,
+        f=faults.f, k=orderings.k,
+    ) as sp_total:
+        # Phase 1 (Find-SES-Partition / Find-DES-Partition, Fig. 14):
+        # the line-fault index plus the per-round partitions (shared
+        # across identical round orderings).
+        with reg.span("lamb.partition") as sp_partition:
+            if index is None:
+                index = LineFaultIndex(faults)
+            ses_cache: Dict[Ordering, List[Rect]] = {}
+            des_cache: Dict[Ordering, List[Rect]] = {}
+            ses_partitions: List[List[Rect]] = []
+            des_partitions: List[List[Rect]] = []
+            for pi in orderings:
+                if pi not in ses_cache:
+                    ses_cache[pi] = find_ses_partition(faults, pi)
+                    des_cache[pi] = find_des_partition(faults, pi)
+                ses_partitions.append(ses_cache[pi])
+                des_partitions.append(des_cache[pi])
+            rep_cache: Dict[int, np.ndarray] = {}
 
-    # Phase 1: partitions (shared across identical round orderings).
-    ses_cache: Dict[Ordering, List[Rect]] = {}
-    des_cache: Dict[Ordering, List[Rect]] = {}
-    ses_partitions: List[List[Rect]] = []
-    des_partitions: List[List[Rect]] = []
-    for pi in orderings:
-        if pi not in ses_cache:
-            ses_cache[pi] = find_ses_partition(faults, pi)
-            des_cache[pi] = find_des_partition(faults, pi)
-        ses_partitions.append(ses_cache[pi])
-        des_partitions.append(des_cache[pi])
-    rep_cache: Dict[int, np.ndarray] = {}
+            def reps(rects: List[Rect]) -> np.ndarray:
+                key = id(rects)
+                if key not in rep_cache:
+                    if rects:
+                        rep_cache[key] = np.asarray(
+                            [r.lo for r in rects], dtype=np.int64
+                        )
+                    else:
+                        rep_cache[key] = np.empty((0, mesh.d), dtype=np.int64)
+                return rep_cache[key]
 
-    def reps(rects: List[Rect]) -> np.ndarray:
-        key = id(rects)
-        if key not in rep_cache:
-            if rects:
-                rep_cache[key] = np.asarray([r.lo for r in rects], dtype=np.int64)
+            ses_reps = [reps(p) for p in ses_partitions]
+            des_reps = [reps(p) for p in des_partitions]
+
+        # Phase 2 (Find-Reachability: the R^(k) boolean products).
+        with reg.span("lamb.reachability", engine=engine) as sp_reach:
+            if engine == "spanning":
+                from .spanning import find_reachability_spanning
+
+                reach = find_reachability_spanning(
+                    faults, orderings, ses_partitions, des_partitions,
+                    ses_reps, des_reps,
+                )
             else:
-                rep_cache[key] = np.empty((0, mesh.d), dtype=np.int64)
-        return rep_cache[key]
+                reach = find_reachability(
+                    index, orderings, ses_partitions, des_partitions,
+                    ses_reps, des_reps,
+                )
 
-    ses_reps = [reps(p) for p in ses_partitions]
-    des_reps = [reps(p) for p in des_partitions]
-    t1 = time.perf_counter()
-
-    # Phase 2: reachability.
-    if engine == "spanning":
-        from .spanning import find_reachability_spanning
-
-        reach = find_reachability_spanning(
-            faults, orderings, ses_partitions, des_partitions,
-            ses_reps, des_reps,
-        )
-    else:
-        reach = find_reachability(
-            index, orderings, ses_partitions, des_partitions,
-            ses_reps, des_reps,
-        )
-    t2 = time.perf_counter()
-
-    # Phase 3: WVC reduction.
-    ses = ses_partitions[0]
-    des = des_partitions[-1]
-    Rk = reach.Rk
-    zeros = np.argwhere(~Rk)
-    lambs: Set[Node] = set()
-    chosen_ses: Tuple[int, ...] = ()
-    chosen_des: Tuple[int, ...] = ()
-    cover_weight = 0.0
-    if zeros.size:
-        if method == "bipartite":
-            chosen_ses, chosen_des, cover_weight = _reduce_bipartite(
-                ses, des, zeros, values
-            )
-            for i in chosen_ses:
-                lambs.update(ses[i].nodes())
-            for j in chosen_des:
-                lambs.update(des[j].nodes())
-        else:
-            lambs, cover_weight = _reduce_general(
-                ses, des, Rk, zeros, values,
-                exact=(method == "general-exact"),
-                wvc_max_vertices=wvc_max_vertices,
-            )
-    lambs.update(predetermined)
-    t3 = time.perf_counter()
+        # Phase 3 (Reduce-WVC + the max-flow / local-ratio cover).
+        with reg.span("lamb.wvc", method=method) as sp_wvc:
+            ses = ses_partitions[0]
+            des = des_partitions[-1]
+            Rk = reach.Rk
+            zeros = np.argwhere(~Rk)
+            lambs: Set[Node] = set()
+            chosen_ses: Tuple[int, ...] = ()
+            chosen_des: Tuple[int, ...] = ()
+            cover_weight = 0.0
+            if zeros.size:
+                if method == "bipartite":
+                    chosen_ses, chosen_des, cover_weight = _reduce_bipartite(
+                        ses, des, zeros, values
+                    )
+                    for i in chosen_ses:
+                        lambs.update(ses[i].nodes())
+                    for j in chosen_des:
+                        lambs.update(des[j].nodes())
+                else:
+                    lambs, cover_weight = _reduce_general(
+                        ses, des, Rk, zeros, values,
+                        exact=(method == "general-exact"),
+                        wvc_max_vertices=wvc_max_vertices,
+                    )
+            lambs.update(predetermined)
+    reg.inc("lamb_runs_total", method=method)
+    reg.inc("lamb_nodes_total", len(lambs))
 
     return LambResult(
         mesh=mesh,
@@ -308,10 +317,10 @@ def find_lamb_set(
         cover_weight=cover_weight,
         predetermined=predetermined,
         timings={
-            "partition": t1 - t0,
-            "reachability": t2 - t1,
-            "wvc": t3 - t2,
-            "total": t3 - t0,
+            "partition": sp_partition.seconds,
+            "reachability": sp_reach.seconds,
+            "wvc": sp_wvc.seconds,
+            "total": sp_total.seconds,
         },
     )
 

@@ -21,6 +21,7 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..mesh.faults import FaultSet
 from ..mesh.geometry import Link, Mesh, Node
+from ..obs import get_registry
 from ..routing.ordering import KRoundOrdering
 from .lamb import LambResult, find_lamb_set
 
@@ -28,12 +29,22 @@ __all__ = [
     "Epoch",
     "ReconfigurationManager",
     "ReconfigurationError",
+    "LADDER_RUNG_FAILURES",
     "largest_good_component",
 ]
 
 
 class ReconfigurationError(RuntimeError):
     """Every rung of the degradation ladder failed."""
+
+
+#: Exception types that mean "this ladder rung legitimately failed"
+#: (degenerate partitions, infeasible covers, numeric overflow in the
+#: reachability products).  Anything else — a ``TypeError`` from a bad
+#: argument, a ``KeyboardInterrupt``, an ``AssertionError`` from a
+#: broken invariant — is a *bug*, and the ladder must not absorb it
+#: into a silent ``None`` and climb on.
+LADDER_RUNG_FAILURES: Tuple[type, ...] = (ValueError, ArithmeticError)
 
 
 def largest_good_component(faults: FaultSet) -> Tuple[Set[Node], Set[Node]]:
@@ -92,6 +103,10 @@ class Epoch:
     at_cycle: int = -1
     escalated_rounds: int = 0
     quarantined: Tuple[Node, ...] = ()
+    #: Why lower rungs of the ladder failed before this epoch's rung
+    #: succeeded (``"k=<rounds>: <error>"`` strings, in climb order).
+    #: Empty when the first rung succeeded outright.
+    rung_failures: Tuple[str, ...] = ()
 
     @property
     def num_faults(self) -> int:
@@ -147,6 +162,9 @@ class ReconfigurationManager:
         self._link_faults: List[Link] = []
         self._quarantined: Set[Node] = set()
         self.epochs: List[Epoch] = []
+        #: Rung-failure reasons of the degradation climb in progress
+        #: (reset per report; published on the resulting Epoch).
+        self._rung_failures: List[str] = []
 
     # ------------------------------------------------------------------
     @property
@@ -217,7 +235,15 @@ class ReconfigurationManager:
     def _try_lambs(
         self, faults: FaultSet, orderings: KRoundOrdering
     ) -> Optional[LambResult]:
-        """One ladder rung: compute a lamb set, or None on failure."""
+        """One ladder rung: compute a lamb set, or None on failure.
+
+        Only *domain* failures (:data:`LADDER_RUNG_FAILURES`) turn
+        into ``None`` — and even then the reason is recorded on the
+        report and counted in the telemetry registry, never swallowed.
+        A non-domain exception (a genuine bug) propagates: the old
+        bare ``except Exception`` silently converted typos in the
+        pipeline into "every rung failed" quarantine storms.
+        """
         try:
             return find_lamb_set(
                 faults,
@@ -226,7 +252,12 @@ class ReconfigurationManager:
                 predetermined=self._sticky_predetermined(faults),
                 engine=self.engine,
             )
-        except Exception:
+        except LADDER_RUNG_FAILURES as exc:
+            reason = f"k={orderings.k}: {type(exc).__name__}: {exc}"
+            self._rung_failures.append(reason)
+            get_registry().inc(
+                "ladder_rung_failures_total", error=type(exc).__name__
+            )
             return None
 
     def _extended(self, extra: int) -> KRoundOrdering:
@@ -272,6 +303,7 @@ class ReconfigurationManager:
             raise ValueError("no new faults reported")
         self._node_faults.extend(new_nodes)
         self._link_faults.extend(new_links)
+        self._rung_failures = []
         budget = float("inf") if lamb_budget is None else int(lamb_budget)
         # Previously quarantined nodes stay out of the machine.
         faults = self.fault_set()
@@ -310,9 +342,14 @@ class ReconfigurationManager:
             # quarantine bookkeeping above).
             fallback = q_attempts or plain_attempts
             if not fallback:
+                detail = (
+                    "; rung failures: " + "; ".join(self._rung_failures)
+                    if self._rung_failures
+                    else ""
+                )
                 raise ReconfigurationError(
                     f"no rung of the degradation ladder produced a lamb "
-                    f"set for {faults}"
+                    f"set for {faults}{detail}"
                 )
             chosen = min(fallback, key=lambda t: t[2].size)
         extra, orderings, result = chosen
@@ -326,6 +363,7 @@ class ReconfigurationManager:
             at_cycle=at_cycle,
             escalated_rounds=extra,
             quarantined=quarantined_now,
+            rung_failures=tuple(self._rung_failures),
         )
         self.epochs.append(epoch)
         return epoch

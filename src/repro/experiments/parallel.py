@@ -35,9 +35,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import get_registry
 
 __all__ = [
     "TrialEngine",
@@ -93,14 +96,28 @@ def worker_memo(key: Tuple, build: Callable[[], Any]) -> Any:
 
 
 def is_picklable(obj: Any) -> bool:
-    """Whether ``obj`` survives a pickle round-trip requirement (used
-    to gate the parallel path for user-supplied callbacks)."""
+    """Whether ``obj`` survives a full pickle *round trip* (used to
+    gate the parallel path for user-supplied callbacks).
+
+    Both directions matter: an object can serialize fine on the
+    submitting side yet blow up in ``loads`` inside the worker process
+    (e.g. a ``__reduce__`` whose reconstructor fails, or state that
+    ``__setstate__`` rejects) — historically that surfaced as an
+    opaque pool crash mid-sweep instead of a clean serial fallback.
+
+    Only pickling-shaped failures mean "not picklable"; anything else
+    (say, a ``KeyboardInterrupt`` or a broken ``__getstate__`` raising
+    an unrelated error type) propagates rather than being swallowed.
+    """
     if obj is None:
         return True
     try:
-        pickle.dumps(obj)
+        pickle.loads(pickle.dumps(obj))
         return True
-    except Exception:
+    except (pickle.PickleError, TypeError, AttributeError, EOFError):
+        # PicklingError/UnpicklingError, unpicklable types (TypeError),
+        # missing module-level names (AttributeError), truncated or
+        # self-inconsistent streams (EOFError).
         return False
 
 
@@ -112,6 +129,21 @@ def _run_chunk(
     """Executed in a worker process: run ``worker(payload, t)`` for
     every trial index in the chunk."""
     return [worker(payload, t) for t in ts]
+
+
+def _run_chunk_timed(
+    worker: Callable[[Dict[str, Any], int], Any],
+    payload: Dict[str, Any],
+    ts: Sequence[int],
+) -> Tuple[float, List[Any]]:
+    """Like :func:`_run_chunk`, but also measures the chunk's wall
+    time *inside* the worker (so pool queueing and pickling are
+    excluded).  The parent records it into the ambient telemetry
+    registry — aggregates only (histograms/counters commute), never
+    events, so seeded runs stay deterministic under any job count."""
+    t0 = time.perf_counter()
+    out = [worker(payload, t) for t in ts]
+    return time.perf_counter() - t0, out
 
 
 class TrialEngine:
@@ -190,14 +222,28 @@ class TrialEngine:
         """
         if trials <= 0:
             return []
+        reg = get_registry()
         if self.jobs == 1 or trials == 1:
-            return _run_chunk(worker, payload, list(range(trials)))
+            seconds, out = _run_chunk_timed(
+                worker, payload, list(range(trials))
+            )
+            reg.observe("trial_chunk_seconds", seconds)
+            reg.inc("trial_chunks_total")
+            reg.inc("trials_total", trials)
+            return out
         pool = self._ensure_pool()
         chunks = self.chunk_indices(trials)
-        futures = [pool.submit(_run_chunk, worker, payload, ts) for ts in chunks]
+        futures = [
+            pool.submit(_run_chunk_timed, worker, payload, ts)
+            for ts in chunks
+        ]
         out: List[Any] = []
         for fut in futures:  # submission order == trial order
-            out.extend(fut.result())
+            seconds, results = fut.result()
+            reg.observe("trial_chunk_seconds", seconds)
+            reg.inc("trial_chunks_total")
+            reg.inc("trials_total", len(results))
+            out.extend(results)
         return out
 
     def map_ordered(

@@ -1,0 +1,156 @@
+"""Telemetry exporters: Prometheus text exposition, NDJSON event log,
+JSON snapshot.
+
+Three write-once formats over one :class:`~repro.obs.TelemetryRegistry`:
+
+- :func:`to_prometheus` — the text exposition format (``# TYPE`` lines,
+  ``name{labels} value``, histogram ``_bucket``/``_sum``/``_count``
+  series) scrapable by any Prometheus-compatible collector;
+- :func:`events_to_ndjson` — the structured event log (spans, slow
+  ops, domain events), one JSON object per line;
+- :func:`snapshot_to_json` — the aggregate snapshot (the same body the
+  service ``stats`` RPC serves under ``telemetry``).
+
+``redact_timings=True`` zeroes every duration field in all three
+formats while keeping counts and identities, which makes two runs of a
+seeded workload byte-identical — ``make obs-smoke`` runs the seeded
+smoke twice and diffs exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .registry import TelemetryRegistry
+
+__all__ = [
+    "to_prometheus",
+    "events_to_ndjson",
+    "snapshot_to_json",
+    "export_all",
+]
+
+#: Event fields holding wall-clock durations (redaction targets).
+_DURATION_FIELDS = ("s", "threshold_s")
+
+
+def _split_key(key: str) -> str:
+    """Metric family name of a rendered ``name{labels}`` key."""
+    brace = key.find("{")
+    return key if brace < 0 else key[:brace]
+
+
+def _suffixed(key: str, suffix: str, extra: str = "") -> str:
+    """``name{labels}`` -> ``name<suffix>{labels,extra}``.
+
+    Histogram series append ``_bucket``/``_sum``/``_count`` to the
+    *family* name, before the label set, per the exposition format.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        labels = extra
+    else:
+        inner = key[brace + 1 : -1]
+        labels = f"{inner},{extra}" if extra else inner
+        key = key[:brace]
+    if labels:
+        return f"{key}{suffix}{{{labels}}}"
+    return f"{key}{suffix}"
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(
+    registry: TelemetryRegistry, redact_timings: bool = False
+) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    snap = registry.snapshot(redact_timings=redact_timings)
+    lines: List[str] = []
+    seen_types: set = set()
+
+    def type_line(key: str, kind: str) -> None:
+        family = _split_key(key)
+        if family not in seen_types:
+            seen_types.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+
+    for key, value in snap["counters"].items():
+        type_line(key, "counter")
+        lines.append(f"{key} {_fmt(value)}")
+    for key, value in snap["gauges"].items():
+        type_line(key, "gauge")
+        lines.append(f"{key} {_fmt(value)}")
+    for key, hist in registry.histograms().items():
+        type_line(key, "histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            # Which bucket an observation lands in is itself timing
+            # information: redaction zeroes the distribution (only the
+            # +Inf total remains) so seeded runs diff byte-for-byte.
+            if not redact_timings:
+                cumulative += count
+            le = 'le="%g"' % bound
+            lines.append(f"{_suffixed(key, '_bucket', le)} {cumulative}")
+        cumulative = hist.total if redact_timings else cumulative + hist.overflow
+        inf = 'le="+Inf"'
+        lines.append(f"{_suffixed(key, '_bucket', inf)} {cumulative}")
+        total_s = 0.0 if redact_timings else hist.sum
+        lines.append(f"{_suffixed(key, '_sum')} {repr(round(total_s, 9))}")
+        lines.append(f"{_suffixed(key, '_count')} {hist.total}")
+    lines.append(
+        f"telemetry_events_recorded {snap['events']['recorded']}"
+    )
+    lines.append(f"telemetry_events_dropped {snap['events']['dropped']}")
+    return "\n".join(lines) + "\n"
+
+
+def events_to_ndjson(
+    registry: TelemetryRegistry, redact_timings: bool = False
+) -> str:
+    """Render the event log as newline-delimited JSON."""
+    lines: List[str] = []
+    for record in registry.events():
+        if redact_timings:
+            record = {
+                k: (0.0 if k in _DURATION_FIELDS else v)
+                for k, v in record.items()
+            }
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_to_json(
+    registry: TelemetryRegistry, redact_timings: bool = False
+) -> str:
+    """Render the aggregate snapshot as pretty-printed JSON."""
+    snap = registry.snapshot(redact_timings=redact_timings)
+    return json.dumps(snap, indent=2, sort_keys=True) + "\n"
+
+
+def export_all(
+    registry: TelemetryRegistry,
+    prefix: str,
+    redact_timings: bool = False,
+) -> Dict[str, str]:
+    """Write ``<prefix>.prom`` / ``<prefix>.ndjson`` / ``<prefix>.json``.
+
+    Returns ``{format: path}`` for the files written.  This is what the
+    ``--telemetry <path>`` CLI flag calls on exit.
+    """
+    renders: Dict[str, Any] = {
+        "json": snapshot_to_json,
+        "ndjson": events_to_ndjson,
+        "prom": to_prometheus,
+    }
+    written: Dict[str, str] = {}
+    for fmt in sorted(renders):
+        path = f"{prefix}.{fmt}"
+        with open(path, "w") as fh:
+            fh.write(renders[fmt](registry, redact_timings=redact_timings))
+        written[fmt] = path
+    return written

@@ -159,6 +159,8 @@ class ReconfigurationCompiler:
         lamb_budget: Optional[int] = None,
         max_extra_rounds: int = 1,
         engine: str = "lines",
+        slow_compile_seconds: float = 2.0,
+        slow_query_seconds: float = 0.05,
     ) -> None:
         self.mesh = mesh
         self.orderings = orderings
@@ -170,6 +172,10 @@ class ReconfigurationCompiler:
         self.lamb_budget = lamb_budget
         self.max_extra_rounds = int(max_extra_rounds)
         self.engine = engine
+        #: Slow-op thresholds (seconds): compiles and queries past
+        #: these land in the registry's structured slow-op log.
+        self.slow_compile_seconds = float(slow_compile_seconds)
+        self.slow_query_seconds = float(slow_query_seconds)
         self._live: Dict[str, CompiledArtifact] = {}
         self._current: Optional[CompiledArtifact] = None
         self._next_epoch = 0
@@ -321,7 +327,12 @@ class ReconfigurationCompiler:
             raise MalformedRequestError(str(exc))
         except RuntimeError as exc:  # unreachable => invalid lamb set
             raise ServiceError(str(exc))
-        self.metrics.query_latency.observe(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self.metrics.query_latency.observe(elapsed)
+        self.metrics.registry.slow_op(
+            "service.query", elapsed,
+            threshold=self.slow_query_seconds, epoch=current.epoch,
+        )
         return entry
 
     # ------------------------------------------------------------------
@@ -406,6 +417,12 @@ class ReconfigurationCompiler:
         wall = time.perf_counter() - t0
         self.metrics.compiles.inc()
         self.metrics.compile_latency.observe(wall)
+        self.metrics.registry.slow_op(
+            "service.compile", wall,
+            threshold=self.slow_compile_seconds,
+            digest=digest, incremental=incremental,
+            degraded=epoch.degraded,
+        )
         artifact = CompiledArtifact(
             digest=digest,
             epoch=-1,  # assigned at activation

@@ -1,148 +1,73 @@
-"""Control-plane metrics: counters, latency histograms, gauges.
+"""Control-plane metrics, fronting the shared telemetry registry.
 
-Dependency-free (no prometheus client in the image) but shaped like
-one: :class:`ServiceMetrics` aggregates named counters, log-bucketed
-latency histograms, and gauges, and renders a deterministic,
-JSON-able snapshot — served by the ``stats`` RPC and written by
-``repro serve --metrics-json``.
+:class:`ServiceMetrics` keeps its historical attribute API — named
+counters (``metrics.compiles.inc()``), latency histograms, an epoch
+gauge, and the deterministic JSON snapshot served by the ``stats``
+RPC — but since the unified observability layer landed it *allocates*
+every primitive through a :class:`repro.obs.TelemetryRegistry` instead
+of owning private ones.  The primitives themselves (``Counter``,
+``Gauge``, ``Histogram``) were promoted to :mod:`repro.obs.metrics`;
+they are re-exported here for backward compatibility.
 
-All primitives are thread-safe: the compiler increments counters and
-observes latencies from executor worker threads concurrently with the
-event loop serving ``stats``, and an unguarded ``+=`` loses updates
-under that interleaving.
+By default each :class:`ServiceMetrics` gets a *private* fresh
+registry, so unit tests that assert exact counts stay isolated.  Pass
+``registry=repro.obs.get_registry()`` (the CLI's ``serve`` path does)
+to publish the control-plane series into the ambient process-wide
+registry alongside the lamb-pipeline spans and simulator counters.
 """
 
 from __future__ import annotations
 
-import bisect
-import threading
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Optional
+
+from ..obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+from ..obs.registry import TelemetryRegistry
 
 __all__ = ["Counter", "Gauge", "Histogram", "ServiceMetrics"]
 
-
-class Counter:
-    """A monotonically increasing event count (thread-safe)."""
-
-    __slots__ = ("value", "_lock")
-
-    def __init__(self) -> None:
-        self.value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, n: int = 1) -> None:
-        if n < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self.value += n
-
-
-class Gauge:
-    """A point-in-time value (e.g. the current reconfiguration epoch)."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: float = 0.0) -> None:
-        self.value = float(value)
-
-    def set(self, value: float) -> None:
-        self.value = float(value)
-
-
-#: Default latency buckets (seconds): ~100us .. ~10s, log-spaced.
-_DEFAULT_BUCKETS: Tuple[float, ...] = (
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
-    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
-)
-
-
-class Histogram:
-    """A fixed-bucket latency histogram with quantile estimation.
-
-    ``observe`` is O(log buckets); quantiles are estimated from the
-    bucket counts (upper bound of the containing bucket — pessimistic,
-    which is the right bias for an SLO readout).  ``observe`` is
-    thread-safe (compile latencies arrive from worker threads).
-    """
-
-    __slots__ = (
-        "buckets", "counts", "overflow", "total", "sum", "max", "_lock",
-    )
-
-    def __init__(self, buckets: Tuple[float, ...] = _DEFAULT_BUCKETS) -> None:
-        if list(buckets) != sorted(buckets) or not buckets:
-            raise ValueError("buckets must be a nonempty ascending sequence")
-        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
-        self.counts: List[int] = [0] * len(self.buckets)
-        self.overflow = 0
-        self.total = 0
-        self.sum = 0.0
-        self.max = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, seconds: float) -> None:
-        seconds = float(seconds)
-        if seconds < 0:
-            raise ValueError("latencies cannot be negative")
-        i = bisect.bisect_left(self.buckets, seconds)
-        with self._lock:
-            if i >= len(self.buckets):
-                self.overflow += 1
-            else:
-                self.counts[i] += 1
-            self.total += 1
-            self.sum += seconds
-            self.max = max(self.max, seconds)
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Estimated q-quantile (upper bucket bound); 0 when empty."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must lie in [0, 1]")
-        if self.total == 0:
-            return 0.0
-        rank = q * self.total
-        seen = 0
-        for bound, count in zip(self.buckets, self.counts):
-            seen += count
-            if seen >= rank:
-                return bound
-        return self.max
-
-    def snapshot(self) -> Dict[str, Any]:
-        return {
-            "count": self.total,
-            "max_s": round(self.max, 6),
-            "mean_s": round(self.mean, 6),
-            "overflow": self.overflow,
-            "p50_s": round(self.quantile(0.50), 6),
-            "p95_s": round(self.quantile(0.95), 6),
-            "p99_s": round(self.quantile(0.99), 6),
-        }
+#: Kept for backward compatibility with pre-obs imports.
+_DEFAULT_BUCKETS = DEFAULT_BUCKETS
 
 
 class ServiceMetrics:
-    """Everything the control plane measures about itself."""
+    """Everything the control plane measures about itself.
 
-    def __init__(self) -> None:
-        self.requests = Counter()
-        self.replies_ok = Counter()
-        self.replies_error = Counter()
-        self.cache_hits = Counter()
-        self.cache_misses = Counter()
-        self.compiles = Counter()
-        self.incremental_compiles = Counter()
-        self.degraded_compiles = Counter()
-        self.queries = Counter()
-        self.stale_epoch_rejections = Counter()
-        self.malformed_requests = Counter()
-        self.timeouts = Counter()
-        self.compile_latency = Histogram()
-        self.query_latency = Histogram()
-        self.epoch = Gauge(-1.0)
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.TelemetryRegistry` to allocate the
+        primitives through.  ``None`` (default) creates a private
+        fresh registry — exact-count isolation for tests; the serve
+        CLI passes the ambient registry so ``stats`` and the
+        ``--telemetry`` exporters see one coherent set of series.
+    """
+
+    def __init__(self, registry: Optional[TelemetryRegistry] = None) -> None:
+        reg = TelemetryRegistry() if registry is None else registry
+        self.registry = reg
+        self.requests = reg.counter("service_requests_total")
+        self.replies_ok = reg.counter("service_replies_total", status="ok")
+        self.replies_error = reg.counter(
+            "service_replies_total", status="error"
+        )
+        self.cache_hits = reg.counter("service_cache_total", result="hit")
+        self.cache_misses = reg.counter("service_cache_total", result="miss")
+        self.compiles = reg.counter("service_compiles_total")
+        self.incremental_compiles = reg.counter(
+            "service_incremental_compiles_total"
+        )
+        self.degraded_compiles = reg.counter("service_degraded_compiles_total")
+        self.queries = reg.counter("service_queries_total")
+        self.stale_epoch_rejections = reg.counter(
+            "service_stale_epoch_rejections_total"
+        )
+        self.malformed_requests = reg.counter(
+            "service_malformed_requests_total"
+        )
+        self.timeouts = reg.counter("service_timeouts_total")
+        self.compile_latency = reg.histogram("service_compile_seconds")
+        self.query_latency = reg.histogram("service_query_seconds")
+        self.epoch = reg.gauge("service_epoch", value=-1.0)
 
     def hit_rate(self) -> float:
         total = self.cache_hits.value + self.cache_misses.value

@@ -294,6 +294,7 @@ class RouteQueryServer:
             return {
                 "stats": self.metrics.snapshot(),
                 "store": self.compiler.store.stats(),
+                "telemetry": self.metrics.registry.snapshot(),
             }
         if op == "shutdown":
             return {"draining": True}

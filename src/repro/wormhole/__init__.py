@@ -22,7 +22,7 @@ from .network import VirtualNetwork
 from .packets import Hop, Message
 from .simulator import WormholeSimulator
 from .stats import SimStats
-from .trace import SYSTEM_MSG_ID, TraceEvent, Tracer
+from .trace import SYSTEM_MSG_ID, TraceEvent, Tracer, TraceTruncatedError
 from .traffic import (
     Injection,
     hotspot_traffic,
@@ -39,6 +39,7 @@ __all__ = [
     "SimStats",
     "Tracer",
     "TraceEvent",
+    "TraceTruncatedError",
     "SYSTEM_MSG_ID",
     "DeadlockError",
     "SimulationError",

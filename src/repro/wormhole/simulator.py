@@ -81,6 +81,7 @@ import numpy as np
 
 from ..mesh.faults import FaultSet
 from ..mesh.geometry import Link, Node
+from ..obs import get_registry
 from ..routing.multiround import FaultGrids, find_k_round_route
 from ..routing.ordering import KRoundOrdering
 from .deadlock import (
@@ -246,6 +247,14 @@ class WormholeSimulator:
         self._agenda: Optional[List[Tuple[int, int]]] = None
         self._agenda_cur_key: Tuple[int, int] = (-1, -1)
         self._visited: Set[int] = set()
+        # --- telemetry (plain ints on the hot path; deltas are
+        # published to the ambient registry once per run()) -----------
+        self.stall_cycles = 0
+        self.park_events = 0
+        self.wake_events = 0
+        self.retry_events = 0
+        self.abort_counts: Dict[str, int] = {}
+        self._published: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Static verification
@@ -495,6 +504,7 @@ class WormholeSimulator:
                                src=m.source, dst=m.dest, reason="retry")
                 )
             m.reset_for_retry(hops, self.cycle + delay)
+            self.retry_events += 1
             if self.tracer is not None:
                 self.tracer.record(
                     TraceEvent(m.inject_cycle, "reinject", m.msg_id,
@@ -516,6 +526,7 @@ class WormholeSimulator:
         m.abort_cycle = self.cycle
         m.abort_reason = reason
         self._finished_count += 1
+        self.abort_counts[reason] = self.abort_counts.get(reason, 0) + 1
         if self.tracer is not None:
             self.tracer.record(
                 TraceEvent(self.cycle, "abort", m.msg_id,
@@ -573,6 +584,7 @@ class WormholeSimulator:
             if m.is_finished:
                 continue
             self._runnable.add(mid)
+            self.wake_events += 1
             if agenda is not None and mid not in self._visited:
                 sk = (m.inject_cycle, mid)
                 if sk > self._agenda_cur_key:
@@ -810,6 +822,7 @@ class WormholeSimulator:
                 if keys is not None:
                     runnable.discard(mid)
                     parked[mid] = keys
+                    self.park_events += 1
                     for k in keys:
                         lst = waiters.get(k)
                         if lst is None:
@@ -831,6 +844,7 @@ class WormholeSimulator:
         """Count an idle cycle; run the wait-graph detector once the
         idle streak reaches the check interval."""
         self._idle_cycles += 1
+        self.stall_cycles += 1
         if self._idle_cycles >= self._deadlock_check_every:
             graph = build_wait_graph(self.messages.values(), self.net)
             cycle = find_deadlock_cycle(graph)
@@ -858,16 +872,63 @@ class WormholeSimulator:
         forms, and :class:`SimulationTimeout` (with stalled-message
         diagnostics attached) on non-deadlock timeout.
         """
-        while self.cycle < max_cycles:
-            if self._drained():
-                break
-            self.step()
-        if not self._drained():
-            raise SimulationTimeout(
-                max_cycles,
-                snapshot_stalls(self.cycle, self.messages.values(), self.net),
-            )
+        try:
+            while self.cycle < max_cycles:
+                if self._drained():
+                    break
+                self.step()
+            if not self._drained():
+                raise SimulationTimeout(
+                    max_cycles,
+                    snapshot_stalls(
+                        self.cycle, self.messages.values(), self.net
+                    ),
+                )
+        finally:
+            # Publish telemetry deltas even when the run ends in a
+            # DeadlockError/SimulationTimeout — those are exactly the
+            # runs whose counters matter most.
+            self._publish_telemetry()
         return self.stats()
+
+    def _publish_telemetry(self) -> None:
+        """Publish counter *deltas* since the last publish to the
+        ambient registry.
+
+        The hot loop never touches the registry — it bumps plain ints
+        — so this is the only place the simulator pays a lock.  Deltas
+        (not totals) keep repeated ``run()`` calls on one simulator
+        additive, and zero-deltas still create the counters so the
+        exported schema is stable across workloads.
+        """
+        reg = get_registry()
+        eng = self.engine
+        totals = {
+            "sim_cycles_total": self.cycle,
+            "sim_stall_cycles_total": self.stall_cycles,
+            "sim_park_events_total": self.park_events,
+            "sim_wake_events_total": self.wake_events,
+            "sim_retries_total": self.retry_events,
+            "sim_messages_finished_total": self._finished_count,
+        }
+        pub = self._published
+        for name, total in sorted(totals.items()):
+            reg.inc(name, max(0, total - pub.get(name, 0)), engine=eng)
+            pub[name] = total
+        for reason in sorted(
+            set(self.abort_counts)
+            | {ABORT_ENDPOINT_FAILED, ABORT_UNREACHABLE,
+               ABORT_RETRY_BUDGET, ABORT_QUARANTINED}
+        ):
+            total = self.abort_counts.get(reason, 0)
+            key = f"abort:{reason}"
+            reg.inc(
+                "sim_aborts_total",
+                max(0, total - pub.get(key, 0)),
+                engine=eng,
+                reason=reason,
+            )
+            pub[key] = total
 
     def stats(self) -> SimStats:
         """Aggregate statistics over all delivered messages."""

@@ -6,20 +6,50 @@ deliveries — that the tests use to assert microarchitectural
 invariants (one flit per channel per cycle, exclusive ownership
 windows, pipelined flit spacing) and that users can dump for debugging
 congestion.
+
+Truncation is *loud*: events past ``capacity`` are counted in
+:attr:`Tracer.dropped` (and warned about once), and the invariant
+helpers refuse to certify a truncated trace — a missing ``release``
+event would otherwise make an overlap look like an exclusivity
+violation, and a missing ``flit`` event would hide a real one.  They
+raise :class:`TraceTruncatedError` instead of returning answers
+computed over a partial stream.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..mesh.geometry import Node
+from .deadlock import SimulationError
 
-__all__ = ["TraceEvent", "Tracer", "SYSTEM_MSG_ID"]
+__all__ = ["TraceEvent", "Tracer", "TraceTruncatedError", "SYSTEM_MSG_ID"]
 
 
 SYSTEM_MSG_ID = -1  # msg_id used by non-message events (fault, epoch)
+
+
+class TraceTruncatedError(SimulationError):
+    """An invariant was queried on a trace that dropped events.
+
+    Raised by the :class:`Tracer` invariant helpers when
+    ``dropped > 0``: a partial event stream cannot certify (or refute)
+    a microarchitectural invariant, so refusing is the only honest
+    answer.  Re-run with a larger ``capacity``.
+    """
+
+    def __init__(self, recorded: int, dropped: int, query: str) -> None:
+        self.recorded = recorded
+        self.dropped = dropped
+        self.query = query
+        super().__init__(
+            f"cannot answer {query!r}: trace truncated "
+            f"({recorded} events recorded, {dropped} dropped); "
+            f"increase Tracer(capacity=...)"
+        )
 
 
 @dataclass(frozen=True)
@@ -49,15 +79,43 @@ class Tracer:
 
     Pass to :class:`repro.wormhole.WormholeSimulator` via
     ``tracer=``.  Querying helpers power the invariant tests.
+
+    Events past ``capacity`` are dropped but *counted*
+    (:attr:`dropped`), with a one-time :class:`RuntimeWarning` at the
+    moment the cap is first hit.  Helpers that certify invariants
+    raise :class:`TraceTruncatedError` when any event was dropped.
     """
 
     def __init__(self, capacity: int = 1_000_000):
         self.events: List[TraceEvent] = []
         self.capacity = capacity
+        #: Events discarded because the trace hit ``capacity``.
+        self.dropped = 0
+        self._warned = False
 
     def record(self, event: TraceEvent) -> None:
         if len(self.events) < self.capacity:
             self.events.append(event)
+            return
+        self.dropped += 1
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"Tracer capacity {self.capacity} reached; further "
+                f"events are dropped (counted in .dropped). Invariant "
+                f"helpers will refuse to certify this trace.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any event was dropped."""
+        return self.dropped > 0
+
+    def _require_complete(self, query: str) -> None:
+        if self.dropped:
+            raise TraceTruncatedError(len(self.events), self.dropped, query)
 
     # ------------------------------------------------------------------
     def of_kind(self, kind: str) -> List[TraceEvent]:
@@ -76,7 +134,12 @@ class Tracer:
         )
 
     def max_flits_per_channel_cycle(self) -> int:
-        """The microarchitectural invariant: must be <= 1."""
+        """The microarchitectural invariant: must be <= 1.
+
+        Raises :class:`TraceTruncatedError` on a truncated trace — a
+        dropped ``flit`` event could hide a violation.
+        """
+        self._require_complete("max_flits_per_channel_cycle")
         counts = Counter(
             (e.cycle, e.src, e.dst, e.vc)
             for e in self.events
@@ -88,7 +151,12 @@ class Tracer:
         self,
     ) -> Dict[Tuple[Node, Node, int], List[Tuple[int, int, int]]]:
         """Per channel: list of (acquire_cycle, release_cycle, msg_id)
-        ownership windows (release -1 if never released)."""
+        ownership windows (release -1 if never released).
+
+        Raises :class:`TraceTruncatedError` on a truncated trace — a
+        dropped ``acquire``/``release`` pairs up the wrong cycles.
+        """
+        self._require_complete("ownership_windows")
         open_windows: Dict[Tuple[Node, Node, int], Tuple[int, int]] = {}
         out: Dict[Tuple[Node, Node, int], List[Tuple[int, int, int]]] = {}
         for e in self.events:
@@ -105,7 +173,13 @@ class Tracer:
         return out
 
     def windows_are_exclusive(self) -> bool:
-        """No two ownership windows of a channel overlap in time."""
+        """No two ownership windows of a channel overlap in time.
+
+        Raises :class:`TraceTruncatedError` on a truncated trace (via
+        :meth:`ownership_windows`) — certifying exclusivity from a
+        partial stream would be a false positive factory.
+        """
+        self._require_complete("windows_are_exclusive")
         for windows in self.ownership_windows().values():
             spans = sorted(
                 (s, e if e >= 0 else float("inf")) for (s, e, _) in windows

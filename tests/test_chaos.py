@@ -281,6 +281,63 @@ class TestDegradationLadder:
         with pytest.raises(ValueError):
             mgr.report_faults_degraded()
 
+    def test_non_domain_exception_propagates(self, monkeypatch):
+        # Regression: the ladder's bare ``except Exception`` used to
+        # swallow *any* failure — including genuine bugs like a
+        # TypeError from a broken pipeline — and report "every rung
+        # failed" instead of crashing loudly.
+        import repro.core.reconfigure as reconf
+
+        def boom(*args, **kwargs):
+            raise TypeError("broken pipeline argument")
+
+        monkeypatch.setattr(reconf, "find_lamb_set", boom)
+        mgr = ReconfigurationManager(Mesh((4, 4)), repeated(xy(), 2))
+        with pytest.raises(TypeError, match="broken pipeline argument"):
+            mgr.report_faults_degraded(node_faults=[(1, 1)])
+
+    def test_domain_failure_reason_recorded(self, monkeypatch):
+        # A ValueError is a legitimate rung failure: the ladder climbs
+        # on, but the reason lands on the epoch (and, when every rung
+        # dies, in the ReconfigurationError message).
+        import repro.core.reconfigure as reconf
+        from repro.obs import use_registry
+
+        real = reconf.find_lamb_set
+        calls = {"n": 0}
+
+        def first_rung_fails(faults, orderings, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("degenerate partition")
+            return real(faults, orderings, **kwargs)
+
+        monkeypatch.setattr(reconf, "find_lamb_set", first_rung_fails)
+        mgr = ReconfigurationManager(Mesh((8, 8)), repeated(xy(), 1))
+        with use_registry() as reg:
+            epoch = mgr.report_faults_degraded(
+                node_faults=[(3, 3)], max_extra_rounds=1
+            )
+        assert epoch.rung_failures == (
+            "k=1: ValueError: degenerate partition",
+        )
+        counters = reg.snapshot()["counters"]
+        assert counters['ladder_rung_failures_total{error="ValueError"}'] == 1
+
+    def test_all_rungs_fail_reports_reasons(self, monkeypatch):
+        import repro.core.reconfigure as reconf
+        from repro.core import ReconfigurationError
+
+        def always_fails(*args, **kwargs):
+            raise ValueError("no feasible cover")
+
+        monkeypatch.setattr(reconf, "find_lamb_set", always_fails)
+        mgr = ReconfigurationManager(Mesh((4, 4)), repeated(xy(), 2))
+        with pytest.raises(ReconfigurationError, match="no feasible cover"):
+            mgr.report_faults_degraded(
+                node_faults=[(1, 1)], max_extra_rounds=0
+            )
+
 
 class TestChaosAcceptance:
     """ISSUE acceptance: 8x8, >=3 mid-flight events, deterministic,

@@ -37,3 +37,17 @@ class TestGenerate:
     def test_all_sections_constant(self):
         assert "tables" in ALL_SECTIONS and "fig26" in ALL_SECTIONS
         assert len(ALL_SECTIONS) == len(set(ALL_SECTIONS))
+
+
+class TestMonotonicTimers:
+    def test_durations_use_monotonic_clock(self):
+        # Regression: generation timing used time.time(), which jumps
+        # under NTP slews/clock steps and can report negative or wildly
+        # wrong durations.  Durations must come from perf_counter.
+        import inspect
+
+        import repro.experiments.generate as gen
+
+        source = inspect.getsource(gen)
+        assert "time.time(" not in source
+        assert "time.perf_counter(" in source

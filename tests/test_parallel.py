@@ -96,6 +96,20 @@ class TestEngine:
         assert is_picklable(_echo_worker)
         assert not is_picklable(lambda p, t: t)
 
+    def test_is_picklable_requires_round_trip(self):
+        # Regression: is_picklable used to test only pickle.dumps, so
+        # an object that serializes fine but *fails to deserialize* in
+        # the worker process passed the gate and crashed the pool
+        # mid-sweep.
+        assert not is_picklable(_DumpsButNoLoads())
+
+    def test_is_picklable_does_not_swallow_unrelated_errors(self):
+        # Only pickling-shaped failures mean "not picklable"; a bug in
+        # the object's __getstate__ raising an unrelated error type
+        # must propagate, not be reported as a serial fallback.
+        with pytest.raises(ZeroDivisionError):
+            is_picklable(_BrokenGetstate())
+
     def test_ambient_engine_install_and_restore(self):
         base = get_default_engine()
         with engine_jobs(2) as eng:
@@ -109,6 +123,26 @@ class TestEngine:
 
 def _echo_worker(payload, t):
     return payload["base"] + t
+
+
+def _explode():
+    import pickle
+
+    raise pickle.UnpicklingError("reconstruction fails at load time")
+
+
+class _DumpsButNoLoads:
+    """Pickles fine; blows up when unpickled in the worker."""
+
+    def __reduce__(self):
+        return (_explode, ())
+
+
+class _BrokenGetstate:
+    """A bug (not a pickling limitation) during serialization."""
+
+    def __getstate__(self):
+        return 1 // 0
 
 
 class TestBitIdenticalSweeps:

@@ -1,13 +1,17 @@
 """Tests for wormhole event tracing (repro.wormhole.trace)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.mesh import FaultSet, Mesh
 from repro.routing import repeated, xy
 from repro.wormhole import (
+    SimulationError,
     TraceEvent,
     Tracer,
+    TraceTruncatedError,
     WormholeSimulator,
     uniform_random_traffic,
 )
@@ -68,9 +72,52 @@ class TestEventStream:
 
     def test_capacity_cap(self):
         tracer = Tracer(capacity=3)
-        for i in range(10):
-            tracer.record(TraceEvent(i, "inject", i))
+        with pytest.warns(RuntimeWarning, match="capacity 3 reached"):
+            for i in range(10):
+                tracer.record(TraceEvent(i, "inject", i))
         assert len(tracer.events) == 3
+        assert tracer.dropped == 7
+        assert tracer.truncated
+
+    def test_capacity_warns_once(self):
+        tracer = Tracer(capacity=1)
+        tracer.record(TraceEvent(0, "inject", 0))
+        with pytest.warns(RuntimeWarning):
+            tracer.record(TraceEvent(1, "inject", 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            tracer.record(TraceEvent(2, "inject", 2))
+        assert tracer.dropped == 2
+
+    def test_truncated_trace_refuses_to_certify_invariants(self):
+        # Regression: a capacity-1 tracer used to silently drop every
+        # event past the first and still *certify* the invariants over
+        # the partial stream (e.g. exclusivity looked fine because the
+        # conflicting acquire was never recorded).
+        tracer = Tracer(capacity=1)
+        with pytest.warns(RuntimeWarning):
+            tracer.record(TraceEvent(0, "acquire", 0, src=(0,), dst=(1,),
+                                     vc=0))
+            tracer.record(TraceEvent(1, "acquire", 1, src=(0,), dst=(1,),
+                                     vc=0))
+        with pytest.raises(TraceTruncatedError):
+            tracer.max_flits_per_channel_cycle()
+        with pytest.raises(TraceTruncatedError):
+            tracer.ownership_windows()
+        with pytest.raises(TraceTruncatedError) as exc:
+            tracer.windows_are_exclusive()
+        assert exc.value.dropped == 1
+        assert exc.value.recorded == 1
+        # Part of the SimulationError taxonomy, so callers that handle
+        # simulator failures catch it without a new except clause.
+        assert isinstance(exc.value, SimulationError)
+
+    def test_complete_trace_still_certifies(self):
+        tracer = Tracer(capacity=10)
+        tracer.record(TraceEvent(0, "acquire", 0, src=(0,), dst=(1,), vc=0))
+        tracer.record(TraceEvent(2, "release", 0, src=(0,), dst=(1,), vc=0))
+        assert not tracer.truncated
+        assert tracer.windows_are_exclusive()
 
     def test_delivery_order_consistent_with_stats(self, traced_run):
         sim, tracer = traced_run
