@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke obs-smoke lint analyze prove-smoke clean
+.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke obs-smoke reliability-smoke lint analyze prove-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -81,6 +81,27 @@ obs-smoke:
 	grep -q 'trial_chunks_total 1' /tmp/obs-smoke-1.prom
 	grep -q 'telemetry_events_dropped 0' /tmp/obs-smoke-1.prom
 	@echo "obs smoke OK: deterministic exports, every layer present"
+
+# Reliability smoke: a seeded two-epoch-scale Poisson campaign on
+# M2(8), run once on the thread executor and once on the process
+# executor.  The JSON report is a pure function of the campaign
+# config, so the two files must be byte-identical — that diff is the
+# determinism proof across executor backends — and the report must
+# show every trial accounted for.
+reliability-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro reliability --mesh 8x8 \
+	    --rate 1.5 --mttr 0.3 --horizon 2 --trials 4 --seed 0 \
+	    --jobs 2 --executor thread --json /tmp/reliability-smoke-1.json \
+	    | grep -v "^wrote " > /tmp/reliability-smoke-1.txt
+	PYTHONPATH=src $(PYTHON) -m repro reliability --mesh 8x8 \
+	    --rate 1.5 --mttr 0.3 --horizon 2 --trials 4 --seed 0 \
+	    --jobs 2 --executor process --json /tmp/reliability-smoke-2.json \
+	    | grep -v "^wrote " > /tmp/reliability-smoke-2.txt
+	diff /tmp/reliability-smoke-1.json /tmp/reliability-smoke-2.json
+	diff /tmp/reliability-smoke-1.txt /tmp/reliability-smoke-2.txt
+	grep -q '"all_accounted": true' /tmp/reliability-smoke-1.json
+	grep -q "all_accounted=True" /tmp/reliability-smoke-1.txt
+	@echo "reliability smoke OK: thread/process byte-identical, all trials accounted"
 
 # Static analysis gate (CI job: lint).  ruff and mypy are skipped
 # gracefully when not installed (offline dev containers); the domain

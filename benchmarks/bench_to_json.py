@@ -41,6 +41,7 @@ import numpy as np
 from repro.core import find_lamb_set
 from repro.core.reachability import one_round_reachability_matrix
 from repro.experiments.harness import lamb_trials
+from repro.experiments.parallel import available_cpu_count, engine_jobs
 from repro.mesh import Mesh, random_node_faults
 from repro.mesh.faults import FaultSet
 from repro.routing import LineFaultIndex, repeated, xy, xyz
@@ -137,6 +138,53 @@ def _bench_trial_engine() -> Dict[str, object]:
             "wall_s": wall, "trials_per_s": trials / wall}
 
 
+def _bench_trial_engine_executor(executor: str) -> Dict[str, object]:
+    """The same seeded lamb sweep fanned over a worker pool.  On a
+    multi-core host the process rows should show ~jobs-times the
+    thread rows' throughput (the sweep is pure-Python and GIL-bound);
+    on a 1-core host both collapse to the serial timing."""
+    # jobs=None: inherit the ambient engine installed by the wrapper
+    # (that is what carries the executor choice).
+    jobs = min(4, available_cpu_count())
+    mesh = Mesh.square(2, 32)
+    trials = 12
+    t0 = time.perf_counter()
+    series = lamb_trials(mesh, 31, trials=trials, seed=0, tag=17)
+    wall = time.perf_counter() - t0
+    assert len(series.values["lambs"]) == trials
+    return {"bench": f"trial_engine_{executor}s",
+            "mesh": f"M2(32) f=31 x{trials} j{jobs}",
+            "wall_s": wall, "trials_per_s": trials / wall}
+
+
+def _bench_trial_engine_threads() -> Dict[str, object]:
+    with engine_jobs(min(4, available_cpu_count()), executor="thread"):
+        return _bench_trial_engine_executor("thread")
+
+
+def _bench_trial_engine_procs() -> Dict[str, object]:
+    with engine_jobs(min(4, available_cpu_count()), executor="process"):
+        return _bench_trial_engine_executor("proc")
+
+
+def _bench_reliability_campaign() -> Dict[str, object]:
+    """Seeded Poisson reliability campaign on M2(8): timeline sampling
+    + per-interval compile through the content-addressed cache +
+    connectivity scoring (serial, so the row tracks the per-trial
+    cost, not pool startup)."""
+    from repro.reliability import CampaignConfig, run_campaign
+
+    cfg = CampaignConfig(
+        widths=(8, 8), rate=1.5, mttr=0.3, horizon=2.0, trials=4, seed=0,
+    )
+    t0 = time.perf_counter()
+    report = run_campaign(cfg, jobs=1)
+    wall = time.perf_counter() - t0
+    assert report.accounting.all_accounted
+    return {"bench": "reliability_campaign", "mesh": "M2(8) x4 trials",
+            "wall_s": wall, "trials_per_s": cfg.trials / wall}
+
+
 def _bench_service_throughput() -> Dict[str, object]:
     """Route-query service data path: real TCP on localhost, 1000
     pipelined queries (batches of 100) against a pre-compiled 16x16
@@ -201,6 +249,9 @@ BENCHES: Tuple[Callable[[], Dict[str, object]], ...] = (
     _bench_sim_saturation,
     _bench_chaos_smoke,
     _bench_trial_engine,
+    _bench_trial_engine_threads,
+    _bench_trial_engine_procs,
+    _bench_reliability_campaign,
     _bench_service_throughput,
 )
 
@@ -209,11 +260,19 @@ BENCHES: Tuple[Callable[[], Dict[str, object]], ...] = (
 # Harness
 # ----------------------------------------------------------------------
 def host_fingerprint() -> Dict[str, object]:
+    """Identity of the machine a baseline was recorded on.
+
+    ``cpu_count`` is the affinity-aware count — in a cgroup-limited CI
+    container that is the number of cores the benches can actually
+    use, which is what makes wall times comparable; the raw host core
+    count is kept alongside for context.
+    """
     return {
         "machine": platform.machine(),
         "system": platform.system(),
         "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": available_cpu_count(),
+        "cpu_count_raw": os.cpu_count(),
     }
 
 

@@ -1,6 +1,7 @@
 """Analytic models: blocking probabilities and executable proofs."""
 
 from .availability import (
+    capacity_from_events,
     capacity_timeline,
     effective_utilization,
     young_interval,
@@ -40,4 +41,5 @@ __all__ = [
     "young_interval",
     "effective_utilization",
     "capacity_timeline",
+    "capacity_from_events",
 ]

@@ -13,30 +13,48 @@ quantifies what that loop delivers:
 - :func:`capacity_timeline` — expected usable-node fraction over time
   as faults accumulate and lambs are re-chosen, combining a Poisson
   fault process with measured lamb-per-fault ratios (e.g. Fig. 19's
-  additional damage).
+  additional damage);
+- :func:`capacity_from_events` — the same usable-fraction curve from
+  an *observed* event list (e.g. a sampled
+  :class:`~repro.reliability.FaultTimeline`) instead of the
+  first-moment Poisson model.
+
+For sampled (rather than expected-value) reliability, see
+:mod:`repro.reliability`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = [
     "young_interval",
     "effective_utilization",
     "capacity_timeline",
+    "capacity_from_events",
 ]
 
 
 def young_interval(checkpoint_cost: float, mtbf: float) -> float:
     """Young's optimal checkpoint interval ``sqrt(2 C M)``.
 
-    ``checkpoint_cost`` and ``mtbf`` in the same time unit; requires
-    ``checkpoint_cost < mtbf / 2`` for the approximation to be sane
-    (checked loosely).
+    ``checkpoint_cost`` and ``mtbf`` in the same time unit; the
+    approximation assumes checkpoints are cheap relative to failures,
+    so ``checkpoint_cost < mtbf / 2`` is enforced (past that point the
+    'optimal' interval is shorter than two checkpoints and the model
+    is meaningless).
     """
     if checkpoint_cost <= 0 or mtbf <= 0:
-        raise ValueError("costs must be positive")
+        raise ValueError(
+            f"costs must be positive, got checkpoint_cost="
+            f"{checkpoint_cost}, mtbf={mtbf}"
+        )
+    if not checkpoint_cost < mtbf / 2.0:
+        raise ValueError(
+            f"Young's approximation needs checkpoint_cost < mtbf/2 "
+            f"(got {checkpoint_cost} >= {mtbf / 2.0})"
+        )
     return math.sqrt(2.0 * checkpoint_cost * mtbf)
 
 
@@ -87,5 +105,53 @@ def capacity_timeline(
         expected_faults = fault_rate * t
         lost = expected_faults * (1.0 + lamb_per_fault)
         usable = max(0.0, (num_nodes - lost) / num_nodes)
+        out.append((t, usable))
+    return out
+
+
+def capacity_from_events(
+    num_nodes: int,
+    events: Sequence[Tuple[float, int]],
+    lamb_per_fault: float = 0.0,
+) -> List[Tuple[float, float]]:
+    """Usable-node fraction from an observed fault-event list.
+
+    ``events`` is a time-sorted sequence of ``(time, delta)`` pairs:
+    ``delta > 0`` nodes lost at ``time`` (a fault), ``delta < 0``
+    nodes returned (a repair).  Each *lost* node additionally costs
+    ``lamb_per_fault`` sacrificed good nodes, and repairs give the
+    same share back.  Returns ``(time, usable_fraction)`` samples —
+    one leading ``(t0, 1.0)``-style baseline sample at the first event
+    time reflecting the state *after* it, with the fraction clamped to
+    ``[0, 1]``.
+
+    Typed validation instead of silent nonsense: an empty event list,
+    an unsorted one, or a negative timestamp is a ``ValueError`` (an
+    unsorted list would silently produce a non-monotone time axis and
+    corrupt any downstream integration).
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if lamb_per_fault < 0:
+        raise ValueError(
+            f"lamb_per_fault must be nonnegative, got {lamb_per_fault}"
+        )
+    if not events:
+        raise ValueError(
+            "events must be a non-empty [(time, delta), ...] list"
+        )
+    times = [float(t) for t, _ in events]
+    if times[0] < 0.0:
+        raise ValueError(f"event times cannot be negative: {times[0]}")
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ValueError(
+            "events must be sorted by time (got a decreasing timestamp); "
+            "sort the list before calling"
+        )
+    out: List[Tuple[float, float]] = []
+    lost = 0.0
+    for (_, delta), t in zip(events, times):
+        lost += float(delta) * (1.0 + lamb_per_fault)
+        usable = min(1.0, max(0.0, (num_nodes - lost) / num_nodes))
         out.append((t, usable))
     return out

@@ -396,31 +396,60 @@ class BareExceptRule(LintRule):
 # ----------------------------------------------------------------------
 # REP105 — parallel-safety of trial-engine workers
 # ----------------------------------------------------------------------
-_ENGINE_METHODS = {"run_trials", "map_ordered", "submit"}
+#: Methods that ship their first argument to pool workers: the trial
+#: engine's entry points plus the raw ``concurrent.futures`` executor
+#: surface (``submit``/``map``) — a process-pool worker must pickle no
+#: matter which layer hands it over.
+_ENGINE_METHODS = {"run_trials", "map_ordered", "submit", "map"}
 
 
 class ParallelClosureRule(LintRule):
     id = "REP105"
     name = "parallel-closure"
     description = (
-        "worker passed to the trial engine must be a picklable "
-        "module-level function, not a closure or lambda"
+        "worker passed to the trial engine or a pool executor must be "
+        "a picklable module-level function, not a closure or lambda"
     )
 
     def check(self, tree: ast.AST, path: str) -> Iterator[Violation]:
         yield from self._walk_scope(tree, path, nested_funcs=frozenset(),
+                                    lambda_names=frozenset(),
                                     inside_function=False)
+
+    @staticmethod
+    def _lambda_bindings(body: Sequence[ast.AST]) -> frozenset:
+        """Names bound to a lambda in this scope's direct statements.
+        Unlike nested ``def``s, a lambda is unpicklable even at module
+        level (pickle serializes functions by qualified name, and a
+        lambda's ``<lambda>`` name never resolves), so these are
+        collected in *every* scope."""
+        names = set()
+        for n in body:
+            if isinstance(n, ast.Assign) and isinstance(n.value, ast.Lambda):
+                for tgt in n.targets:
+                    if isinstance(tgt, ast.Name):
+                        names.add(tgt.id)
+            elif (
+                isinstance(n, ast.AnnAssign)
+                and n.value is not None
+                and isinstance(n.value, ast.Lambda)
+                and isinstance(n.target, ast.Name)
+            ):
+                names.add(n.target.id)
+        return frozenset(names)
 
     def _walk_scope(
         self,
         scope: ast.AST,
         path: str,
         nested_funcs: frozenset,
+        lambda_names: frozenset,
         inside_function: bool,
     ) -> Iterator[Violation]:
         """Walk one lexical scope; recurse into function bodies with
         the accumulated set of function names that are *not*
-        module-level (and therefore not picklable by reference)."""
+        module-level (and therefore not picklable by reference), plus
+        names bound to lambdas at any level."""
         body = getattr(scope, "body", [])
         local_defs = {
             n.name
@@ -429,20 +458,28 @@ class ParallelClosureRule(LintRule):
         }
         if inside_function:
             nested_funcs = nested_funcs | frozenset(local_defs)
+        lambda_names = lambda_names | self._lambda_bindings(body)
         for node in body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._walk_scope(
-                    node, path, nested_funcs, inside_function=True
+                    node, path, nested_funcs, lambda_names,
+                    inside_function=True,
                 )
             elif isinstance(node, ast.ClassDef):
                 yield from self._walk_scope(
-                    node, path, nested_funcs, inside_function
+                    node, path, nested_funcs, lambda_names, inside_function
                 )
             else:
-                yield from self._check_stmt(node, path, nested_funcs)
+                yield from self._check_stmt(
+                    node, path, nested_funcs, lambda_names
+                )
 
     def _check_stmt(
-        self, stmt: ast.AST, path: str, nested_funcs: frozenset
+        self,
+        stmt: ast.AST,
+        path: str,
+        nested_funcs: frozenset,
+        lambda_names: frozenset,
     ) -> Iterator[Violation]:
         for node in ast.walk(stmt):
             if not (isinstance(node, ast.Call)
@@ -465,6 +502,14 @@ class ParallelClosureRule(LintRule):
                     f"{node.func.attr}() closes over the enclosing "
                     "frame's mutable state; hoist it to module level "
                     "and pass state via the payload",
+                )
+            elif isinstance(worker, ast.Name) and worker.id in lambda_names:
+                yield self._v(
+                    path, worker,
+                    f"{worker.id!r} is bound to a lambda; pickle "
+                    "serializes functions by qualified name, so it "
+                    f"cannot reach {node.func.attr}() workers — define "
+                    "a module-level def instead",
                 )
 
 

@@ -201,7 +201,9 @@ def lamb_trials(
         orderings = repeated(ascending(mesh.d), 2)
     engine, owned = resolve_engine(jobs)
     try:
-        parallel_ok = engine.jobs > 1 and trials > 1 and is_picklable(extra)
+        parallel_ok = engine.jobs > 1 and trials > 1 and (
+            not engine.requires_pickling or is_picklable(extra)
+        )
         if parallel_ok:
             payload: Dict[str, Any] = {
                 "mesh": mesh,

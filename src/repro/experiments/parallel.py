@@ -1,20 +1,21 @@
 """Parallel trial engine: fan embarrassingly parallel seeded trials
-across a process pool.
+across a process (or thread) pool.
 
 Every Section-8 sweep repeats an independent seeded computation
 ``trials`` times — trial ``t`` draws all of its randomness from
 ``default_rng((seed, tag, t))`` (or an equivalent per-trial seed), so
 the trials are *embarrassingly parallel* and can be fanned across a
-:class:`concurrent.futures.ProcessPoolExecutor` with bit-identical
+:class:`concurrent.futures.ProcessPoolExecutor` (or
+:class:`~concurrent.futures.ThreadPoolExecutor`) with bit-identical
 results: the engine only changes *where* trial ``t`` runs, never what
 it computes, and results are merged back in trial order.
 
 Layering
 --------
-- :class:`TrialEngine` owns the pool policy (worker count, chunking)
-  and exposes :meth:`TrialEngine.run_trials`, which maps a picklable
-  module-level worker over ``range(trials)`` in chunks (chunking
-  amortizes pickling of the per-sweep payload).
+- :class:`TrialEngine` owns the pool policy (worker count, executor
+  backend, chunking) and exposes :meth:`TrialEngine.run_trials`, which
+  maps a picklable module-level worker over ``range(trials)`` in
+  chunks (chunking amortizes pickling of the per-sweep payload).
 - Workers reuse heavyweight per-sweep objects (``Mesh``,
   ``KRoundOrdering``) across chunks via a per-process memo cache —
   see :func:`worker_memo`.
@@ -22,13 +23,39 @@ Layering
   trials inline with *zero* behavioural difference from the
   historical serial loops; the serial path stays the reference.
 
+Executor backends
+-----------------
+``executor="process"`` (the default) sidesteps the GIL and is the
+right choice for the CPU-bound lamb/chaos sweeps; it requires
+picklable workers and payloads.  ``executor="thread"`` shares the
+address space — no pickling constraint, near-zero startup cost — and
+suits workloads that release the GIL or need unpicklable callbacks.
+Resolution order: explicit ``executor=`` argument, then the
+``REPRO_EXECUTOR`` environment variable, then ``"process"``.
+
 Worker count resolution order: explicit ``jobs=`` argument, then the
-``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
+``REPRO_JOBS`` environment variable, then :func:`available_cpu_count`
+(affinity-aware: in a cgroup-limited CI container this is the usable
+core count, not the host's).
+
+Crash recovery
+--------------
+A killed or wedged worker process must never silently drop its chunk.
+When the process pool breaks (:class:`BrokenExecutor`) or a chunk
+exceeds ``chunk_timeout``, the engine tears the pool down, builds a
+fresh one, and resubmits every unfinished chunk — bounded by
+``max_crash_retries`` pool rebuilds per :meth:`~TrialEngine.run_trials`
+call, after which a typed :class:`WorkerCrashError` is raised naming
+the unfinished chunks.  :attr:`TrialEngine.last_run` carries
+``SimStats.all_accounted``-style accounting (trials expected vs
+completed, chunk retries, pool rebuilds) so campaign layers can assert
+nothing was lost or double-counted.
 
 Determinism note: measured *wall-clock seconds* (e.g. the ``seconds``
 key of :func:`repro.experiments.lamb_trials`) are machine timings and
 vary run to run even serially; every other recorded key is a pure
-function of ``(seed, tag, t)`` and is bit-identical for any job count.
+function of ``(seed, tag, t)`` and is bit-identical for any job count
+and either executor backend.
 """
 
 from __future__ import annotations
@@ -36,15 +63,28 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import get_registry
 
 __all__ = [
     "TrialEngine",
+    "WorkerCrashError",
+    "RunAccounting",
+    "EXECUTORS",
+    "available_cpu_count",
     "resolve_jobs",
+    "resolve_executor",
     "get_default_engine",
     "set_default_jobs",
     "engine_jobs",
@@ -52,25 +92,111 @@ __all__ = [
     "is_picklable",
 ]
 
+#: Accepted executor backends.
+EXECUTORS: Tuple[str, ...] = ("thread", "process")
+
+
+class WorkerCrashError(RuntimeError):
+    """A trial chunk could not be completed: the worker pool broke (or
+    timed out) more than ``max_crash_retries`` times.
+
+    ``pending_chunks`` names the trial-index chunks still unfinished
+    when the engine gave up — nothing was silently dropped, the caller
+    knows exactly which trials are missing.
+    """
+
+    def __init__(self, message: str, pending_chunks: Sequence[Sequence[int]]):
+        super().__init__(message)
+        self.pending_chunks: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(ts) for ts in pending_chunks
+        )
+
+
+@dataclass
+class RunAccounting:
+    """No-silent-loss bookkeeping for one :meth:`TrialEngine.run_trials`
+    call (the campaign-level analogue of ``SimStats.all_accounted``)."""
+
+    trials_expected: int = 0
+    trials_completed: int = 0
+    chunks_total: int = 0
+    chunk_retries: int = 0
+    pool_rebuilds: int = 0
+    executor: str = "process"
+    jobs: int = 1
+
+    @property
+    def all_accounted(self) -> bool:
+        """Every expected trial produced exactly one result."""
+        return self.trials_completed == self.trials_expected
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trials_expected": self.trials_expected,
+            "trials_completed": self.trials_completed,
+            "chunks_total": self.chunks_total,
+            "chunk_retries": self.chunk_retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "all_accounted": self.all_accounted,
+        }
+
+
+def available_cpu_count() -> int:
+    """CPUs *this process* may actually use.
+
+    ``os.process_cpu_count()`` (3.13+) respects both cgroup CPU
+    affinity and ``PYTHON_CPU_COUNT``; older interpreters fall back to
+    the scheduler affinity mask, then to bare ``os.cpu_count()``.  In
+    a cgroup-limited CI container the affinity-aware count is the
+    honest worker-pool size — ``os.cpu_count()`` reports the host's
+    cores and oversubscribes the pool.
+    """
+    probe = getattr(os, "process_cpu_count", None)
+    if probe is not None:
+        n = probe()
+        if n:
+            return int(n)
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            n = len(os.sched_getaffinity(0))
+            if n:
+                return n
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Resolve a worker count: explicit ``jobs``, else ``REPRO_JOBS``,
-    else ``os.cpu_count()``.  ``0`` (explicit or in the environment)
-    means "auto": all CPUs."""
+    else :func:`available_cpu_count`.  ``0`` (explicit or in the
+    environment) means "auto": all *available* CPUs."""
     if jobs is not None:
         n = int(jobs)
         if n < 0:
             raise ValueError("jobs must be >= 0 (0 = all CPUs)")
         if n > 0:
             return n
-        return os.cpu_count() or 1
+        return available_cpu_count()
     raw = os.environ.get("REPRO_JOBS", "")
     if raw:
         n = int(raw)
         if n < 0:
             raise ValueError("REPRO_JOBS must be >= 0 (0 = all CPUs)")
-        return n if n > 0 else (os.cpu_count() or 1)
-    return os.cpu_count() or 1
+        return n if n > 0 else available_cpu_count()
+    return available_cpu_count()
+
+
+def resolve_executor(executor: Optional[str] = None) -> str:
+    """Resolve the executor backend: explicit ``executor``, else the
+    ``REPRO_EXECUTOR`` environment variable, else ``"process"``."""
+    if executor is None:
+        executor = os.environ.get("REPRO_EXECUTOR", "") or "process"
+    name = str(executor).lower()
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    return name
 
 
 # ----------------------------------------------------------------------
@@ -86,7 +212,10 @@ def worker_memo(key: Tuple, build: Callable[[], Any]) -> Any:
     / fault index once per worker process and reuse it across chunks
     of the same sweep (the pool keeps workers alive for the engine's
     lifetime, so a 1000-trial sweep builds each mesh once per worker,
-    not once per trial)."""
+    not once per trial).  Under the thread executor the cache is
+    shared by all workers, so ``build`` must produce objects that are
+    safe to share across threads (read-only, or internally locked).
+    """
     try:
         return _WORKER_MEMO[key]
     except KeyError:
@@ -97,7 +226,7 @@ def worker_memo(key: Tuple, build: Callable[[], Any]) -> Any:
 
 def is_picklable(obj: Any) -> bool:
     """Whether ``obj`` survives a full pickle *round trip* (used to
-    gate the parallel path for user-supplied callbacks).
+    gate the process-pool path for user-supplied callbacks).
 
     Both directions matter: an object can serialize fine on the
     submitting side yet blow up in ``loads`` inside the worker process
@@ -147,31 +276,72 @@ def _run_chunk_timed(
 
 
 class TrialEngine:
-    """Fans seeded trials across a process pool, chunked to amortize
+    """Fans seeded trials across a worker pool, chunked to amortize
     pickling, merging results back in trial order.
 
     Parameters
     ----------
     jobs:
         Worker count; default from ``REPRO_JOBS`` then
-        ``os.cpu_count()``.  ``jobs=1`` never spawns a pool.
+        :func:`available_cpu_count`.  ``jobs=1`` never spawns a pool.
     chunks_per_worker:
         Target number of chunks handed to each worker (larger values
         smooth load imbalance between slow and fast trials at the cost
         of more pickling round-trips).
+    executor:
+        ``"process"`` (default; GIL-free, needs picklable work) or
+        ``"thread"`` (shared address space, no pickling constraint).
+        Default from ``REPRO_EXECUTOR``.
+    max_crash_retries:
+        Pool rebuilds tolerated per :meth:`run_trials` call before a
+        :class:`WorkerCrashError` (process executor only — threads
+        cannot vanish).
+    chunk_timeout:
+        Seconds a single chunk may run before the pool is recycled and
+        the chunk retried (None = wait forever).  With the thread
+        executor a stuck thread cannot be reclaimed, so a timeout
+        raises :class:`WorkerCrashError` immediately.
     """
 
-    def __init__(self, jobs: Optional[int] = None, chunks_per_worker: int = 4):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunks_per_worker: int = 4,
+        executor: Optional[str] = None,
+        max_crash_retries: int = 2,
+        chunk_timeout: Optional[float] = None,
+    ):
         self.jobs = resolve_jobs(jobs)
         if chunks_per_worker < 1:
             raise ValueError("chunks_per_worker must be >= 1")
         self.chunks_per_worker = chunks_per_worker
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.executor = resolve_executor(executor)
+        if max_crash_retries < 0:
+            raise ValueError("max_crash_retries must be >= 0")
+        self.max_crash_retries = int(max_crash_retries)
+        self.chunk_timeout = chunk_timeout
+        self._pool: Optional[Executor] = None
+        #: Accounting for the most recent :meth:`run_trials` call.
+        self.last_run: RunAccounting = RunAccounting(
+            executor=self.executor, jobs=self.jobs
+        )
 
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    @property
+    def requires_pickling(self) -> bool:
+        """Whether workers/payloads must survive pickling (process
+        executor); the thread executor shares the address space."""
+        return self.executor == "process"
+
+    def _ensure_pool(self) -> Executor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            if self.executor == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="repro-trial",
+                )
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
     def close(self) -> None:
@@ -179,6 +349,25 @@ class TrialEngine:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def _discard_pool(self) -> None:
+        """Abandon a broken/wedged pool without waiting on it; kill any
+        still-running process workers best-effort so a wedged chunk
+        cannot leak a spinning process."""
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if isinstance(pool, ProcessPoolExecutor):
+            procs = list(getattr(pool, "_processes", {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                try:
+                    proc.terminate()
+                except (OSError, ValueError, AttributeError):
+                    pass
+        else:  # pragma: no cover - thread pools are never discarded
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "TrialEngine":
         return self
@@ -213,13 +402,27 @@ class TrialEngine:
     ) -> List[Any]:
         """Run ``worker(payload, t)`` for ``t`` in ``range(trials)``.
 
-        ``worker`` must be a picklable module-level function taking
-        ``(payload, t)`` and returning a picklable per-trial result.
-        Results are returned in trial order regardless of which worker
-        ran which chunk, so any order-dependent merge downstream (e.g.
-        appending into :class:`TrialSeries`) is bit-identical to the
-        serial loop.
+        With the process executor, ``worker`` must be a picklable
+        module-level function taking ``(payload, t)`` and returning a
+        picklable per-trial result; the thread executor lifts the
+        pickling constraint.  Results are returned in trial order
+        regardless of which worker ran which chunk, so any
+        order-dependent merge downstream (e.g. appending into
+        :class:`TrialSeries`) is bit-identical to the serial loop.
+
+        A broken process pool (killed worker) or a chunk exceeding
+        ``chunk_timeout`` triggers transparent recovery: the pool is
+        rebuilt and every unfinished chunk resubmitted, up to
+        ``max_crash_retries`` rebuilds — then a typed
+        :class:`WorkerCrashError` naming the unfinished chunks.
+        :attr:`last_run` records the full accounting either way.
         """
+        acct = RunAccounting(
+            trials_expected=max(0, trials),
+            executor=self.executor,
+            jobs=self.jobs,
+        )
+        self.last_run = acct
         if trials <= 0:
             return []
         reg = get_registry()
@@ -230,21 +433,66 @@ class TrialEngine:
             reg.observe("trial_chunk_seconds", seconds)
             reg.inc("trial_chunks_total")
             reg.inc("trials_total", trials)
+            acct.chunks_total = 1
+            acct.trials_completed = len(out)
             return out
-        pool = self._ensure_pool()
         chunks = self.chunk_indices(trials)
-        futures = [
-            pool.submit(_run_chunk_timed, worker, payload, ts)
-            for ts in chunks
-        ]
-        out: List[Any] = []
-        for fut in futures:  # submission order == trial order
-            seconds, results = fut.result()
+        acct.chunks_total = len(chunks)
+        results: List[Optional[List[Any]]] = [None] * len(chunks)
+        futures = self._submit_chunks(worker, payload, chunks, range(len(chunks)))
+        rebuilds_left = self.max_crash_retries
+        i = 0
+        while i < len(chunks):
+            try:
+                seconds, rows = futures[i].result(timeout=self.chunk_timeout)
+            except (BrokenExecutor, FutureTimeoutError) as exc:
+                pending = [j for j in range(i, len(chunks)) if results[j] is None]
+                if self.executor == "thread" or rebuilds_left <= 0:
+                    self._discard_pool()
+                    acct.trials_completed = sum(
+                        len(r) for r in results if r is not None
+                    )
+                    raise WorkerCrashError(
+                        f"trial chunk {chunks[i][0]}..{chunks[i][-1]} failed "
+                        f"({type(exc).__name__}) and "
+                        f"{'thread workers cannot be recycled' if self.executor == 'thread' else 'crash-retry budget exhausted'}; "
+                        f"{len(pending)} chunk(s) unfinished",
+                        pending_chunks=[chunks[j] for j in pending],
+                    ) from exc
+                rebuilds_left -= 1
+                acct.pool_rebuilds += 1
+                acct.chunk_retries += len(pending)
+                reg.inc("trial_pool_rebuilds_total")
+                reg.inc("trial_chunk_retries_total", len(pending))
+                self._discard_pool()
+                fresh = self._submit_chunks(worker, payload, chunks, pending)
+                for j, fut in zip(pending, fresh):
+                    futures[j] = fut
+                continue  # re-await chunk i on the fresh pool
+            results[i] = rows
             reg.observe("trial_chunk_seconds", seconds)
             reg.inc("trial_chunks_total")
-            reg.inc("trials_total", len(results))
-            out.extend(results)
+            reg.inc("trials_total", len(rows))
+            i += 1
+        out: List[Any] = []
+        for rows in results:  # chunk order == trial order
+            assert rows is not None
+            out.extend(rows)
+        acct.trials_completed = len(out)
         return out
+
+    def _submit_chunks(
+        self,
+        worker: Callable[[Dict[str, Any], int], Any],
+        payload: Dict[str, Any],
+        chunks: Sequence[Sequence[int]],
+        which: Sequence[int],
+    ) -> List[Future]:
+        pool = self._ensure_pool()
+        return [
+            pool.submit(_run_chunk_timed, worker, payload, chunks[j])
+            for j in which
+        ]
 
     def map_ordered(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
@@ -277,36 +525,44 @@ def get_default_engine() -> TrialEngine:
 
     If one was installed explicitly (:func:`set_default_jobs` /
     :func:`engine_jobs`), that engine is returned; otherwise the
-    engine tracks ``REPRO_JOBS`` (serial when unset, so library calls
-    without an explicit ``jobs=`` never pay pool startup)."""
+    engine tracks ``REPRO_JOBS`` / ``REPRO_EXECUTOR`` (serial when
+    unset, so library calls without an explicit ``jobs=`` never pay
+    pool startup)."""
     global _default_engine
     if _default_explicit and _default_engine is not None:
         return _default_engine
     want = int(os.environ.get("REPRO_JOBS", "0") or 0) or 1
-    if _default_engine is None or _default_engine.jobs != want:
+    want_exec = resolve_executor(None)
+    if (
+        _default_engine is None
+        or _default_engine.jobs != want
+        or _default_engine.executor != want_exec
+    ):
         if _default_engine is not None:
             _default_engine.close()
-        _default_engine = TrialEngine(jobs=want)
+        _default_engine = TrialEngine(jobs=want, executor=want_exec)
     return _default_engine
 
 
-def set_default_jobs(jobs: Optional[int]) -> TrialEngine:
+def set_default_jobs(
+    jobs: Optional[int], executor: Optional[str] = None
+) -> TrialEngine:
     """Install an ambient engine with ``jobs`` workers (``None`` =
     resolve from ``REPRO_JOBS`` / CPU count) and return it."""
     global _default_engine, _default_explicit
     if _default_engine is not None:
         _default_engine.close()
-    _default_engine = TrialEngine(jobs=resolve_jobs(jobs))
+    _default_engine = TrialEngine(jobs=resolve_jobs(jobs), executor=executor)
     _default_explicit = True
     return _default_engine
 
 
 @contextmanager
-def engine_jobs(jobs: Optional[int]):
+def engine_jobs(jobs: Optional[int], executor: Optional[str] = None):
     """Temporarily install an ambient engine with ``jobs`` workers."""
     global _default_engine, _default_explicit
     prev, prev_explicit = _default_engine, _default_explicit
-    engine = TrialEngine(jobs=resolve_jobs(jobs))
+    engine = TrialEngine(jobs=resolve_jobs(jobs), executor=executor)
     _default_engine, _default_explicit = engine, True
     try:
         yield engine
@@ -315,10 +571,12 @@ def engine_jobs(jobs: Optional[int]):
         engine.close()
 
 
-def resolve_engine(jobs: Optional[int]) -> Tuple[TrialEngine, bool]:
-    """Engine for a helper call: explicit ``jobs`` spins a private
-    engine (caller-scoped, returned with ``owned=True``); ``None``
-    borrows the ambient engine."""
-    if jobs is None:
+def resolve_engine(
+    jobs: Optional[int], executor: Optional[str] = None
+) -> Tuple[TrialEngine, bool]:
+    """Engine for a helper call: explicit ``jobs`` (or ``executor``)
+    spins a private engine (caller-scoped, returned with
+    ``owned=True``); all-default borrows the ambient engine."""
+    if jobs is None and executor is None:
         return get_default_engine(), False
-    return TrialEngine(jobs=jobs), True
+    return TrialEngine(jobs=jobs, executor=executor), True

@@ -1,0 +1,52 @@
+"""Fleet-scale reliability campaigns.
+
+Turns the repro from a one-shot fault evaluator into a fleet
+testbed: stochastic fault arrival/repair processes
+(:mod:`repro.reliability.processes`) generate renewal-process fault
+timelines; the Monte Carlo campaign engine
+(:mod:`repro.reliability.campaign`) drives every sampled fault
+configuration through the PR-4 reconfiguration compiler (content-
+addressed cache and degradation ladder included) and scores survivor
+connectivity per epoch; verdicts (:mod:`repro.reliability.slo`) carry
+Wilson-interval confidence bounds.
+
+Entry points: :func:`run_campaign` (library), ``repro reliability``
+(CLI), ``make reliability-smoke`` (CI determinism gate).  See
+``docs/reliability.md``.
+"""
+
+from .campaign import CampaignConfig, CampaignReport, run_campaign
+from .processes import (
+    ArrivalProcess,
+    DeterministicRepair,
+    ExponentialRepair,
+    FaultTimeline,
+    FaultTransition,
+    PoissonProcess,
+    RepairModel,
+    WeibullProcess,
+    arrival_process,
+    generate_timeline,
+    repair_model,
+)
+from .slo import SLOTarget, SLOVerdict, wilson_interval
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "WeibullProcess",
+    "RepairModel",
+    "DeterministicRepair",
+    "ExponentialRepair",
+    "FaultTransition",
+    "FaultTimeline",
+    "generate_timeline",
+    "arrival_process",
+    "repair_model",
+    "SLOTarget",
+    "SLOVerdict",
+    "wilson_interval",
+    "CampaignConfig",
+    "CampaignReport",
+    "run_campaign",
+]

@@ -1,0 +1,396 @@
+"""Stochastic fault arrival and repair processes.
+
+The paper's evaluation (Section 8) measures lamb counts against
+*one-shot* fault sets: kill ``f`` nodes, reconfigure once, count the
+lambs.  A fleet does not fail that way — routers die at a *rate* and
+get repaired with an MTTR, so the machine's fault set is a renewal
+process over time.  This module supplies the stochastic layer:
+
+- :class:`PoissonProcess` / :class:`WeibullProcess` — inter-arrival
+  distributions for fault *arrivals* (Poisson is the classic constant
+  hazard; Weibull's ``shape`` bends the hazard for infant-mortality
+  ``shape < 1`` or wear-out ``shape > 1`` fleets, the model
+  arXiv:1301.5993 assumes for router failures);
+- :class:`DeterministicRepair` / :class:`ExponentialRepair` — MTTR
+  models for the repair side;
+- :func:`generate_timeline` — an event-driven sampler that turns one
+  ``(arrival, repair)`` pair into a :class:`FaultTimeline`: a sorted
+  sequence of fail/repair :class:`FaultTransition`\\ s over a horizon,
+  with the piecewise-constant down-set exposed via
+  :meth:`FaultTimeline.intervals`;
+- :meth:`FaultTimeline.to_fault_schedule` — the bridge to the PR-1
+  :class:`~repro.wormhole.chaos.ChaosEngine`: fail transitions become
+  time-stamped :class:`~repro.wormhole.chaos.FaultEvent`\\ s (the live
+  simulator has no repair notion — hardware stays dead — so repairs
+  are dropped in the translation and only matter to the availability
+  estimator).
+
+Determinism contract: every draw comes from the caller's seeded
+``np.random.Generator`` in a *fixed order* per fault (inter-arrival,
+then victim, then repair duration), so a timeline is a pure function
+of ``(process parameters, seed)`` — the campaign layer derives that
+generator from ``(seed, tag, t)`` exactly like every other trial in
+the repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mesh.geometry import Mesh, Node
+from ..wormhole.chaos import FaultEvent, FaultSchedule
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "WeibullProcess",
+    "RepairModel",
+    "DeterministicRepair",
+    "ExponentialRepair",
+    "FaultTransition",
+    "FaultTimeline",
+    "generate_timeline",
+    "arrival_process",
+    "repair_model",
+]
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+class ArrivalProcess:
+    """Inter-arrival distribution of fault events (renewal process)."""
+
+    def sample_interarrival(self, rng: np.random.Generator) -> float:
+        """One inter-arrival time (time units > 0)."""
+        raise NotImplementedError
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Analytic mean inter-arrival time (the design MTTF input)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonProcess(ArrivalProcess):
+    """Constant-hazard arrivals: exponential inter-arrival at ``rate``
+    faults per time unit (the memoryless baseline)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.rate > 0.0:
+            raise ValueError(f"Poisson rate must be > 0, got {self.rate}")
+
+    def sample_interarrival(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    @property
+    def mean_interarrival(self) -> float:
+        return 1.0 / self.rate
+
+
+@dataclass(frozen=True)
+class WeibullProcess(ArrivalProcess):
+    """Weibull inter-arrival: ``scale * W(shape)``.
+
+    ``shape < 1`` models infant mortality (hazard decays), ``shape > 1``
+    wear-out (hazard grows), ``shape == 1`` degenerates to Poisson with
+    rate ``1/scale``.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if not self.shape > 0.0:
+            raise ValueError(f"Weibull shape must be > 0, got {self.shape}")
+        if not self.scale > 0.0:
+            raise ValueError(f"Weibull scale must be > 0, got {self.scale}")
+
+    def sample_interarrival(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    @property
+    def mean_interarrival(self) -> float:
+        from math import gamma
+
+        return self.scale * gamma(1.0 + 1.0 / self.shape)
+
+
+# ----------------------------------------------------------------------
+# Repair models
+# ----------------------------------------------------------------------
+class RepairModel:
+    """Time-to-repair distribution for a failed node."""
+
+    def sample_repair(self, rng: np.random.Generator) -> float:
+        """One repair duration (time units >= 0)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DeterministicRepair(RepairModel):
+    """Fixed MTTR: every repair takes exactly ``mttr`` time units
+    (``mttr = inf`` means faults are permanent — the paper's one-shot
+    regime recovered as a special case)."""
+
+    mttr: float
+
+    def __post_init__(self) -> None:
+        if not self.mttr >= 0.0:
+            raise ValueError(f"MTTR must be >= 0, got {self.mttr}")
+
+    def sample_repair(self, rng: np.random.Generator) -> float:
+        return float(self.mttr)
+
+
+@dataclass(frozen=True)
+class ExponentialRepair(RepairModel):
+    """Exponential time-to-repair with mean ``mttr``."""
+
+    mttr: float
+
+    def __post_init__(self) -> None:
+        if not self.mttr > 0.0:
+            raise ValueError(f"MTTR must be > 0, got {self.mttr}")
+
+    def sample_repair(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mttr))
+
+
+def arrival_process(
+    kind: str, rate: float = 1.0, shape: float = 1.0, scale: float = 1.0
+) -> ArrivalProcess:
+    """CLI/config factory: ``"poisson"`` (uses ``rate``) or
+    ``"weibull"`` (uses ``shape``/``scale``)."""
+    if kind == "poisson":
+        return PoissonProcess(rate=rate)
+    if kind == "weibull":
+        return WeibullProcess(shape=shape, scale=scale)
+    raise ValueError(
+        f"unknown arrival process {kind!r}; expected 'poisson' or 'weibull'"
+    )
+
+
+def repair_model(kind: str, mttr: float) -> RepairModel:
+    """CLI/config factory: ``"deterministic"`` or ``"exponential"``."""
+    if kind == "deterministic":
+        return DeterministicRepair(mttr=mttr)
+    if kind == "exponential":
+        return ExponentialRepair(mttr=mttr)
+    raise ValueError(
+        f"unknown repair model {kind!r}; expected 'deterministic' or "
+        "'exponential'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Timelines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultTransition:
+    """One state change: node ``node`` fails or is repaired at ``time``."""
+
+    time: float
+    node: Node
+    kind: str  # "fail" | "repair"
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ValueError("transitions cannot predate t=0")
+        if self.kind not in ("fail", "repair"):
+            raise ValueError(f"unknown transition kind {self.kind!r}")
+        object.__setattr__(
+            self, "node", tuple(int(x) for x in self.node)
+        )
+
+
+class FaultTimeline:
+    """A sampled fail/repair history over ``[0, horizon]``.
+
+    ``transitions`` are time-sorted (repairs before fails at equal
+    times, so an instantly re-failed node stays down for the zero-width
+    instant rather than flickering up).  ``interarrivals`` and
+    ``repair_durations`` keep the *sampled* values — including repairs
+    truncated by the horizon — so observed MTTF/MTTR estimates are not
+    biased by the observation window's edge.
+    """
+
+    __slots__ = ("transitions", "horizon", "interarrivals", "repair_durations")
+
+    def __init__(
+        self,
+        transitions: Iterable[FaultTransition],
+        horizon: float,
+        interarrivals: Sequence[float] = (),
+        repair_durations: Sequence[float] = (),
+    ):
+        if not horizon > 0.0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        self.horizon = float(horizon)
+        order = {"repair": 0, "fail": 1}
+        self.transitions: Tuple[FaultTransition, ...] = tuple(
+            sorted(
+                transitions,
+                key=lambda tr: (tr.time, order[tr.kind], tr.node),
+            )
+        )
+        for tr in self.transitions:
+            if tr.time > self.horizon:
+                raise ValueError(
+                    f"transition at t={tr.time} beyond horizon {self.horizon}"
+                )
+        self.interarrivals: Tuple[float, ...] = tuple(
+            float(x) for x in interarrivals
+        )
+        self.repair_durations: Tuple[float, ...] = tuple(
+            float(x) for x in repair_durations
+        )
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    def __iter__(self) -> Iterator[FaultTransition]:
+        return iter(self.transitions)
+
+    @property
+    def num_faults(self) -> int:
+        return sum(1 for tr in self.transitions if tr.kind == "fail")
+
+    @property
+    def num_repairs(self) -> int:
+        return sum(1 for tr in self.transitions if tr.kind == "repair")
+
+    @property
+    def observed_mttf(self) -> Optional[float]:
+        """Mean sampled inter-arrival time (None with no arrivals)."""
+        if not self.interarrivals:
+            return None
+        return sum(self.interarrivals) / len(self.interarrivals)
+
+    @property
+    def observed_mttr(self) -> Optional[float]:
+        """Mean sampled repair duration (None with no repairs)."""
+        if not self.repair_durations:
+            return None
+        return sum(self.repair_durations) / len(self.repair_durations)
+
+    # ------------------------------------------------------------------
+    def intervals(self) -> Iterator[Tuple[float, float, Tuple[Node, ...]]]:
+        """Piecewise-constant down-set: yields ``(t0, t1, down_nodes)``
+        covering ``[0, horizon]`` with ``down_nodes`` sorted; zero-width
+        pieces (coincident transitions) are skipped."""
+        down: set = set()
+        t0 = 0.0
+        i = 0
+        n = len(self.transitions)
+        while i <= n:
+            t1 = self.transitions[i].time if i < n else self.horizon
+            if t1 > t0:
+                yield t0, t1, tuple(sorted(down))
+                t0 = t1
+            if i == n:
+                break
+            tr = self.transitions[i]
+            if tr.kind == "fail":
+                down.add(tr.node)
+            else:
+                down.discard(tr.node)
+            i += 1
+
+    def to_fault_schedule(
+        self, cycles_per_unit: float = 1000.0, start_cycle: int = 20
+    ) -> FaultSchedule:
+        """Translate fail transitions into a simulator
+        :class:`~repro.wormhole.chaos.FaultSchedule`.
+
+        One timeline unit maps to ``cycles_per_unit`` simulator cycles,
+        offset by ``start_cycle`` so the earliest fault lands after the
+        simulator's initial-route warmup (matching the default
+        ``cycle_span`` floor of ``FaultSchedule.random``).  Repairs are
+        dropped: the live simulator models hardware as staying dead,
+        and repairs only matter to the availability estimator.
+        """
+        if not cycles_per_unit > 0.0:
+            raise ValueError(
+                f"cycles_per_unit must be > 0, got {cycles_per_unit}"
+            )
+        events = [
+            FaultEvent(
+                start_cycle + int(tr.time * cycles_per_unit), (tr.node,), ()
+            )
+            for tr in self.transitions
+            if tr.kind == "fail"
+        ]
+        return FaultSchedule(events)
+
+
+def generate_timeline(
+    mesh: Mesh,
+    arrival: ArrivalProcess,
+    repair: RepairModel,
+    horizon: float,
+    rng: np.random.Generator,
+    avoid: Iterable[Sequence[int]] = (),
+) -> FaultTimeline:
+    """Sample one fail/repair timeline for ``mesh`` over ``[0, horizon]``.
+
+    Event-driven renewal sampling with a *fixed draw order* per fault —
+    inter-arrival gap, then victim (an index into the currently-healthy
+    node list in mesh enumeration order), then repair duration — so the
+    timeline is a pure function of the processes and the generator's
+    seed.  Victims are drawn among nodes currently up and outside
+    ``avoid``; a fault arriving while every node is down consumes its
+    draws and is skipped (the fleet cannot lose a node it no longer
+    has).  Repairs completing after the horizon are clipped (the node
+    stays down to the edge of the observation window) but their sampled
+    duration still lands in ``repair_durations``.
+    """
+    if not horizon > 0.0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    taken = {tuple(int(x) for x in v) for v in avoid}
+    nodes: List[Node] = [v for v in mesh.nodes() if v not in taken]
+    down: set = set()
+    pending: List[Tuple[float, Node]] = []  # (repair time, node)
+    transitions: List[FaultTransition] = []
+    interarrivals: List[float] = []
+    repair_durations: List[float] = []
+    t = 0.0
+    while True:
+        gap = arrival.sample_interarrival(rng)
+        t += gap
+        if t >= horizon:
+            break
+        interarrivals.append(gap)
+        # Apply repairs that completed before this arrival.
+        matured = sorted(p for p in pending if p[0] <= t)
+        for when, node in matured:
+            down.discard(node)
+            transitions.append(FaultTransition(when, node, "repair"))
+        pending = [p for p in pending if p[0] > t]
+        healthy = [v for v in nodes if v not in down]
+        if not healthy:
+            # Nothing left to kill; still consume the victim/repair
+            # draws so the stream stays aligned across parameterizations.
+            rng.integers(1)
+            repair.sample_repair(rng)
+            continue
+        victim = healthy[int(rng.integers(len(healthy)))]
+        duration = repair.sample_repair(rng)
+        repair_durations.append(duration)
+        down.add(victim)
+        transitions.append(FaultTransition(t, victim, "fail"))
+        back = t + duration
+        if back < horizon:
+            pending.append((back, victim))
+    for when, node in sorted(pending):
+        transitions.append(FaultTransition(when, node, "repair"))
+    return FaultTimeline(
+        transitions, horizon,
+        interarrivals=interarrivals,
+        repair_durations=repair_durations,
+    )

@@ -1,0 +1,152 @@
+"""Availability-SLO targets, verdicts, and Wilson confidence bounds.
+
+A reliability campaign estimates the probability that the machine is
+"up" — reconfigured with the surviving fabric still connected above a
+floor — from a finite number of sampled epochs.  A point estimate
+alone overstates what ``n`` trials can support, so verdicts carry a
+Wilson score interval: unlike the naive normal approximation it stays
+inside ``[0, 1]`` and behaves sensibly at the extremes that matter
+here (availability near 1, small samples).
+
+SLO semantics ("sustains λ faults/kcycle at 99.9% connectivity"):
+
+- an epoch is **up** when the compile succeeded and survivor
+  connectivity — the largest connected component of non-faulty,
+  non-lamb nodes, as a fraction of the full machine — meets
+  ``SLOTarget.connectivity``;
+- **availability** is the time-weighted fraction of the horizon spent
+  up, pooled across trials;
+- the verdict is a *confident pass* only when the Wilson lower bound
+  clears ``SLOTarget.availability``, a *confident fail* when the upper
+  bound misses it, and inconclusive in between (run more trials).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["wilson_interval", "SLOTarget", "SLOVerdict"]
+
+
+def wilson_interval(
+    successes: int, total: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(lower, upper)``; with ``total == 0`` the data say
+    nothing and the interval is the vacuous ``(0.0, 1.0)``.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if successes < 0 or successes > total:
+        raise ValueError(
+            f"successes must be in [0, total], got {successes}/{total}"
+        )
+    if z <= 0.0:
+        raise ValueError(f"z must be > 0, got {z}")
+    if total == 0:
+        return 0.0, 1.0
+    p = successes / total
+    z2 = z * z
+    denom = 1.0 + z2 / total
+    centre = p + z2 / (2.0 * total)
+    spread = z * math.sqrt(
+        p * (1.0 - p) / total + z2 / (4.0 * total * total)
+    )
+    lo = (centre - spread) / denom
+    hi = (centre + spread) / denom
+    return max(0.0, lo), min(1.0, hi)
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """The bar a campaign is judged against.
+
+    ``connectivity`` is the per-epoch survivor-connectivity floor (an
+    epoch below it is down); ``availability`` is the required
+    time-weighted fraction of up-time.
+    """
+
+    connectivity: float = 0.999
+    availability: float = 0.999
+
+    def __post_init__(self) -> None:
+        for name in ("connectivity", "availability"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(
+                    f"{name} SLO must be in (0, 1], got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """Measured availability against a target, with Wilson bounds.
+
+    ``met`` is the point-estimate comparison; ``confident_pass`` /
+    ``confident_fail`` fold in the sampling uncertainty (both False
+    means the sample is too small to call — run more trials).
+    """
+
+    target: SLOTarget
+    availability: float
+    lower: float
+    upper: float
+    epochs_up: int
+    epochs_total: int
+
+    @property
+    def met(self) -> bool:
+        return self.availability >= self.target.availability
+
+    @property
+    def confident_pass(self) -> bool:
+        return self.lower >= self.target.availability
+
+    @property
+    def confident_fail(self) -> bool:
+        return self.upper < self.target.availability
+
+    @property
+    def conclusive(self) -> bool:
+        return self.confident_pass or self.confident_fail
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "target": {
+                "connectivity": self.target.connectivity,
+                "availability": self.target.availability,
+            },
+            "availability": round(self.availability, 9),
+            "wilson_lower": round(self.lower, 9),
+            "wilson_upper": round(self.upper, 9),
+            "epochs_up": self.epochs_up,
+            "epochs_total": self.epochs_total,
+            "met": self.met,
+            "confident_pass": self.confident_pass,
+            "confident_fail": self.confident_fail,
+            "conclusive": self.conclusive,
+        }
+
+    @classmethod
+    def judge(
+        cls,
+        target: SLOTarget,
+        availability: float,
+        epochs_up: int,
+        epochs_total: int,
+        z: float = 1.96,
+    ) -> "SLOVerdict":
+        """Build a verdict: availability is the time-weighted estimate,
+        the Wilson interval comes from the epoch up/total counts."""
+        lo, hi = wilson_interval(epochs_up, epochs_total, z=z)
+        return cls(
+            target=target,
+            availability=availability,
+            lower=lo,
+            upper=hi,
+            epochs_up=epochs_up,
+            epochs_total=epochs_total,
+        )

@@ -4,7 +4,12 @@ import math
 
 import pytest
 
-from repro.analysis import capacity_timeline, effective_utilization, young_interval
+from repro.analysis import (
+    capacity_from_events,
+    capacity_timeline,
+    effective_utilization,
+    young_interval,
+)
 
 
 class TestYoungInterval:
@@ -18,6 +23,27 @@ class TestYoungInterval:
             young_interval(0, 100)
         with pytest.raises(ValueError):
             young_interval(10, -1)
+
+    def test_zero_mtbf_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            young_interval(10, 0)
+
+    def test_negative_mtbf_rejected_with_typed_message(self):
+        with pytest.raises(ValueError, match="mtbf=-5"):
+            young_interval(10, -5)
+
+    def test_checkpoint_cost_must_be_under_half_mtbf(self):
+        # The approximation's validity region is now enforced, not
+        # "checked loosely": C >= MTBF/2 is a typed error instead of a
+        # meaningless interval.
+        with pytest.raises(ValueError, match="mtbf/2"):
+            young_interval(50, 100)
+        with pytest.raises(ValueError, match="mtbf/2"):
+            young_interval(51, 100)
+        # Just inside the region is fine.
+        assert young_interval(49, 100) == pytest.approx(
+            math.sqrt(2 * 49 * 100)
+        )
 
 
 class TestUtilization:
@@ -69,3 +95,44 @@ class TestCapacityTimeline:
             capacity_timeline(0, 1, 1, 1, 0.1)
         with pytest.raises(ValueError):
             capacity_timeline(10, 1, 1, 1, -0.5)
+
+
+class TestCapacityFromEvents:
+    def test_fault_and_repair_roundtrip(self):
+        tl = capacity_from_events(
+            100, [(0.0, 1), (1.0, 2), (2.0, -1)], lamb_per_fault=0.0
+        )
+        assert tl == [(0.0, 0.99), (1.0, 0.97), (2.0, 0.98)]
+
+    def test_lamb_share_applied_and_returned(self):
+        tl = capacity_from_events(100, [(0.5, 10), (1.5, -10)],
+                                  lamb_per_fault=0.1)
+        assert tl[0] == (0.5, pytest.approx(1 - 11 / 100))
+        assert tl[1] == (1.5, pytest.approx(1.0))
+
+    def test_clamped_to_unit_interval(self):
+        tl = capacity_from_events(4, [(0.0, 10), (1.0, -20)])
+        assert tl[0][1] == 0.0
+        assert tl[1][1] == 1.0
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            capacity_from_events(10, [])
+
+    def test_unsorted_events_rejected(self):
+        # An unsorted list used to be the caller's silent problem; now
+        # it is a typed error naming the fix.
+        with pytest.raises(ValueError, match="sorted"):
+            capacity_from_events(10, [(2.0, 1), (1.0, 1)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            capacity_from_events(10, [(-1.0, 1)])
+
+    def test_bad_num_nodes_rejected(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            capacity_from_events(0, [(0.0, 1)])
+
+    def test_negative_lamb_share_rejected(self):
+        with pytest.raises(ValueError, match="lamb_per_fault"):
+            capacity_from_events(10, [(0.0, 1)], lamb_per_fault=-0.1)

@@ -10,6 +10,8 @@ plumbing (worker resolution, chunking, ambient installation).
 """
 
 import os
+import signal
+import time
 
 import pytest
 
@@ -21,9 +23,12 @@ from repro.experiments.generate import generate
 from repro.experiments.harness import SweepResult, TrialSeries, lamb_trials
 from repro.experiments.parallel import (
     TrialEngine,
+    WorkerCrashError,
+    available_cpu_count,
     engine_jobs,
     get_default_engine,
     is_picklable,
+    resolve_executor,
     resolve_jobs,
     set_default_jobs,
     worker_memo,
@@ -45,6 +50,34 @@ def _deterministic(series: TrialSeries):
 
 def _sweep_deterministic(result: SweepResult):
     return [(s.x, _deterministic(s)) for s in result.series]
+
+
+class TestResolveExecutor:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        assert resolve_executor("process") == "process"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        assert resolve_executor(None) == "thread"
+
+    def test_default_is_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert resolve_executor(None) == "process"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gevent")
+
+    def test_available_cpu_count_positive(self):
+        n = available_cpu_count()
+        assert isinstance(n, int) and n >= 1
+
+    def test_requires_pickling_tracks_backend(self):
+        with TrialEngine(jobs=1, executor="process") as eng:
+            assert eng.requires_pickling
+        with TrialEngine(jobs=1, executor="thread") as eng:
+            assert not eng.requires_pickling
 
 
 class TestResolveJobs:
@@ -143,6 +176,148 @@ class _BrokenGetstate:
 
     def __getstate__(self):
         return 1 // 0
+
+
+def _crash_once_worker(payload, t):
+    """Kills its own worker process the first time it sees the victim
+    trial (a sentinel file distinguishes the attempts); computes
+    normally on retry.  Simulates a transient worker crash."""
+    sentinel = os.path.join(payload["dir"], "crashed")
+    if t == payload["victim"] and not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload["base"] + t
+
+
+def _always_crash_worker(payload, t):
+    """Kills the worker on the victim trial, every attempt."""
+    if t == payload["victim"]:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return t
+
+
+def _stall_once_worker(payload, t):
+    """Wedges (sleeps far past the chunk timeout) the first time it
+    sees the victim trial; fast on retry."""
+    sentinel = os.path.join(payload["dir"], "stalled")
+    if t == payload["victim"] and not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        time.sleep(payload["stall"])
+    return t
+
+
+def _sleep_worker(payload, t):
+    time.sleep(payload["sleep"])
+    return t
+
+
+class TestThreadExecutor:
+    def test_thread_results_match_serial(self):
+        with TrialEngine(jobs=1) as eng:
+            serial = eng.run_trials(_echo_worker, 9, {"base": 10})
+        with TrialEngine(jobs=3, executor="thread") as eng:
+            fanned = eng.run_trials(_echo_worker, 9, {"base": 10})
+        assert serial == fanned == [10 + t for t in range(9)]
+
+    def test_thread_pool_runs_unpicklable_workers(self):
+        # The thread executor shares the address space, so a closure —
+        # which the process path must refuse — fans out fine.
+        seen = []
+
+        def worker(payload, t):
+            seen.append(t)
+            return t * 2
+
+        with TrialEngine(jobs=2, executor="thread") as eng:
+            out = eng.run_trials(worker, 6, {})
+        assert out == [t * 2 for t in range(6)]
+        assert sorted(seen) == list(range(6))
+
+    def test_lamb_trials_fan_unpicklable_extra_over_threads(self):
+        # With an ambient *thread* engine the harness keeps the
+        # parallel path even for an unpicklable callback (the process
+        # path would fall back serially).
+        mesh = Mesh.square(2, 10)
+
+        def extra(r):
+            return {"twice": 2.0 * len(r.lambs)}
+
+        serial = lamb_trials(mesh, 4, trials=4, seed=1, jobs=1, extra=extra)
+        with engine_jobs(3, executor="thread"):
+            fanned = lamb_trials(mesh, 4, trials=4, seed=1, extra=extra)
+        assert _deterministic(serial) == _deterministic(fanned)
+        assert "twice" in fanned.values
+
+
+class TestAccounting:
+    def test_serial_run_is_accounted(self):
+        with TrialEngine(jobs=1) as eng:
+            eng.run_trials(_echo_worker, 5, {"base": 0})
+            acct = eng.last_run
+        assert acct.trials_expected == acct.trials_completed == 5
+        assert acct.chunks_total == 1
+        assert acct.all_accounted
+        assert acct.as_dict()["all_accounted"] is True
+
+    def test_parallel_run_is_accounted(self):
+        with TrialEngine(jobs=2, executor="thread") as eng:
+            eng.run_trials(_echo_worker, 10, {"base": 0})
+            acct = eng.last_run
+            assert acct.chunks_total == len(eng.chunk_indices(10))
+        assert acct.all_accounted and acct.trials_completed == 10
+        assert acct.pool_rebuilds == 0 and acct.chunk_retries == 0
+        assert acct.executor == "thread" and acct.jobs == 2
+
+
+class TestCrashRecovery:
+    def test_killed_worker_chunk_is_retried_not_lost(self, tmp_path):
+        """ISSUE acceptance: a worker killed mid-chunk must not lose
+        or double-count any trial — the chunk is retried on a fresh
+        pool and every trial lands exactly once, in order."""
+        payload = {"dir": str(tmp_path), "victim": 0, "base": 50}
+        with TrialEngine(jobs=2, executor="process") as eng:
+            out = eng.run_trials(_crash_once_worker, 8, payload)
+            acct = eng.last_run
+        assert out == [50 + t for t in range(8)]
+        assert acct.all_accounted
+        assert acct.pool_rebuilds >= 1
+        assert acct.chunk_retries >= 1
+
+    def test_persistent_crash_raises_typed_error(self):
+        with TrialEngine(
+            jobs=2, executor="process", max_crash_retries=1
+        ) as eng:
+            with pytest.raises(WorkerCrashError) as err:
+                eng.run_trials(_always_crash_worker, 8, {"victim": 0})
+        # Nothing silently dropped: the error names the unfinished
+        # chunks, and the accounting shows the shortfall.
+        pending = [t for ts in err.value.pending_chunks for t in ts]
+        assert 0 in pending
+        assert not eng.last_run.all_accounted
+        assert eng.last_run.pool_rebuilds == 1
+
+    def test_wedged_chunk_times_out_and_retries(self, tmp_path):
+        payload = {"dir": str(tmp_path), "victim": 0, "stall": 60.0}
+        with TrialEngine(
+            jobs=2, executor="process", chunk_timeout=3.0
+        ) as eng:
+            out = eng.run_trials(_stall_once_worker, 6, payload)
+            acct = eng.last_run
+        assert out == list(range(6))
+        assert acct.all_accounted
+        assert acct.pool_rebuilds >= 1
+
+    def test_thread_timeout_is_fatal(self):
+        # A stuck thread cannot be reclaimed, so the timeout surfaces
+        # immediately as the typed error instead of a retry loop.
+        with TrialEngine(
+            jobs=2, executor="thread", chunk_timeout=0.1
+        ) as eng:
+            with pytest.raises(WorkerCrashError, match="thread"):
+                eng.run_trials(_sleep_worker, 4, {"sleep": 1.0})
+        assert not eng.last_run.all_accounted
 
 
 class TestBitIdenticalSweeps:

@@ -162,6 +162,46 @@ class TestParallelClosure:
         )
         assert self.check(src) == []
 
+    def test_flags_lambda_bound_name_even_at_module_level(self):
+        # A module-level ``name = lambda`` is just as unpicklable as a
+        # nested def: pickle resolves functions by qualified name and
+        # ``<lambda>`` never resolves.
+        src = (
+            "worker = lambda p, t: t\n"
+            "def sweep(engine):\n"
+            "    return engine.run_trials(worker, 4, {})\n"
+        )
+        assert self.check(src) == ["REP105"]
+
+    def test_flags_annotated_lambda_binding(self):
+        src = (
+            "def sweep(engine):\n"
+            "    worker: object = lambda p, t: t\n"
+            "    return engine.run_trials(worker, 4, {})\n"
+        )
+        assert self.check(src) == ["REP105"]
+
+    def test_flags_executor_submit_and_map(self):
+        # The raw concurrent.futures surface ships workers to process
+        # pools exactly like the trial engine does.
+        assert self.check("pool.submit(lambda: 1)\n") == ["REP105"]
+        assert self.check("pool.map(lambda x: x, items)\n") == ["REP105"]
+
+    def test_plain_builtin_map_is_clean(self):
+        # Only attribute calls (``pool.map``) are pool hand-offs; the
+        # builtin ``map`` stays in-process.
+        assert self.check("out = list(map(str, [1, 2]))\n") == []
+
+    def test_def_rebinding_is_clean(self):
+        src = (
+            "def worker(p, t):\n"
+            "    return t\n"
+            "alias = worker\n"
+            "def sweep(engine):\n"
+            "    return engine.run_trials(alias, 4, {})\n"
+        )
+        assert self.check(src) == []
+
 
 # ----------------------------------------------------------------------
 # Engine behavior: suppression, syntax errors, determinism, formats
