@@ -1,12 +1,15 @@
 """Machine-readable perf-regression harness.
 
 Runs a small curated benchmark subset — the lamb pipeline, the
-reachability product kernel, the wormhole simulator under saturation,
-the seeded chaos scenario, the parallel trial engine, and the
-route-query service data path — and writes ``BENCH_<date>.json`` rows
-of ``{bench, mesh, wall_s, cycles_per_s / trials_per_s /
-queries_per_s}``.  A comparator mode diffs a fresh run against the
-latest committed baseline and fails on a >25% wall-clock regression.
+reachability product kernel (dense and bit-packed), the wormhole
+simulator under saturation (frontier and vector engines), the seeded
+chaos scenario, the parallel trial engine, and the route-query service
+data path — and writes ``BENCH_<date>.json`` rows of ``{bench, mesh,
+wall_s, cycles_per_s / trials_per_s / queries_per_s}``.  A comparator
+mode diffs a fresh run against the latest committed baseline and fails
+on a >25% wall-clock regression; rows with an embedded oracle
+``speedup`` ratio (bitpack vs dense, vector vs frontier) must
+additionally stay above ``SPEEDUP_FLOOR`` on every host.
 
 Usage (from the repo root, ``PYTHONPATH=src``)::
 
@@ -52,6 +55,13 @@ from repro.wormhole.simulator import WormholeSimulator
 #: slower than the committed baseline.
 REGRESSION_TOLERANCE = 0.25
 
+#: Acceptance floor for rows that embed a ``speedup`` field (packed vs
+#: dense products, vector vs frontier engine): the optimized path must
+#: stay at least this many times faster than its oracle — a host-
+#: independent ratio, so it is enforced even when wall-clock
+#: comparisons are skipped.
+SPEEDUP_FLOOR = 5.0
+
 SCHEMA_VERSION = 1
 
 
@@ -95,6 +105,51 @@ def _bench_reachability_product() -> Dict[str, object]:
             "wall_s": wall, "trials_per_s": 1.0 / wall}
 
 
+def _bench_reachability_bitpack() -> Dict[str, object]:
+    """Bit-packed R·I·R product chain vs the dense-bool oracle at
+    paper-scale p = (2d-1)f + 1 on M3(32), f = 160.  Both chains are
+    computed on the same operands; the row embeds the dense wall time
+    and the packed/dense ``speedup`` (the comparator requires >= 5x)
+    and asserts bit-identical results."""
+    import scipy.sparse as sp
+
+    from repro.core.reachability import (
+        PackedBoolMatrix, bool_matmul, packed_bool_matmul,
+    )
+
+    mesh = Mesh.square(3, 32)
+    f = 160
+    faults = random_node_faults(mesh, f, np.random.default_rng(1))
+    index = LineFaultIndex(faults)
+    rng = np.random.default_rng(2)
+    good = np.array(
+        [v for v in mesh.nodes() if not faults.node_is_faulty(tuple(v))],
+        dtype=np.int64,
+    )
+    p = (2 * mesh.d - 1) * f + 1
+    S = good[rng.choice(good.shape[0], size=p, replace=False)]
+    D = good[rng.choice(good.shape[0], size=p, replace=False)]
+    R = one_round_reachability_matrix(index, xyz(), S, D)
+    I_dense = np.zeros((p, p), dtype=bool)
+    idx = rng.integers(0, p, size=(p * 3, 2))
+    I_dense[idx[:, 0], idx[:, 1]] = True
+    np.fill_diagonal(I_dense, True)
+    I = sp.csr_matrix(I_dense)
+
+    t0 = time.perf_counter()
+    expect = bool_matmul(bool_matmul(R, I), R)
+    dense_wall = time.perf_counter() - t0
+
+    Rp = PackedBoolMatrix.pack(R)
+    t0 = time.perf_counter()
+    got = packed_bool_matmul(packed_bool_matmul(Rp, I), Rp).unpack()
+    wall = time.perf_counter() - t0
+    assert np.array_equal(got, expect)
+    return {"bench": "reachability_bitpack", "mesh": f"M3(32) p=q={p}",
+            "wall_s": wall, "trials_per_s": 1.0 / wall,
+            "dense_wall_s": dense_wall, "speedup": dense_wall / wall}
+
+
 def _bench_sim_saturation() -> Dict[str, object]:
     """Wormhole simulator (frontier engine) under staggered uniform
     traffic on a fault-free M2(16): 400 messages x 8 flits."""
@@ -111,6 +166,47 @@ def _bench_sim_saturation() -> Dict[str, object]:
     wall = time.perf_counter() - t0
     return {"bench": "sim_saturation", "mesh": "M2(16) 400 msgs",
             "wall_s": wall, "cycles_per_s": sim.cycle / wall}
+
+
+def _bench_sim_saturation_vector() -> Dict[str, object]:
+    """Vector engine on its home-turf workload — high concurrency, low
+    contention: VC-layered row streams on a fault-free M2(32) (32 rows
+    x 8 virtual channels, 31-hop explicit routes, 16 flits, 10 waves
+    staggered 50 cycles = 2560 messages).  The same workload runs
+    through the frontier oracle; the row embeds the frontier wall time
+    and the ``speedup`` (the comparator requires >= 5x) and asserts
+    the two engines produce identical stats."""
+    from repro.wormhole.packets import Hop
+
+    def build(engine: str) -> WormholeSimulator:
+        mesh = Mesh.square(2, 32)
+        sim = WormholeSimulator(FaultSet(mesh), repeated(xy(), 2), seed=0,
+                                engine=engine, num_vcs=8)
+        side, vcs, flits, waves, stagger = 32, 8, 16, 10, 50
+        for w in range(waves):
+            for y in range(side):
+                path = [(x, y) for x in range(side)]
+                for vc in range(vcs):
+                    hops = [Hop(u, v, vc) for u, v in zip(path, path[1:])]
+                    sim.send(path[0], path[-1], num_flits=flits, hops=hops,
+                             inject_cycle=w * stagger)
+        return sim
+
+    frontier = build("frontier")
+    t0 = time.perf_counter()
+    frontier_stats = frontier.run(max_cycles=200_000)
+    frontier_wall = time.perf_counter() - t0
+
+    vector = build("vector")
+    t0 = time.perf_counter()
+    vector_stats = vector.run(max_cycles=200_000)
+    wall = time.perf_counter() - t0
+    assert vector_stats == frontier_stats
+    assert vector.cycle == frontier.cycle
+    return {"bench": "sim_saturation_vector", "mesh": "M2(32) 2560 msgs",
+            "wall_s": wall, "cycles_per_s": vector.cycle / wall,
+            "frontier_wall_s": frontier_wall,
+            "speedup": frontier_wall / wall}
 
 
 def _bench_chaos_smoke() -> Dict[str, object]:
@@ -246,7 +342,9 @@ def _bench_service_throughput() -> Dict[str, object]:
 BENCHES: Tuple[Callable[[], Dict[str, object]], ...] = (
     _bench_lamb_pipeline,
     _bench_reachability_product,
+    _bench_reachability_bitpack,
     _bench_sim_saturation,
+    _bench_sim_saturation_vector,
     _bench_chaos_smoke,
     _bench_trial_engine,
     _bench_trial_engine_threads,
@@ -287,9 +385,13 @@ def run_benches(repeats: int = 3) -> List[Dict[str, object]]:
             if best is None or row["wall_s"] < best["wall_s"]:
                 best = row
         best["wall_s"] = round(float(best["wall_s"]), 6)
-        for key in ("cycles_per_s", "trials_per_s", "queries_per_s"):
+        for key in ("cycles_per_s", "trials_per_s", "queries_per_s",
+                    "speedup"):
             if key in best:
                 best[key] = round(float(best[key]), 3)
+        for key in ("dense_wall_s", "frontier_wall_s"):
+            if key in best:
+                best[key] = round(float(best[key]), 6)
         rows.append(best)
         print(f"  {best['bench']:<22} {best['mesh']:<18} "
               f"{best['wall_s']:>9.3f} s", file=sys.stderr)
@@ -337,6 +439,20 @@ def compare(
     return regressions, notes
 
 
+def check_speedups(
+    rows: List[Dict[str, object]], floor: float = SPEEDUP_FLOOR
+) -> List[str]:
+    """Rows embedding a ``speedup`` ratio must meet the floor."""
+    failures: List[str] = []
+    for row in rows:
+        if "speedup" in row and float(row["speedup"]) < floor:
+            failures.append(
+                f"{row['bench']}: speedup {float(row['speedup']):.2f}x "
+                f"< required {floor:.0f}x"
+            )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=None,
@@ -364,6 +480,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             fh.write("\n")
         print(f"wrote {out}")
         return 0
+
+    # The speedup floor is a ratio measured inside one run, so it is
+    # host-independent — enforce it even when the wall-clock baseline
+    # comparison is skipped (no baseline / foreign host).
+    speedup_failures = check_speedups(rows)
+    for line in speedup_failures:
+        print(f"  FAIL {line}", file=sys.stderr)
+    if speedup_failures:
+        return 1
 
     base_path = find_baseline()
     if base_path is None:

@@ -25,13 +25,15 @@ trick.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..mesh.regions import Rect, rect_intersection_matrix
+from ..obs import get_registry
 from ..routing.linefaults import LineFaultIndex
 from ..routing.ordering import KRoundOrdering, Ordering
 
@@ -39,6 +41,8 @@ __all__ = [
     "one_round_reachability_matrix",
     "bool_matmul",
     "density",
+    "PackedBoolMatrix",
+    "packed_bool_matmul",
     "ReachabilityData",
     "find_reachability",
 ]
@@ -56,7 +60,25 @@ def _group_rows(
     ``benchmarks/bench_reachability.py::test_group_rows``).  Row
     indices within each group are ascending, exactly as the loop
     produced them, so downstream results are bit-identical.
+
+    ``arr`` must be an integer coordinate array; packed matrices and
+    float/bool arrays are rejected with a typed error instead of being
+    silently coerced through ``np.unique`` (whose float tuple keys
+    would never match the integer partition keys downstream).
     """
+    if isinstance(arr, PackedBoolMatrix):
+        raise TypeError(
+            "_group_rows groups integer representative coordinates; "
+            "got a PackedBoolMatrix (unpack-copy round-trips are "
+            "deliberately not implicit — call .unpack() only if you "
+            "really mean it)"
+        )
+    arr = np.asarray(arr)
+    if arr.dtype.kind not in ("i", "u"):
+        raise TypeError(
+            f"_group_rows needs an integer coordinate array, got "
+            f"dtype {arr.dtype}"
+        )
     n = arr.shape[0]
     if len(cols) == 0:
         return {(): np.arange(n)}
@@ -79,11 +101,24 @@ def one_round_reachability_matrix(
     sources: np.ndarray,
     dests: np.ndarray,
     validate: bool = True,
-) -> np.ndarray:
+    packed: bool = False,
+) -> Union[np.ndarray, "PackedBoolMatrix"]:
     """Boolean matrix ``R[i, l] = sources[i] can (F, pi)-reach dests[l]``.
 
     ``sources`` and ``dests`` are ``(p, d)`` / ``(q, d)`` integer arrays
-    of *good* nodes (checked when ``validate`` is True).
+    of *good* nodes (checked when ``validate`` is True).  With
+    ``packed=True`` the result is returned as a
+    :class:`PackedBoolMatrix` (rows bit-packed into uint64 words),
+    ready for the packed R·I·R product chain.
+
+    The blocked-pair scatter is batched per destination group rather
+    than per faulty line: every line that maps to the same destination
+    key carries a *disjoint* source set (a source determines its line's
+    source-key projection uniquely), so their (lo, hi) window rows can
+    be concatenated and OR-scattered in one ``np.ix_`` call per group.
+    For round dimension ``t = 0`` the destination key is empty and the
+    whole dimension collapses to a single broadcast — this is where the
+    former per-line loop spent most of its time in tiny numpy calls.
     """
     mesh = index.mesh
     d = mesh.d
@@ -97,7 +132,8 @@ def one_round_reachability_matrix(
                 raise ValueError(f"a {name} representative is faulty")
     blocked = np.zeros((p, q), dtype=bool)
     if p == 0 or q == 0:
-        return ~blocked
+        out = ~blocked
+        return PackedBoolMatrix.pack(out) if packed else out
     perm = pi.perm
     inf = np.inf
     for t in range(d):
@@ -114,6 +150,26 @@ def one_round_reachability_matrix(
 
         src_pos = [key_pos(m) for m in src_dims]
         dst_pos = [key_pos(m) for m in dst_dims]
+        # Collect per-line (lo, hi) windows, then flush them in batched
+        # broadcast+scatter calls bucketed by whichever side repeats
+        # fewer keys.  Lines sharing a destination key have *disjoint*
+        # source sets (and vice versa), so concatenation within a
+        # bucket never collides — one ``np.ix_`` per bucket replaces
+        # one per faulty line.  For the first round dimension the
+        # destination key is empty and the whole dimension collapses to
+        # a single scatter; for the last, the source key does.
+        matched: List[
+            Tuple[
+                Tuple[int, ...],
+                Tuple[int, ...],
+                np.ndarray,
+                np.ndarray,
+                np.ndarray,
+                np.ndarray,
+            ]
+        ] = []
+        skeys: set = set()
+        dkeys: set = set()
         for key, up, down in index.faulty_lines(j):
             skey = tuple(key[m] for m in src_pos)
             I = src_groups.get(skey)
@@ -134,20 +190,84 @@ def one_round_reachability_matrix(
                 hi = np.where(idx < up.size, up[np.minimum(idx, up.size - 1)], inf)
             else:
                 hi = np.full(a.shape, inf)
-            w = D[L, j].astype(np.float64)
-            blocked[np.ix_(I, L)] |= (w[None, :] <= lo[:, None]) | (
-                w[None, :] >= hi[:, None]
-            )
-    return ~blocked
+            matched.append((skey, dkey, I, L, lo, hi))
+            skeys.add(skey)
+            dkeys.add(dkey)
+        if not matched:
+            continue
+        if len(dkeys) <= len(skeys):
+            # Bucket by destination key: concatenate along the source
+            # (row) axis; every row keeps its own (lo, hi) window.
+            by_dkey: Dict[Tuple[int, ...], List] = {}
+            for skey, dkey, I, L, lo, hi in matched:
+                by_dkey.setdefault(dkey, []).append((I, lo, hi))
+            for dkey, parts in by_dkey.items():
+                L = dst_groups[dkey]
+                w = D[L, j].astype(np.float64)
+                if len(parts) == 1:
+                    I, lo, hi = parts[0]
+                else:
+                    I = np.concatenate([part[0] for part in parts])
+                    lo = np.concatenate([part[1] for part in parts])
+                    hi = np.concatenate([part[2] for part in parts])
+                blocked[np.ix_(I, L)] |= (w[None, :] <= lo[:, None]) | (
+                    w[None, :] >= hi[:, None]
+                )
+        else:
+            # Bucket by source key: concatenate along the destination
+            # (column) axis; each column selects its line's (lo, hi)
+            # window for the shared source rows.
+            by_skey: Dict[Tuple[int, ...], List] = {}
+            for skey, dkey, I, L, lo, hi in matched:
+                by_skey.setdefault(skey, []).append((L, lo, hi))
+            for skey, parts in by_skey.items():
+                I = src_groups[skey]
+                if len(parts) == 1:
+                    L, lo, hi = parts[0]
+                    w = D[L, j].astype(np.float64)
+                    lo_sel = lo[:, None]
+                    hi_sel = hi[:, None]
+                else:
+                    L = np.concatenate([part[0] for part in parts])
+                    w = D[L, j].astype(np.float64)
+                    lo_mat = np.stack([part[1] for part in parts], axis=1)
+                    hi_mat = np.stack([part[2] for part in parts], axis=1)
+                    line_of = np.repeat(
+                        np.arange(len(parts)),
+                        [part[0].size for part in parts],
+                    )
+                    lo_sel = lo_mat[:, line_of]
+                    hi_sel = hi_mat[:, line_of]
+                blocked[np.ix_(I, L)] |= (w[None, :] <= lo_sel) | (
+                    w[None, :] >= hi_sel
+                )
+    out = ~blocked
+    return PackedBoolMatrix.pack(out) if packed else out
 
 
 def density(matrix) -> float:
-    """Fraction of nonzero entries (works for dense bool and sparse)."""
+    """Fraction of nonzero entries.
+
+    Accepts dense bool arrays, scipy sparse matrices, and
+    :class:`PackedBoolMatrix` (counted in place via popcount — no
+    unpack round-trip).  Dense inputs of non-bool dtype raise
+    ``TypeError``: a float or int matrix reaching this function is a
+    bug upstream, and ``count_nonzero`` would quietly report something
+    that is not a boolean density.
+    """
     size = matrix.shape[0] * matrix.shape[1]
     if size == 0:
         return 0.0
+    if isinstance(matrix, PackedBoolMatrix):
+        return matrix.count_nonzero() / size
     if sp.issparse(matrix):
         return matrix.nnz / size
+    matrix = np.asarray(matrix)
+    if matrix.dtype != np.bool_:
+        raise TypeError(
+            f"density expects a boolean matrix (or sparse/packed); got "
+            f"dense dtype {matrix.dtype}"
+        )
     return float(np.count_nonzero(matrix)) / size
 
 
@@ -181,6 +301,295 @@ def bool_matmul(A: np.ndarray, B) -> np.ndarray:
     return (A.astype(np.float32) @ B.astype(np.float32)) > 0.5
 
 
+# ----------------------------------------------------------------------
+# Bit-packed boolean matrices
+# ----------------------------------------------------------------------
+
+_WORD_BITS = 64
+# Phase-1 width of the saturating product kernel: OR together the first
+# _SATURATE_PROBE set bits of each row and keep only rows that did not
+# reach all-ones for the full gather.  R·I·R accumulators saturate to
+# density ~1.0 on paper-scale fault sets (Section 6.2), so the probe
+# usually finishes the product outright.
+_SATURATE_PROBE = 48
+
+# Cumulative wall-clock spent packing/unpacking, published as telemetry
+# by find_reachability (zero deltas included so the exporter schema is
+# stable from the first packed run onward).
+_pack_seconds = 0.0
+_unpack_seconds = 0.0
+
+
+def _pack_words(dense: np.ndarray) -> np.ndarray:
+    """Pack the rows of a dense bool matrix into little-endian uint64
+    words, zero-padded to a whole number of words."""
+    global _pack_seconds
+    t0 = time.perf_counter()
+    dense = np.ascontiguousarray(dense, dtype=bool)
+    ncols = dense.shape[1]
+    nbytes = ((ncols + _WORD_BITS - 1) // _WORD_BITS) * (_WORD_BITS // 8)
+    b = np.packbits(dense, axis=1, bitorder="little")
+    if b.shape[1] < nbytes:
+        b = np.pad(b, ((0, 0), (0, nbytes - b.shape[1])))
+    words = b.view(np.uint64)
+    _pack_seconds += time.perf_counter() - t0
+    return words
+
+
+class PackedBoolMatrix:
+    """A dense boolean matrix with each row packed into uint64 words.
+
+    This is the paper's Section 6.2 bitwise-word trick done properly:
+    64 matrix entries per machine word, so the R·I·R products of
+    *Find-Reachability* become word-wide OR-gathers instead of float32
+    BLAS or scipy-sparse round-trips.  All operations are bit-identical
+    to their dense-bool counterparts (``bool_matmul`` stays the oracle;
+    see ``tests/test_reachability.py``).
+
+    The padding bits beyond ``shape[1]`` are an invariant zero: ``pack``
+    writes them as zero and AND/OR of zeros stays zero, which is what
+    makes ``count_nonzero`` a plain popcount.
+    """
+
+    __slots__ = ("shape", "words")
+
+    def __init__(self, shape: Tuple[int, int], words: np.ndarray):
+        nrows, ncols = shape
+        expect = (nrows, (ncols + _WORD_BITS - 1) // _WORD_BITS)
+        if words.dtype != np.uint64 or words.shape != expect:
+            raise TypeError(
+                f"words must be uint64 with shape {expect}, got "
+                f"{words.dtype} {words.shape}"
+            )
+        self.shape = (int(nrows), int(ncols))
+        self.words = words
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def pack(cls, dense) -> "PackedBoolMatrix":
+        """Pack a dense bool array (or scipy sparse matrix)."""
+        if isinstance(dense, PackedBoolMatrix):
+            return dense
+        if sp.issparse(dense):
+            dense = np.asarray(dense.todense(), dtype=bool)
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise TypeError("PackedBoolMatrix packs 2-D matrices")
+        if dense.dtype != np.bool_:
+            raise TypeError(
+                f"PackedBoolMatrix.pack expects bool entries, got "
+                f"dtype {dense.dtype}"
+            )
+        return cls(dense.shape, _pack_words(dense))
+
+    def unpack(self) -> np.ndarray:
+        """The dense bool matrix this packs (fresh array)."""
+        global _unpack_seconds
+        t0 = time.perf_counter()
+        nrows, ncols = self.shape
+        if nrows == 0 or ncols == 0:
+            out = np.zeros(self.shape, dtype=bool)
+        else:
+            out = np.unpackbits(
+                self.words.view(np.uint8), axis=1, count=ncols,
+                bitorder="little",
+            ).astype(bool)
+        _unpack_seconds += time.perf_counter() - t0
+        return out
+
+    def transpose(self) -> "PackedBoolMatrix":
+        return PackedBoolMatrix.pack(self.unpack().T)
+
+    @property
+    def T(self) -> "PackedBoolMatrix":
+        return self.transpose()
+
+    # -- elementwise composition ---------------------------------------
+    def _check_same_shape(self, other: "PackedBoolMatrix") -> None:
+        if not isinstance(other, PackedBoolMatrix):
+            raise TypeError(
+                f"expected PackedBoolMatrix, got {type(other).__name__}"
+            )
+        if other.shape != self.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+
+    def bitwise_and(self, other: "PackedBoolMatrix") -> "PackedBoolMatrix":
+        self._check_same_shape(other)
+        return PackedBoolMatrix(self.shape, self.words & other.words)
+
+    def bitwise_or(self, other: "PackedBoolMatrix") -> "PackedBoolMatrix":
+        self._check_same_shape(other)
+        return PackedBoolMatrix(self.shape, self.words | other.words)
+
+    __and__ = bitwise_and
+    __or__ = bitwise_or
+
+    # -- counting -------------------------------------------------------
+    def row_counts(self) -> np.ndarray:
+        """Per-row popcounts (int64)."""
+        if self.words.size == 0:
+            return np.zeros(self.shape[0], dtype=np.int64)
+        return np.bitwise_count(self.words).sum(axis=1, dtype=np.int64)
+
+    def count_nonzero(self) -> int:
+        if self.words.size == 0:
+            return 0
+        return int(np.bitwise_count(self.words).sum(dtype=np.int64))
+
+    def density(self) -> float:
+        return density(self)
+
+    # -- product --------------------------------------------------------
+    def matmul(self, other: "PackedBoolMatrix") -> "PackedBoolMatrix":
+        """Boolean matrix product, adaptive and exact.
+
+        ``(A @ B)[i, l] = OR_j A[i, j] & B[j, l]`` — i.e. row ``i`` of
+        the product is the OR of the packed rows of ``B`` selected by
+        row ``i`` of ``A``.  Kernel selection:
+
+        * gather: ``bitwise_or.reduceat`` over ``B``'s rows gathered by
+          ``A``'s nonzeros — linear in ``nnz(A)``, wins when the left
+          factor is sparse;
+        * transpose: ``(Bᵀ Aᵀ)ᵀ`` when the *right* factor is much
+          sparser (the R·I case: I is ~1–8% dense while the
+          accumulator is not);
+        * saturating probe: when the left factor is dense, OR the first
+          ``_SATURATE_PROBE`` set bits of each row first and fall back
+          to the full gather only for rows that did not reach all-ones
+          (R·I·R accumulators saturate, so the probe usually decides
+          every row).
+        """
+        if not isinstance(other, PackedBoolMatrix):
+            raise TypeError(
+                f"expected PackedBoolMatrix, got {type(other).__name__}"
+            )
+        p, n = self.shape
+        n2, q = other.shape
+        if n != n2:
+            raise ValueError("inner dimensions differ")
+        if p == 0 or q == 0 or n == 0:
+            return PackedBoolMatrix.pack(np.zeros((p, q), dtype=bool))
+        nnz_self = self.count_nonzero()
+        nnz_other = other.count_nonzero()
+        if nnz_self == 0 or nnz_other == 0:
+            return PackedBoolMatrix.pack(np.zeros((p, q), dtype=bool))
+        # Estimated gather cost is (rows gathered) x (words per row).
+        cost_direct = nnz_self * other.words.shape[1]
+        cost_transposed = nnz_other * ((p + _WORD_BITS - 1) // _WORD_BITS)
+        if cost_transposed * 2 < cost_direct:
+            # Pay two transposes to gather along the sparse factor.
+            return other.transpose()._matmul_gather(self.transpose()).transpose()
+        return self._matmul_gather(other)
+
+    def _unpack_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Dense bool view of a subset of rows (no full unpack)."""
+        return np.unpackbits(
+            self.words[rows].view(np.uint8), axis=1, count=self.shape[1],
+            bitorder="little",
+        ).astype(bool)
+
+    def _matmul_gather(self, other: "PackedBoolMatrix") -> "PackedBoolMatrix":
+        p, n = self.shape
+        q = other.shape[1]
+        Bw = other.words
+        out = np.zeros((p, Bw.shape[1]), dtype=np.uint64)
+        counts = self.row_counts()
+        nz_rows = np.count_nonzero(counts)
+        if nz_rows == 0:
+            return PackedBoolMatrix((p, q), out)
+        mean_nnz = counts.sum() / nz_rows
+        if mean_nnz > 2 * _SATURATE_PROBE and q > _WORD_BITS:
+            # Saturating probe: OR up to _SATURATE_PROBE set bits of
+            # each row, taken from the leading columns only — a full
+            # np.nonzero of a dense left factor costs more than the
+            # whole product, so scan a narrow head instead (for the
+            # near-saturated R·I·R accumulators almost every row has
+            # plenty of set bits up front).
+            W = min(n, 4 * _SATURATE_PROBE)
+            head = np.unpackbits(
+                self.words.view(np.uint8), axis=1, count=W,
+                bitorder="little",
+            ).astype(bool)
+            rows, cols = np.nonzero(head)
+            head_counts = np.bincount(rows, minlength=p)
+            probe_counts = np.minimum(head_counts, _SATURATE_PROBE)
+            starts = np.zeros(p, dtype=np.intp)
+            np.cumsum(head_counts[:-1], out=starts[1:])
+            take = _ragged_ranges(starts, probe_counts)
+            nonempty = np.flatnonzero(probe_counts)
+            probe_starts = np.zeros(p, dtype=np.intp)
+            np.cumsum(probe_counts[:-1], out=probe_starts[1:])
+            out[nonempty] = np.bitwise_or.reduceat(
+                Bw[cols[take]], probe_starts[nonempty], axis=0
+            )
+            # A row is final once it reaches the OR of *all* of B's rows
+            # (the ceiling): ORing further rows cannot move it.  The
+            # ceiling — not all-ones — is the right saturation target,
+            # since columns of B that are empty everywhere (unreachable
+            # destinations) keep every product row below all-ones.  A
+            # row is also final when the probe already covered every
+            # one of its set bits.
+            ceiling = np.bitwise_or.reduce(Bw, axis=0)
+            full = np.all(out == ceiling[None, :], axis=1)
+            rest = np.flatnonzero(~full & (counts > probe_counts))
+            if rest.size:
+                rrows, rcols = np.nonzero(self._unpack_rows(rest))
+                rest_counts = np.bincount(rrows, minlength=rest.size)
+                sub_starts = np.zeros(rest.size, dtype=np.intp)
+                np.cumsum(rest_counts[:-1], out=sub_starts[1:])
+                out[rest] = np.bitwise_or.reduceat(Bw[rcols], sub_starts,
+                                                   axis=0)
+        else:
+            rows, cols = np.nonzero(self.unpack())
+            row_counts = np.bincount(rows, minlength=p)
+            starts = np.zeros(p, dtype=np.intp)
+            np.cumsum(row_counts[:-1], out=starts[1:])
+            nonempty = np.flatnonzero(row_counts)
+            out[nonempty] = np.bitwise_or.reduceat(
+                Bw[cols], starts[nonempty], axis=0
+            )
+        return PackedBoolMatrix((p, q), out)
+
+    __matmul__ = matmul
+
+    def equals(self, other: "PackedBoolMatrix") -> bool:
+        return self.shape == other.shape and np.array_equal(
+            self.words, other.words
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedBoolMatrix(shape={self.shape}, "
+            f"nnz={self.count_nonzero()})"
+        )
+
+
+def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + counts[i])`` ranges without
+    a Python-level loop (the standard repeat/cumsum trick)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.intp)
+    nonzero = counts > 0
+    s = starts[nonzero]
+    c = counts[nonzero]
+    out = np.ones(total, dtype=np.intp)
+    ends = np.cumsum(c)
+    out[0] = s[0]
+    out[ends[:-1]] = s[1:] - (s[:-1] + c[:-1] - 1)
+    return np.cumsum(out)
+
+
+def packed_bool_matmul(A, B) -> PackedBoolMatrix:
+    """Boolean matrix product through the packed kernels.
+
+    Accepts any mix of dense bool, scipy sparse, and packed operands;
+    returns packed.  Bit-identical to ``bool_matmul`` (the dense
+    oracle) by construction — pinned by property tests.
+    """
+    return PackedBoolMatrix.pack(A).matmul(PackedBoolMatrix.pack(B))
+
+
 @dataclass
 class ReachabilityData:
     """Output of :func:`find_reachability`.
@@ -207,6 +616,13 @@ class ReachabilityData:
     stats: Dict[str, float] = field(default_factory=dict)
 
 
+# Auto-select the packed product path once a single product touches at
+# least this many matrix entries.  Below it, pack/unpack overhead beats
+# the kernel win; paper-scale runs ((2d-1)f + 1 representatives at a few
+# percent faults) sit far above it.
+_PACK_AUTO_THRESHOLD = 32768
+
+
 def find_reachability(
     index: LineFaultIndex,
     orderings: KRoundOrdering,
@@ -214,6 +630,7 @@ def find_reachability(
     des_partitions: Sequence[Sequence[Rect]],
     ses_reps: Sequence[np.ndarray],
     des_reps: Sequence[np.ndarray],
+    packed: Optional[bool] = None,
 ) -> ReachabilityData:
     """Algorithm *Find-Reachability* (Fig. 12).
 
@@ -222,10 +639,19 @@ def find_reachability(
     ``ses_reps[t]`` / ``des_reps[t]`` (``(m, d)`` int arrays).  When the
     k-round ordering is uniform, pass the same objects for every round;
     identical rounds share one ``R_t`` computation.
+
+    ``packed`` selects the product kernel for Step 3: ``True`` forces
+    the bit-packed word kernels, ``False`` forces the dense-bool oracle
+    (``bool_matmul``), and ``None`` (default) picks packed
+    automatically once the matrices are large enough to pay for the
+    packing.  Both paths are bit-identical; the public fields of
+    :class:`ReachabilityData` are dense either way.
     """
     k = orderings.k
     if not (len(ses_partitions) == len(des_partitions) == k):
         raise ValueError(f"need {k} partitions per side")
+    pack_t0 = _pack_seconds
+    unpack_t0 = _unpack_seconds
     # Step 1: R_t (cache by round ordering identity).
     round_matrices: List[np.ndarray] = []
     cache: Dict[Tuple[Ordering, int, int], np.ndarray] = {}
@@ -250,21 +676,67 @@ def find_reachability(
         icache[key] = I
         intersection_matrices.append(I)
     # Step 3: the product, keeping partial results.
+    if packed is None:
+        largest = max(
+            (R.shape[0] * R.shape[1] for R in round_matrices), default=0
+        )
+        use_packed = k > 1 and largest >= _PACK_AUTO_THRESHOLD
+    else:
+        use_packed = bool(packed) and k > 1
     partial: List[np.ndarray] = [round_matrices[0]]
-    acc = round_matrices[0]
-    for t in range(1, k):
-        acc = bool_matmul(acc, intersection_matrices[t - 1])
-        acc = bool_matmul(acc, round_matrices[t])
-        partial.append(acc)
+    r1i1_density: Optional[float] = None
+    if use_packed:
+        packed_rounds: Dict[int, PackedBoolMatrix] = {}
+
+        def packed_round(t: int) -> PackedBoolMatrix:
+            key = id(round_matrices[t])
+            if key not in packed_rounds:
+                packed_rounds[key] = PackedBoolMatrix.pack(round_matrices[t])
+            return packed_rounds[key]
+
+        acc_packed = packed_round(0)
+        for t in range(1, k):
+            acc_packed = acc_packed.matmul(
+                PackedBoolMatrix.pack(intersection_matrices[t - 1])
+            )
+            if t == 1:
+                r1i1_density = density(acc_packed)
+            acc_packed = acc_packed.matmul(packed_round(t))
+            partial.append(acc_packed.unpack())
+        acc = partial[-1]
+    else:
+        acc = round_matrices[0]
+        for t in range(1, k):
+            acc = bool_matmul(acc, intersection_matrices[t - 1])
+            if t == 1:
+                r1i1_density = density(acc)
+            acc = bool_matmul(acc, round_matrices[t])
+            partial.append(acc)
     stats = {
         "R1_density": density(round_matrices[0]),
         "Rk_density": density(acc),
+        "packed_products": 1.0 if use_packed else 0.0,
     }
     if intersection_matrices:
         stats["I1_density"] = density(intersection_matrices[0])
-        stats["R1I1_density"] = density(
-            bool_matmul(round_matrices[0], intersection_matrices[0])
-        )
+        if r1i1_density is None:
+            r1i1_density = density(
+                bool_matmul(round_matrices[0], intersection_matrices[0])
+            )
+        stats["R1I1_density"] = r1i1_density
+    pack_delta = _pack_seconds - pack_t0
+    unpack_delta = _unpack_seconds - unpack_t0
+    stats["pack_seconds"] = pack_delta
+    stats["unpack_seconds"] = unpack_delta
+    reg = get_registry()
+    # Zero-delta incs keep both engine label sets present in exporter
+    # output regardless of which path this run took.
+    eng = "packed" if use_packed else "dense"
+    for label in ("packed", "dense"):
+        reg.inc("reachability_runs_total", 1 if label == eng else 0,
+                engine=label)
+    reg.observe("reachability_pack_seconds", pack_delta, op="pack")
+    reg.observe("reachability_pack_seconds", unpack_delta, op="unpack")
     return ReachabilityData(
         Rk=acc,
         round_matrices=round_matrices,

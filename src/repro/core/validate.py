@@ -13,7 +13,11 @@ import numpy as np
 
 from ..mesh.faults import FaultSet
 from ..mesh.geometry import Node
-from ..routing.multiround import FaultGrids, reach_set_k_rounds
+from ..routing.multiround import (
+    FaultGrids,
+    multi_source_reach_sets,
+    reach_set_k_rounds,
+)
 from ..routing.ordering import KRoundOrdering
 
 __all__ = [
@@ -35,10 +39,10 @@ def full_reach_matrix(
     grids = FaultGrids(faults)
     N = mesh.num_nodes
     out = np.zeros((N, N), dtype=bool)
-    for v in mesh.nodes():
-        if faults.node_is_faulty(v):
-            continue
-        out[mesh.index_of(v)] = reach_set_k_rounds(grids, orderings, v).reshape(-1)
+    good = [v for v in mesh.nodes() if not faults.node_is_faulty(v)]
+    rows = multi_source_reach_sets(grids, orderings, good)
+    for v, row in zip(good, rows):
+        out[mesh.index_of(v)] = row
     return out
 
 

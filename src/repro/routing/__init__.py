@@ -13,6 +13,7 @@ from .multiround import (
     FaultGrids,
     find_k_round_route,
     k_round_reachable,
+    multi_source_reach_sets,
     reach_set_k_rounds,
     reach_set_one_round,
     reverse_reach_set_one_round,
@@ -38,6 +39,7 @@ __all__ = [
     "reach_set_one_round",
     "reverse_reach_set_one_round",
     "reach_set_k_rounds",
+    "multi_source_reach_sets",
     "k_round_reachable",
     "find_k_round_route",
     "count_turns",

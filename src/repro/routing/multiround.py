@@ -14,7 +14,7 @@ wormhole simulator uses to materialize routes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "reach_set_one_round",
     "reverse_reach_set_one_round",
     "reach_set_k_rounds",
+    "multi_source_reach_sets",
     "k_round_reachable",
     "find_k_round_route",
 ]
@@ -147,6 +148,84 @@ def reach_set_one_round(
     for j in pi:
         frontier = _propagate_axis(frontier, grids, j)
     return frontier
+
+
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _word_mask(grid: np.ndarray) -> np.ndarray:
+    """uint64 lane mask of a bool grid (all-ones where True), with a
+    trailing broadcast axis for the source-word lanes."""
+    return np.where(grid, _FULL_WORD, np.uint64(0))[..., None]
+
+
+def _propagate_axis_words(
+    frontier: np.ndarray,
+    good_m: np.ndarray,
+    up_cut_m: np.ndarray,
+    down_cut_m: np.ndarray,
+    axis: int,
+) -> np.ndarray:
+    """Word-lane variant of :func:`_propagate_axis`: ``frontier`` has a
+    trailing uint64 axis carrying 64 sources per word, so one axis scan
+    advances every source at once."""
+    good = np.moveaxis(good_m, axis, 0)
+    up_cut = np.moveaxis(up_cut_m, axis, 0)
+    down_cut = np.moveaxis(down_cut_m, axis, 0)
+    src = np.moveaxis(frontier, axis, 0)
+    n = src.shape[0]
+    up = src.copy()
+    for i in range(1, n):
+        up[i] |= up[i - 1] & good[i] & ~up_cut[i - 1]
+    down = src.copy()
+    for i in range(n - 2, -1, -1):
+        down[i] |= down[i + 1] & good[i] & ~down_cut[i]
+    return np.moveaxis(up | down, 0, axis)
+
+
+def multi_source_reach_sets(
+    grids: FaultGrids,
+    rounds: Iterable[Ordering],
+    sources: Sequence[Node],
+) -> np.ndarray:
+    """Reach sets of many sources at once, bit-parallel.
+
+    Packs the sources into uint64 word lanes (64 per word) and runs
+    each axis scan once per word batch instead of once per source: bit
+    ``s % 64`` of word ``s // 64`` at node ``w`` marks source ``s``
+    having reached ``w``.  ``rounds`` is any sequence of per-round
+    orderings (a :class:`KRoundOrdering` iterates as one).
+
+    Returns an ``(len(sources), N)`` bool matrix in ``Mesh.index_of``
+    column order; row ``s`` is bit-identical to
+    ``reach_set_k_rounds(grids, rounds, sources[s]).reshape(-1)``
+    (the sequential oracle), with faulty sources yielding all-False
+    rows.
+    """
+    mesh = grids.mesh
+    n = len(sources)
+    N = mesh.num_nodes
+    if n == 0:
+        return np.zeros((0, N), dtype=bool)
+    n_words = (n + 63) // 64
+    frontier = np.zeros(mesh.widths + (n_words,), dtype=np.uint64)
+    for s, v in enumerate(sources):
+        v = tuple(int(x) for x in v)
+        if grids.good[v]:
+            frontier[v + (s // 64,)] |= np.uint64(1) << np.uint64(s % 64)
+    good_m = _word_mask(grids.good)
+    up_m = [_word_mask(g) for g in grids.up_cut]
+    down_m = [_word_mask(g) for g in grids.down_cut]
+    for pi in rounds:
+        for j in pi:
+            frontier = _propagate_axis_words(
+                frontier, good_m, up_m[j], down_m[j], j
+            )
+    flat = frontier.reshape(N, n_words)
+    bits = np.unpackbits(
+        flat.view(np.uint8), axis=1, count=n, bitorder="little"
+    )
+    return bits.astype(bool).T
 
 
 def _flipped(grids: FaultGrids) -> FaultGrids:

@@ -8,10 +8,46 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..routing.turns import count_turns
 from .packets import Message
+from .vector import _ragged_ranges
 
 __all__ = ["SimStats"]
+
+
+def _batched_turn_counts(messages: Sequence[Message]) -> np.ndarray:
+    """Vectorized :func:`repro.routing.turns.count_turns` over many
+    messages: one flat coordinate array, per-hop direction codes, one
+    ``reduceat`` for the per-message direction-change counts.  Every
+    message must have at least one hop."""
+    counts = np.zeros(len(messages), dtype=np.int64)
+    if not messages:
+        return counts
+    pts = []
+    nhops = np.empty(len(messages), dtype=np.int64)
+    for i, m in enumerate(messages):
+        p = m.path_nodes()
+        nhops[i] = len(p) - 1
+        pts.extend(p)
+    P = np.asarray(pts, dtype=np.int64)
+    D = P[1:] - P[:-1]
+    # Message i's points start at pt_starts[i]; its hop vectors are the
+    # D-rows [pt_starts[i], pt_starts[i] + nhops[i]) — the row joining
+    # two consecutive messages is never selected.
+    pt_starts = np.zeros(len(messages), dtype=np.intp)
+    np.cumsum(nhops[:-1] + 1, out=pt_starts[1:])
+    H = D[_ragged_ranges(pt_starts, nhops)]
+    if np.any(np.abs(H).sum(axis=1) != 1):
+        raise ValueError("path contains a non-unit hop")
+    dim = np.argmax(H != 0, axis=1)
+    sign = H[np.arange(H.shape[0]), dim]
+    code = 2 * dim + (sign > 0)
+    hseg = np.zeros(len(messages), dtype=np.intp)
+    np.cumsum(nhops[:-1], out=hseg[1:])
+    change = np.empty(code.shape[0], dtype=np.int64)
+    change[0] = 0
+    change[1:] = code[1:] != code[:-1]
+    change[hseg] = 0  # a message's first hop has no previous direction
+    return np.add.reduceat(change, hseg)
 
 
 @dataclass(frozen=True)
@@ -82,7 +118,7 @@ class SimStats:
             m.total_latency for m in done if m.total_latency is not None
         ]
         flits = sum(m.num_flits for m in done)
-        turns = [count_turns(m.path_nodes()) for m in done if m.num_hops > 0]
+        turns = _batched_turn_counts([m for m in done if m.num_hops > 0])
         hops = [m.num_hops for m in done]
         reasons = Counter(m.abort_reason for m in aborted)
         return cls(
@@ -94,8 +130,8 @@ class SimStats:
             max_latency=int(max(latencies)) if latencies else 0,
             throughput_flits_per_cycle=(flits / cycles) if cycles else 0.0,
             avg_hops=float(np.mean(hops)) if hops else 0.0,
-            avg_turns=float(np.mean(turns)) if turns else 0.0,
-            max_turns=int(max(turns)) if turns else 0,
+            avg_turns=float(np.mean(turns)) if turns.size else 0.0,
+            max_turns=int(turns.max()) if turns.size else 0,
             aborted=len(aborted),
             in_flight=len(messages) - len(done) - len(aborted),
             retried_delivered=sum(1 for m in done if m.was_retried),

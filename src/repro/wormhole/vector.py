@@ -1,0 +1,350 @@
+"""Array-native batched step core for the ``"vector"`` engine.
+
+The scan/frontier engines advance messages one flit at a time through
+Python dict lookups.  The vector engine batches the per-cycle worklist
+into struct-of-arrays numpy state — flat flit-position storage, interned
+per-hop resource ids, and the :class:`ArrayVirtualNetwork` ownership /
+occupancy / bandwidth arrays — so that in a saturated network one cycle
+is a handful of vectorized operations instead of thousands of dict hits.
+
+Exactness argument (pinned by the golden parity tests):
+
+* Every *active* message (runnable or parked) claims a **window** — the
+  resource ids its route touches between ``max(tail_pos, 0)`` and
+  ``min(head_pos + 1, last_hop)``.  The sequential kernel
+  (``WormholeSimulator._advance_message``) only ever reads or writes
+  resources inside the acting message's window.
+* A runnable message is **batchable** when its window overlaps no other
+  active message's window and carries no park-waiters, and its flits
+  satisfy the *all-move* conditions below.  Disjoint windows mean batch
+  members commute with each other *and* with every sequentially-visited
+  message this cycle, so applying the batch up front is observationally
+  identical to interleaving it at the members' arbitration slots.
+* The all-move validation mirrors the sequential kernel exactly: one
+  entrant flit per cycle, strictly decreasing in-network positions
+  (stacked flits share a channel and the second is stopped by the
+  bandwidth stamp), per-flit channel stamps, head ownership/space rules
+  (a head cannot benefit from its own later flits' pops — they run
+  after it), body pops freeing the predecessor's buffer slot for the
+  follower, and tail releases.  If any moving flit fails, the whole
+  message falls back to the sequential kernel at its agenda slot.
+* Batch members skip bandwidth-stamp writes entirely: a stamp is only
+  ever read by same-cycle later visitors, all of whose windows are
+  disjoint from batch windows by construction.
+
+Deliveries, aborts, retries and live-fault teardown keep flowing
+through the simulator's shared machinery; flit positions live in one
+flat int64 store of which each ``Message.flit_pos`` is a numpy view, so
+the sequential kernel and the chaos teardown paths observe batched
+moves with zero synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .network import ArrayVirtualNetwork, ResourceKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .packets import Message
+
+__all__ = ["VectorState", "BatchResult"]
+
+
+def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``[starts[i], starts[i] + counts[i])`` index ranges
+    without a Python loop (repeat/cumsum trick).  ``counts`` must be
+    non-negative."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.intp)
+    nonzero = counts > 0
+    s = starts[nonzero].astype(np.intp, copy=False)
+    c = counts[nonzero].astype(np.intp, copy=False)
+    out = np.ones(total, dtype=np.intp)
+    ends = np.cumsum(c)
+    out[0] = s[0]
+    if s.size > 1:
+        out[ends[:-1]] = s[1:] - (s[:-1] + c[:-1] - 1)
+    return np.cumsum(out)
+
+
+@dataclass
+class _Replay:
+    """Per-member movement record for exact trace replay (test path)."""
+
+    fords: np.ndarray  # flit ordinals that moved, ascending
+    nxts: np.ndarray  # hop index each moved onto
+    acquired: bool  # head acquired a free resource this cycle
+
+
+@dataclass
+class BatchResult:
+    moved: int = 0
+    members: List[int] = field(default_factory=list)
+    delivered: List[int] = field(default_factory=list)
+    replay: Optional[Dict[int, _Replay]] = None
+
+
+_EMPTY = BatchResult()
+
+
+class VectorState:
+    """Flat-array message state owned by a ``"vector"`` simulator."""
+
+    def __init__(self, net: ArrayVirtualNetwork):
+        self.net = net
+        self.fp_store = np.zeros(1024, dtype=np.int64)
+        self.fp_used = 0
+        self.hid_store = np.zeros(1024, dtype=np.int64)
+        self.hid_used = 0
+        cap = 64
+        self.m_fstart = np.zeros(cap, dtype=np.int64)
+        self.m_nflits = np.zeros(cap, dtype=np.int64)
+        self.m_hstart = np.zeros(cap, dtype=np.int64)
+        self.m_nhops = np.zeros(cap, dtype=np.int64)
+        self._linked: Dict[int, "Message"] = {}
+        self._hops_of: Dict[int, object] = {}  # hops list identity
+        self.waiter_count = np.zeros(256, dtype=np.int64)
+        # Telemetry (published by the simulator).
+        self.batched_messages = 0
+        self.batched_flits = 0
+
+    # -- registration ---------------------------------------------------
+    def _ensure_meta(self, mid: int) -> None:
+        cap = self.m_fstart.shape[0]
+        if mid < cap:
+            return
+        new_cap = max(mid + 1, 2 * cap)
+        for name in ("m_fstart", "m_nflits", "m_hstart", "m_nhops"):
+            arr = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=np.int64)
+            grown[:cap] = arr
+            setattr(self, name, grown)
+
+    def _relink_views(self) -> None:
+        """Re-point every registered message's ``flit_pos`` view after a
+        store reallocation."""
+        fp = self.fp_store
+        for mid, m in self._linked.items():
+            s = self.m_fstart[mid]
+            m.flit_pos = fp[s : s + self.m_nflits[mid]]
+
+    def _append_fp(self, values: np.ndarray) -> int:
+        need = self.fp_used + values.size
+        if need > self.fp_store.shape[0]:
+            grown = np.zeros(max(need, 2 * self.fp_store.shape[0]),
+                             dtype=np.int64)
+            grown[: self.fp_used] = self.fp_store[: self.fp_used]
+            self.fp_store = grown
+            self._relink_views()
+        start = self.fp_used
+        self.fp_store[start:need] = values
+        self.fp_used = need
+        return start
+
+    def _append_hids(self, hids: np.ndarray) -> int:
+        need = self.hid_used + hids.size
+        if need > self.hid_store.shape[0]:
+            grown = np.zeros(max(need, 2 * self.hid_store.shape[0]),
+                             dtype=np.int64)
+            grown[: self.hid_used] = self.hid_store[: self.hid_used]
+            self.hid_store = grown
+        start = self.hid_used
+        self.hid_store[start:need] = hids
+        self.hid_used = need
+        return start
+
+    def register(self, m: "Message") -> None:
+        """Adopt (or re-adopt, after a retry re-route) a message into
+        the flat stores; ``m.flit_pos`` becomes a view into the store."""
+        hids = self.net.intern_keys(m.hop_keys)
+        mid = m.msg_id
+        self._ensure_meta(mid)
+        self.m_hstart[mid] = self._append_hids(hids)
+        self.m_nhops[mid] = len(m.hops)
+        fstart = self._append_fp(np.asarray(m.flit_pos, dtype=np.int64))
+        self.m_fstart[mid] = fstart
+        self.m_nflits[mid] = m.num_flits
+        self._linked[mid] = m
+        self._hops_of[mid] = m.hops
+        m.flit_pos = self.fp_store[fstart : fstart + m.num_flits]
+
+    def needs_reregister(self, m: "Message") -> bool:
+        """Route replaced (retry / pre-injection re-route) or flit
+        positions reset to a plain list by ``reset_for_retry``."""
+        if self._hops_of.get(m.msg_id) is not m.hops:
+            return True
+        return not isinstance(m.flit_pos, np.ndarray)
+
+    # -- park/wake waiter accounting ------------------------------------
+    def _ensure_waiters(self, n: int) -> None:
+        if n > self.waiter_count.shape[0]:
+            grown = np.zeros(max(n, 2 * self.waiter_count.shape[0]),
+                             dtype=np.int64)
+            grown[: self.waiter_count.shape[0]] = self.waiter_count
+            self.waiter_count = grown
+
+    def waiter_delta(self, key: ResourceKey, delta: int) -> None:
+        rid = self.net.intern_key(key)
+        self._ensure_waiters(rid + 1)
+        self.waiter_count[rid] += delta
+
+    def reset_waiters(self) -> None:
+        self.waiter_count[:] = 0
+
+    # -- the batched step ------------------------------------------------
+    def plan_and_apply(
+        self,
+        runnable: np.ndarray,
+        parked: np.ndarray,
+        collect_trace: bool,
+    ) -> BatchResult:
+        """Extract and apply this cycle's conflict-free all-move batch.
+
+        ``runnable``/``parked`` are int64 arrays of message ids; parked
+        messages contribute windows (so nobody batches over a resource a
+        parked message sits on or waits for) but never act.
+        """
+        net = self.net
+        nr = runnable.size
+        if nr == 0:
+            return _EMPTY
+        mids = np.concatenate([runnable, parked]) if parked.size else runnable
+        fstart = self.m_fstart[mids]
+        nflits = self.m_nflits[mids]
+        hstart = self.m_hstart[mids]
+        last = self.m_nhops[mids] - 1
+        fp_store = self.fp_store
+        head = fp_store[fstart]
+        tail = fp_store[fstart + nflits - 1]
+        win_lo = np.maximum(tail, 0)
+        win_hi = np.minimum(head + 1, last)
+        wlen = win_hi - win_lo + 1
+        wid = self.hid_store[_ragged_ranges(hstart + win_lo, wlen)]
+        nres = net.num_resources
+        self._ensure_waiters(nres)
+        res_cnt = np.bincount(wid, minlength=nres)
+        bad_rid = (res_cnt > 1) | (self.waiter_count[:nres] > 0)
+        wseg = np.zeros(mids.size, dtype=np.intp)
+        np.cumsum(wlen[:-1], out=wseg[1:])
+        msg_conf = np.logical_or.reduceat(bad_rid[wid], wseg)
+        cand = np.flatnonzero(~msg_conf[:nr])
+        if cand.size == 0:
+            return _EMPTY
+
+        # Per-flit all-move validation over the candidates.
+        cf_start = fstart[cand]
+        cf_n = nflits[cand]
+        fseg = np.zeros(cand.size, dtype=np.intp)
+        np.cumsum(cf_n[:-1], out=fseg[1:])
+        fidx = _ragged_ranges(cf_start, cf_n)
+        fp = fp_store[fidx]
+        crep = np.repeat(np.arange(cand.size), cf_n)
+        ford = fidx - cf_start[crep]
+        last_rep = last[cand][crep]
+        mid_rep = mids[cand][crep]
+        hstart_rep = hstart[cand][crep]
+        nxt = fp + 1
+        is_first = ford == 0
+        is_last = ford == (cf_n[crep] - 1)
+        prev_fp = np.empty_like(fp)
+        prev_fp[0] = -2
+        prev_fp[1:] = fp[:-1]
+        prev_fp[is_first] = -2  # sentinel: masked wherever is_first
+        moving = (nxt <= last_rep) & ((fp >= 0) | is_first | (prev_fp >= 0))
+        # Guarded gathers (clip indices; garbage lanes are masked out).
+        hid_nxt = self.hid_store[hstart_rep + np.minimum(nxt, last_rep)]
+        own = net.owner_arr[hid_nxt]
+        occ = net.occ_arr[hid_nxt]
+        stamped = net.stamp_arr[hid_nxt] == net._stamp
+        eject = nxt == last_rep
+        space = occ < net.buffer_flits
+        ok = np.ones(fp.shape, dtype=bool)
+        nm = ~moving
+        # Strictly decreasing in-network pipeline (stacked flits would
+        # collide on one channel; the second one cannot move).
+        ok &= nm | is_first | (prev_fp > fp) | (fp < 0)
+        # The entrant is the only flit allowed to leave the queue, and
+        # only behind an in-network predecessor (or as the head).
+        ok &= nm | (fp >= 0) | is_first | (prev_fp >= 0)
+        # Per-flit channel bandwidth.
+        ok &= nm | ~stamped
+        # Head: ownership (free or already ours) and downstream space
+        # from state alone — its own followers pop after it.
+        ok &= nm | ~is_first | (own < 0) | (own == mid_rep)
+        ok &= nm | ~is_first | eject | space
+        # Body: must own the hop it enters; space may come from the
+        # predecessor popping that very buffer just before.
+        ok &= nm | is_first | (own == mid_rep)
+        ok &= nm | is_first | eject | space | (prev_fp == nxt)
+        # A route that revisits one resource twice in the same cycle
+        # serializes on the bandwidth stamp — not batchable.
+        mv_ids = hid_nxt[moving]
+        if mv_ids.size:
+            c2 = np.bincount(mv_ids, minlength=nres)
+            ok &= nm | (c2[hid_nxt] <= 1)
+        msg_ok = np.logical_and.reduceat(ok, fseg)
+        msg_any = np.logical_or.reduceat(moving, fseg)
+        accept = msg_ok & msg_any
+        acc_members = np.flatnonzero(accept)
+        if acc_members.size == 0:
+            return _EMPTY
+
+        acc = moving & accept[crep]
+        # Apply: flit advance (scatter into the store that every
+        # Message.flit_pos views).
+        adv = fidx[acc]
+        fp_store[adv] += 1
+        # Buffer occupancy: leave the old slot, enter the new.
+        pops = acc & (fp >= 0) & (fp < last_rep)
+        if pops.any():
+            hid_pos = self.hid_store[hstart_rep[pops] + fp[pops]]
+            np.add.at(net.occ_arr, hid_pos, -1)
+        pushes = acc & ~eject
+        if pushes.any():
+            np.add.at(net.occ_arr, hid_nxt[pushes], 1)
+        # Ownership: head acquisitions first, then tail releases (a
+        # single-flit message acquires and releases the same hop in one
+        # cycle, netting a free resource — same as the sequential path).
+        acq = acc & is_first & (own < 0)
+        if acq.any():
+            net.owner_arr[hid_nxt[acq]] = mid_rep[acq]
+        rel = acc & is_last
+        if rel.any():
+            net.owner_arr[hid_nxt[rel]] = -1
+        # NOTE: no bandwidth-stamp writes — batch windows are disjoint
+        # from every other active window, so no same-cycle visitor can
+        # observe them, and stamps expire at the next new_cycle().
+        moved = int(np.count_nonzero(acc))
+        self.batched_messages += int(acc_members.size)
+        self.batched_flits += moved
+
+        # Deliveries: flits ejecting at the last hop.  ``c`` indexes
+        # the candidate arrays; ``cand_mids[c]`` is the message id.
+        cand_mids = mids[cand]
+        deliv_counts = np.bincount(crep[acc & eject], minlength=cand.size)
+        delivered: List[int] = []
+        members = [int(cand_mids[c]) for c in acc_members]
+        for c in np.flatnonzero(deliv_counts):
+            m = self._linked[int(cand_mids[c])]
+            m.delivered_flits += int(deliv_counts[c])
+            if m.delivered_flits == m.num_flits:
+                delivered.append(m.msg_id)
+        replay: Optional[Dict[int, _Replay]] = None
+        if collect_trace:
+            replay = {}
+            for c in acc_members:
+                seg = slice(fseg[c], fseg[c] + cf_n[c])
+                seg_acc = acc[seg]
+                replay[int(cand_mids[c])] = _Replay(
+                    fords=ford[seg][seg_acc],
+                    nxts=nxt[seg][seg_acc],
+                    acquired=bool(acq[seg].any()),
+                )
+        return BatchResult(
+            moved=moved, members=members, delivered=delivered, replay=replay
+        )

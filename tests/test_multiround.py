@@ -17,6 +17,7 @@ from repro.routing import (
     find_k_round_route,
     k_round_reachable,
     max_turns_bound,
+    multi_source_reach_sets,
     one_round_reachable,
     path_is_fault_free,
     reach_set_k_rounds,
@@ -124,6 +125,51 @@ class TestKRounds:
                         break
             got = k_round_reachable(grids, repeated(pi, 2), v, w)
             assert got == expected, (v, w)
+
+
+class TestMultiSourceReachSets:
+    """The bit-parallel word-lane kernel against its sequential oracle."""
+
+    @given(faulty_meshes(max_d=3, max_width=6, allow_link_faults=True),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_sequential_oracle(self, faults, k):
+        mesh = faults.mesh
+        grids = FaultGrids(faults)
+        pi = xy() if mesh.d == 2 else Ordering(range(mesh.d))
+        orderings = repeated(pi, k)
+        sources = [tuple(v) for v in mesh.nodes()]
+        rows = multi_source_reach_sets(grids, orderings, sources)
+        assert rows.shape == (len(sources), mesh.num_nodes)
+        for v, row in zip(sources, rows):
+            expect = reach_set_k_rounds(grids, orderings, v).reshape(-1)
+            assert np.array_equal(row, expect), v
+
+    def test_more_than_64_sources_cross_word_boundary(self):
+        # 100 sources forces two uint64 words per node; lane packing
+        # must keep each source in its own bit.
+        m = Mesh((10, 10))
+        faults = FaultSet(m, [(4, 4), (5, 2), (2, 7)])
+        grids = FaultGrids(faults)
+        orderings = repeated(xy(), 2)
+        sources = [tuple(v) for v in m.nodes()][:100]
+        rows = multi_source_reach_sets(grids, orderings, sources)
+        for v, row in zip(sources, rows):
+            expect = reach_set_k_rounds(grids, orderings, v).reshape(-1)
+            assert np.array_equal(row, expect), v
+
+    def test_faulty_source_row_all_false(self):
+        m = Mesh((6, 6))
+        faults = FaultSet(m, [(2, 2)])
+        grids = FaultGrids(faults)
+        rows = multi_source_reach_sets(grids, repeated(xy(), 2), [(2, 2)])
+        assert not rows.any()
+
+    def test_empty_sources(self):
+        m = Mesh((4, 4))
+        grids = FaultGrids(FaultSet(m))
+        rows = multi_source_reach_sets(grids, repeated(xy(), 2), [])
+        assert rows.shape == (0, m.num_nodes)
 
 
 class TestRouteMaterialization:

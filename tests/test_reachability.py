@@ -16,6 +16,11 @@ from repro.core import (
     full_reach_matrix,
     one_round_reachability_matrix,
 )
+from repro.core.reachability import (
+    PackedBoolMatrix,
+    _group_rows,
+    packed_bool_matmul,
+)
 from repro.mesh import FaultSet, Mesh
 from repro.routing import (
     KRoundOrdering,
@@ -198,6 +203,160 @@ class TestFindReachability:
         )
         for key in ("R1_density", "Rk_density", "I1_density", "R1I1_density"):
             assert 0.0 <= data.stats[key] <= 1.0
+
+
+class TestPackedBoolMatrix:
+    """The packed kernels must be bit-identical to the dense-bool
+    oracle (``bool_matmul``) across shapes, densities, and the kernel
+    crossover points (gather / transpose-gather / saturating probe)."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_matmul_matches_dense_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        p, n, q = (int(x) for x in rng.integers(0, 100, size=3))
+        da, db = rng.uniform(0.0, 1.0, size=2) ** 2
+        A = rng.random((p, n)) < da
+        B = rng.random((n, q)) < db
+        got = packed_bool_matmul(A, B)
+        assert got.shape == (p, q)
+        assert np.array_equal(got.unpack(), bool_matmul(A, B))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_pack_unpack_roundtrip_and_elementwise(self, seed):
+        rng = np.random.default_rng(seed)
+        p, q = (int(x) for x in rng.integers(0, 200, size=2))
+        A = rng.random((p, q)) < rng.uniform(0, 1)
+        B = rng.random((p, q)) < rng.uniform(0, 1)
+        pa, pb = PackedBoolMatrix.pack(A), PackedBoolMatrix.pack(B)
+        assert np.array_equal(pa.unpack(), A)
+        assert np.array_equal((pa & pb).unpack(), A & B)
+        assert np.array_equal((pa | pb).unpack(), A | B)
+        assert pa.count_nonzero() == int(np.count_nonzero(A))
+        assert np.array_equal(
+            pa.row_counts(), np.count_nonzero(A, axis=1)
+        )
+        if A.size:
+            assert density(pa) == density(A)
+        assert np.array_equal(pa.transpose().unpack(), A.T)
+
+    def test_saturating_probe_kernel_exact(self):
+        # Wide dense left factor with rows that do and do not saturate,
+        # forcing both the probe and the fallback full gather.
+        rng = np.random.default_rng(3)
+        n = 400
+        A = rng.random((64, n)) < 0.9
+        B = np.zeros((n, 200), dtype=bool)
+        B[:, :150] = rng.random((n, 150)) < 0.5  # saturating block
+        B[::7, 150:] = True  # sparse tail: rows stay unsaturated
+        assert np.array_equal(
+            packed_bool_matmul(A, B).unpack(), bool_matmul(A, B)
+        )
+
+    def test_transpose_kernel_exact(self):
+        # Dense left, very sparse right: the (B^T A^T)^T route.
+        rng = np.random.default_rng(4)
+        A = rng.random((300, 300)) < 0.6
+        B = rng.random((300, 300)) < 0.01
+        assert np.array_equal(
+            packed_bool_matmul(A, B).unpack(), bool_matmul(A, B)
+        )
+
+    def test_accepts_sparse_input(self):
+        rng = np.random.default_rng(5)
+        A = rng.random((40, 30)) < 0.3
+        B = rng.random((30, 20)) < 0.1
+        got = packed_bool_matmul(A, sp.csr_matrix(B))
+        assert np.array_equal(got.unpack(), bool_matmul(A, B))
+
+    def test_padding_bits_stay_zero(self):
+        # 65 columns -> 2 words with 63 padding bits; products and
+        # elementwise ops must keep them zero or popcounts drift.
+        A = np.ones((3, 65), dtype=bool)
+        pa = PackedBoolMatrix.pack(A)
+        assert pa.words.shape == (3, 2)
+        assert pa.count_nonzero() == 3 * 65
+        prod = packed_bool_matmul(A, np.ones((65, 65), dtype=bool))
+        assert prod.count_nonzero() == 3 * 65
+
+    def test_shape_and_type_errors(self):
+        a = PackedBoolMatrix.pack(np.ones((2, 3), dtype=bool))
+        b = PackedBoolMatrix.pack(np.ones((2, 4), dtype=bool))
+        with pytest.raises(ValueError):
+            a.bitwise_and(b)
+        with pytest.raises(ValueError):
+            a.matmul(a)  # inner dims 3 vs 2
+        with pytest.raises(TypeError):
+            a.matmul(np.ones((3, 2), dtype=bool))
+        with pytest.raises(TypeError):
+            PackedBoolMatrix.pack(np.ones((2, 3), dtype=np.int64))
+
+    def test_one_round_packed_output(self, paper_faults):
+        pi = xy()
+        index = LineFaultIndex(paper_faults)
+        ses = find_ses_partition(paper_faults, pi)
+        des = find_des_partition(paper_faults, pi)
+        sr = _reps(ses, paper_faults.mesh)
+        dr = _reps(des, paper_faults.mesh)
+        dense = one_round_reachability_matrix(index, pi, sr, dr)
+        packed = one_round_reachability_matrix(index, pi, sr, dr, packed=True)
+        assert isinstance(packed, PackedBoolMatrix)
+        assert np.array_equal(packed.unpack(), dense)
+
+    def test_find_reachability_packed_matches_dense(self, paper_faults):
+        pi = xy()
+        orderings = repeated(pi, 3)
+        ses = find_ses_partition(paper_faults, pi)
+        des = find_des_partition(paper_faults, pi)
+        index = LineFaultIndex(paper_faults)
+        kw = dict()
+        args = (
+            index, orderings, [ses] * 3, [des] * 3,
+            [_reps(ses, paper_faults.mesh)] * 3,
+            [_reps(des, paper_faults.mesh)] * 3,
+        )
+        d_dense = find_reachability(*args, packed=False)
+        d_packed = find_reachability(*args, packed=True)
+        assert d_dense.stats["packed_products"] == 0.0
+        assert d_packed.stats["packed_products"] == 1.0
+        assert np.array_equal(d_dense.Rk, d_packed.Rk)
+        for a, b in zip(d_dense.partial, d_packed.partial):
+            assert np.array_equal(a, b)
+        assert d_packed.Rk.dtype == np.bool_  # public fields stay dense
+        assert d_dense.stats["R1I1_density"] == d_packed.stats["R1I1_density"]
+
+
+class TestTypedInputErrors:
+    """density/_group_rows reject wrong-typed inputs instead of
+    silently coercing (regression: packed matrices used to round-trip
+    through an unpack copy, floats through np.unique)."""
+
+    def test_density_rejects_non_bool_dense(self):
+        with pytest.raises(TypeError):
+            density(np.ones((2, 2), dtype=np.float64))
+        with pytest.raises(TypeError):
+            density(np.ones((2, 2), dtype=np.int32))
+
+    def test_density_accepts_packed_without_unpack(self):
+        A = np.eye(130, dtype=bool)
+        pa = PackedBoolMatrix.pack(A)
+        assert density(pa) == density(A)
+
+    def test_group_rows_rejects_packed(self):
+        pa = PackedBoolMatrix.pack(np.ones((4, 4), dtype=bool))
+        with pytest.raises(TypeError):
+            _group_rows(pa, [0])
+
+    def test_group_rows_rejects_float(self):
+        with pytest.raises(TypeError):
+            _group_rows(np.ones((4, 2), dtype=np.float64), [0])
+
+    def test_group_rows_still_groups_ints(self):
+        arr = np.asarray([[0, 1], [0, 2], [1, 1]])
+        groups = _group_rows(arr, [0])
+        assert sorted(groups) == [(0,), (1,)]
+        assert list(groups[(0,)]) == [0, 1]
 
 
 class TestBoolMatmulOverflowRegression:
