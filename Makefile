@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke obs-smoke reliability-smoke vector-smoke lint analyze prove-smoke clean
+.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke obs-smoke reliability-smoke vector-smoke lint analyze concurrency concurrency-smoke prove-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -131,14 +131,40 @@ lint:
 	then ruff check src tests; \
 	else echo "ruff not installed; skipping (CI runs it)"; fi
 	PYTHONPATH=src $(PYTHON) -m repro analyze src
+	PYTHONPATH=src $(PYTHON) -m repro analyze --concurrency src \
+	    --baseline concurrency_baseline.json
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
 	then PYTHONPATH=src $(PYTHON) -m mypy -p repro.routing -p repro.graphs \
-	    -p repro.service -p repro.core.routing_table; \
+	    -p repro.service -p repro.core.routing_table -p repro.obs \
+	    -p repro.reliability -p repro.analysis; \
 	else echo "mypy not installed; skipping (CI runs it)"; fi
 
 # Just the domain lint suite.
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro analyze src
+
+# The interprocedural concurrency pass (REP201-REP205) over the tree,
+# gated by the committed suppression baseline: new findings AND stale
+# baseline entries both fail, so the baseline can neither silently
+# grow nor rot.
+concurrency:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --concurrency src \
+	    --baseline concurrency_baseline.json
+
+# Concurrency smoke (CI job: lint, blocking): run the pass twice with
+# JSON artifacts and diff them — the report must be a pure function of
+# the sources — then apply the baseline gate.
+concurrency-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --concurrency src \
+	    --baseline concurrency_baseline.json --format json \
+	    --out /tmp/concurrency-smoke-1.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro analyze --concurrency src \
+	    --baseline concurrency_baseline.json --format json \
+	    --out /tmp/concurrency-smoke-2.json > /dev/null
+	diff /tmp/concurrency-smoke-1.json /tmp/concurrency-smoke-2.json
+	grep -q '"schema": 1' /tmp/concurrency-smoke-1.json
+	grep -q '"cycles": \[\]' /tmp/concurrency-smoke-1.json
+	@echo "concurrency smoke OK: deterministic report, baseline gate clean"
 
 # CDG prover smoke: the paper's discipline must verify, the broken
 # single-VC discipline must be refuted with a counterexample cycle.

@@ -1,6 +1,6 @@
 """Static verification layer.
 
-Two prongs, both run *before* any simulation cycle:
+Three prongs, all run *before* any simulation cycle:
 
 - :mod:`repro.analysis.static.cdg` — the channel-dependency-graph
   deadlock prover.  Builds the extended Dally–Seitz CDG for a
@@ -12,6 +12,13 @@ Two prongs, both run *before* any simulation cycle:
   unseeded randomness, hash-order-dependent iteration, mutable default
   arguments, bare ``except`` and parallel-safety of trial-engine
   workers (see :mod:`repro.analysis.static.rules`).
+- :mod:`repro.analysis.static.concurrency` — the interprocedural
+  concurrency-soundness pass behind ``repro analyze --concurrency``:
+  lock-order deadlock certificates (REP201), asyncio blocking-call
+  detection (REP202), process-worker escape analysis (REP203),
+  lock-held-across-await (REP204) and unguarded shared writes
+  (REP205), sharing the CDG prover's minimal-cycle search
+  (:mod:`repro.analysis.static.cycles`).
 """
 
 from .cdg import (
@@ -23,8 +30,18 @@ from .cdg import (
     find_dependency_cycle,
     prove_deadlock_free,
 )
+from .concurrency import (
+    ConcurrencyFinding,
+    ConcurrencyReport,
+    LockOrderCycle,
+    analyze_concurrency,
+    analyze_sources,
+    apply_baseline,
+    load_baseline,
+)
+from .cycles import find_minimal_cycle
 from .lint import LintEngine, Violation, analyze_paths
-from .rules import ALL_RULES, LintRule
+from .rules import ALL_RULES, CONCURRENCY_RULES, KNOWN_RULE_IDS, LintRule
 
 __all__ = [
     "CdgReport",
@@ -33,10 +50,20 @@ __all__ = [
     "assert_deadlock_free",
     "build_cdg",
     "find_dependency_cycle",
+    "find_minimal_cycle",
     "prove_deadlock_free",
+    "ConcurrencyFinding",
+    "ConcurrencyReport",
+    "LockOrderCycle",
+    "analyze_concurrency",
+    "analyze_sources",
+    "apply_baseline",
+    "load_baseline",
     "LintEngine",
     "Violation",
     "analyze_paths",
     "ALL_RULES",
+    "CONCURRENCY_RULES",
+    "KNOWN_RULE_IDS",
     "LintRule",
 ]

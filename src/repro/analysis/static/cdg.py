@@ -48,7 +48,6 @@ accepted (``tests/test_static_cdg.py``).
 from __future__ import annotations
 
 import json
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -56,6 +55,7 @@ from ...mesh.faults import FaultSet
 from ...mesh.geometry import Node
 from ...routing.ordering import KRoundOrdering
 from ...wormhole.deadlock import SimulationError
+from .cycles import find_minimal_cycle
 
 __all__ = [
     "Channel",
@@ -70,9 +70,6 @@ __all__ = [
 
 #: (src, dst, vc) — identical to :data:`repro.wormhole.network.ResourceKey`.
 Channel = Tuple[Node, Node, int]
-
-#: BFS fan-out cap for minimal-cycle search on huge cyclic graphs.
-_MINIMIZE_SOURCES_CAP = 256
 
 
 def _hop_dim_dir(widths: Tuple[int, ...], u: Node, w: Node) -> Tuple[int, int]:
@@ -284,73 +281,12 @@ def find_dependency_cycle(
 ) -> Optional[List[Channel]]:
     """A minimal cycle of the dependency graph, or ``None`` if acyclic.
 
-    Kahn-peels the acyclic fringe first; on the cyclic core a BFS from
-    each surviving channel (capped at :data:`_MINIMIZE_SOURCES_CAP`
-    sources, deterministically chosen) finds the globally shortest
-    cycle through any of them.
+    Delegates to the shared
+    :func:`~repro.analysis.static.cycles.find_minimal_cycle` (Kahn
+    peel + capped-BFS minimization), kept as a named entry point for
+    the channel-dependency domain.
     """
-    # In-degrees over the *closed* node set (successors may be sinks
-    # that never appear as keys — they have no outgoing edges and can
-    # never be on a cycle, so they are ignored entirely).
-    indeg: Dict[Channel, int] = {c: 0 for c in graph}
-    for succs in graph.values():
-        for c2 in succs:
-            if c2 in indeg:
-                indeg[c2] += 1
-    queue = deque(c for c, n in indeg.items() if n == 0)
-    alive = dict(indeg)
-    removed = 0
-    while queue:
-        c = queue.popleft()
-        removed += 1
-        for c2 in graph.get(c, ()):
-            if c2 in alive:
-                alive[c2] -= 1
-                if alive[c2] == 0:
-                    queue.append(c2)
-    core = [c for c, n in alive.items() if n > 0]
-    if not core:
-        return None
-    core_set = set(core)
-
-    best: Optional[List[Channel]] = None
-    for start in core[:_MINIMIZE_SOURCES_CAP]:
-        # Shortest path start -> ... -> start within the cyclic core.
-        parent: Dict[Channel, Channel] = {}
-        dq = deque([start])
-        seen = {start}
-        found = None
-        while dq and found is None:
-            c = dq.popleft()
-            if best is not None and _depth(parent, c, start) + 1 >= len(best):
-                continue  # cannot beat the incumbent
-            for c2 in graph.get(c, ()):
-                if c2 == start:
-                    found = c
-                    break
-                if c2 in core_set and c2 not in seen:
-                    seen.add(c2)
-                    parent[c2] = c
-                    dq.append(c2)
-        if found is None:
-            continue
-        cyc = [found]
-        while cyc[-1] != start:
-            cyc.append(parent[cyc[-1]])
-        cyc.reverse()
-        if best is None or len(cyc) < len(best):
-            best = cyc
-            if len(best) == 1:  # self-loop: cannot do better
-                break
-    return best
-
-
-def _depth(parent: Dict[Channel, Channel], c: Channel, start: Channel) -> int:
-    n = 0
-    while c != start:
-        c = parent[c]
-        n += 1
-    return n
+    return find_minimal_cycle(graph)
 
 
 # ----------------------------------------------------------------------

@@ -24,16 +24,22 @@ import os
 import re
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .rules import ALL_RULES, LintRule, Violation
+from .rules import ALL_RULES, KNOWN_RULE_IDS, LintRule, Violation
 
 __all__ = [
     "LintEngine",
     "Violation",
     "analyze_paths",
     "format_violations",
+    "iter_python_files",
+    "line_suppresses",
 ]
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+#: ``REP``-shaped codes inside a noqa pragma; anything else on the line
+#: (``E731``, ruff codes, ...) belongs to other tools and is ignored.
+_REP_CODE_RE = re.compile(r"^REP\d+$")
 
 #: Directory names never descended into.
 _EXCLUDED_DIRS = {
@@ -46,8 +52,14 @@ _EXCLUDED_DIRS = {
 }
 
 
-def _suppressed(line: str, rule_id: str) -> bool:
-    """Whether ``line`` carries a ``# noqa`` pragma covering ``rule_id``."""
+def line_suppresses(line: str, rule_id: str) -> bool:
+    """Whether ``line`` carries a ``# noqa`` pragma covering ``rule_id``.
+
+    A bare ``# noqa`` silences every rule on its line; a code list
+    (``# noqa: REP101,REP104``) silences exactly the named rules.  The
+    concurrency analyzer reuses this predicate so REP2xx findings obey
+    the same pragma grammar as the single-file rules.
+    """
     m = _NOQA_RE.search(line)
     if m is None:
         return False
@@ -56,6 +68,51 @@ def _suppressed(line: str, rule_id: str) -> bool:
         return True  # bare ``# noqa`` silences every rule
     wanted = {c.strip().upper() for c in codes.split(",") if c.strip()}
     return rule_id.upper() in wanted
+
+
+# Backwards-compatible private alias (pre-REP2xx name).
+_suppressed = line_suppresses
+
+
+def _unknown_noqa_codes(line: str) -> List[str]:
+    """REP-shaped noqa codes on ``line`` that name no registered rule.
+
+    A typo'd pragma (a code list naming, say, ``REP210``) suppresses
+    nothing, which is exactly when the author most needs to hear about
+    it.  Non-REP codes are other tools' business and never warned on.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None or m.group("codes") is None:
+        return []
+    codes = sorted(
+        {c.strip().upper() for c in m.group("codes").split(",") if c.strip()}
+    )
+    return [
+        c for c in codes if _REP_CODE_RE.match(c) and c not in KNOWN_RULE_IDS
+    ]
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files and/or directory trees into a deterministic,
+    duplicate-free list of ``.py`` paths (shared by the lint engine and
+    the concurrency analyzer so both walk identically)."""
+    out: List[str] = []
+    seen = set()
+    for target in paths:
+        target = os.path.normpath(target)
+        if os.path.isdir(target):
+            for root, dirs, files in os.walk(target):
+                dirs[:] = sorted(d for d in dirs if d not in _EXCLUDED_DIRS)
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        full = os.path.join(root, name)
+                        if full not in seen:
+                            seen.add(full)
+                            out.append(full)
+        elif target not in seen:
+            seen.add(target)
+            out.append(target)
+    return out
 
 
 class LintEngine:
@@ -72,10 +129,18 @@ class LintEngine:
         self.rules: Sequence[LintRule] = (
             tuple(rules) if rules is not None else ALL_RULES
         )
+        #: Non-fatal diagnostics from the last ``check_*`` call —
+        #: currently noqa pragmas naming unregistered REP rules.
+        self.warnings: List[str] = []
 
     # ------------------------------------------------------------------
     def check_source(self, source: str, path: str = "<string>") -> List[Violation]:
-        """Lint one source string (already-read file contents)."""
+        """Lint one source string (already-read file contents).
+
+        Appends to :attr:`warnings` for every noqa pragma that names an
+        unknown REP rule id (the pragma suppresses nothing, which is
+        almost always a typo).
+        """
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
@@ -89,11 +154,16 @@ class LintEngine:
                 )
             ]
         lines = source.splitlines()
+        for lineno, text in enumerate(lines, start=1):
+            for code in _unknown_noqa_codes(text):
+                self.warnings.append(
+                    f"{path}:{lineno}: noqa names unknown rule {code}"
+                )
         out: List[Violation] = []
         for rule in self.rules:
             for v in rule.check(tree, path):
                 text = lines[v.line - 1] if 0 < v.line <= len(lines) else ""
-                if not _suppressed(text, v.rule_id):
+                if not line_suppresses(text, v.rule_id):
                     out.append(v)
         out.sort()
         return out
@@ -104,19 +174,11 @@ class LintEngine:
 
     def check_paths(self, paths: Iterable[str]) -> List[Violation]:
         """Lint files and/or directory trees (``.py`` files only),
-        deterministically ordered."""
+        deterministically ordered.  Resets :attr:`warnings` first."""
+        self.warnings = []
         out: List[Violation] = []
-        for target in paths:
-            if os.path.isdir(target):
-                for root, dirs, files in os.walk(target):
-                    dirs[:] = sorted(
-                        d for d in dirs if d not in _EXCLUDED_DIRS
-                    )
-                    for name in sorted(files):
-                        if name.endswith(".py"):
-                            out.extend(self.check_file(os.path.join(root, name)))
-            else:
-                out.extend(self.check_file(target))
+        for path in iter_python_files(paths):
+            out.extend(self.check_file(path))
         out.sort()
         return out
 

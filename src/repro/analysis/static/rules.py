@@ -521,6 +521,58 @@ ALL_RULES: Tuple[LintRule, ...] = (
     ParallelClosureRule(),
 )
 
+#: The concurrency-soundness rule catalog (REP2xx).  These rules need
+#: whole-program context (a call graph, lock identities, class models)
+#: that the single-file :class:`LintRule` protocol cannot express, so
+#: they are implemented by the interprocedural analyzer in
+#: :mod:`repro.analysis.static.concurrency` — but they share this
+#: module's id space, ``# noqa`` machinery, and finding shape.
+CONCURRENCY_RULES: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "REP201",
+        "lock-order-cycle",
+        "two code paths acquire the same locks in opposite orders; the "
+        "analyzer emits the minimal acquisition cycle as a certificate",
+    ),
+    (
+        "REP202",
+        "async-blocking-call",
+        "a blocking call (time.sleep, sync file/socket IO, subprocess, "
+        "Lock.acquire) is reachable from an async def without an "
+        "executor handoff; it stalls the whole event loop",
+    ),
+    (
+        "REP203",
+        "process-escape",
+        "work submitted to a process executor captures unpicklable or "
+        "shared-mutable state (locks, sockets, TelemetryRegistry, "
+        "bound methods of lock-holding objects)",
+    ),
+    (
+        "REP204",
+        "lock-held-across-await",
+        "an async def awaits while holding a threading lock; every "
+        "other task (and thread) contending for the lock stalls for "
+        "the full suspension",
+    ),
+    (
+        "REP205",
+        "unguarded-shared-write",
+        "an attribute written under a lock elsewhere in the class is "
+        "also written with no lock held; the unguarded write races",
+    ),
+)
+
+#: Every rule id the suite can emit (``REP000`` = unparsable file).
+#: ``# noqa: REPxxx`` pragmas naming ids outside this set are reported
+#: as warnings by the lint engine — a typo'd pragma suppresses nothing
+#: and should not pass silently.
+KNOWN_RULE_IDS = frozenset(
+    {"REP000"}
+    | {rule.id for rule in ALL_RULES}
+    | {rule_id for rule_id, _name, _desc in CONCURRENCY_RULES}
+)
+
 
 def rule_by_id(rule_id: str) -> LintRule:
     for rule in ALL_RULES:

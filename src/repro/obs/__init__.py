@@ -70,7 +70,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # The smoke pulls in the simulator and the service compiler;
     # import lazily so ``import repro.obs`` stays light.
     if name == "run_telemetry_smoke":

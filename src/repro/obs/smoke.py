@@ -22,7 +22,7 @@ pure function of the seed).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -34,8 +34,8 @@ __all__ = ["run_telemetry_smoke", "WORKED_EXAMPLE_FAULTS"]
 WORKED_EXAMPLE_FAULTS = ((9, 1), (11, 6), (10, 10))
 
 
-def _trial_worker(payload, t):  # pragma: no cover - trivial
-    return payload["base"] + t
+def _trial_worker(payload: Dict[str, int], t: int) -> int:
+    return payload["base"] + t  # pragma: no cover - trivial
 
 
 def run_telemetry_smoke(

@@ -156,7 +156,10 @@ class RouteQueryServer:
             self.orphaned_compiles = len(orphaned)
         else:
             self.orphaned_compiles = 0
-        self.compiler.persist_current()
+        # Persisting the warmed table hits the disk tier of the store;
+        # hand it to a worker thread so the drain never blocks the loop
+        # (REP202: async-blocking-call).
+        await loop.run_in_executor(None, self.compiler.persist_current)
 
     # ------------------------------------------------------------------
     async def _on_connect(

@@ -250,6 +250,91 @@ class TestEngine:
 
 
 # ----------------------------------------------------------------------
+# Suppression handling: noqa scoping, unknown-rule warnings, JSON schema
+# ----------------------------------------------------------------------
+class TestSuppressionHandling:
+    # One line tripping two rules: unseeded np.random (REP101) inside a
+    # comprehension over a set literal (REP102).
+    MULTI = "xs = [np.random.rand() for x in {1, 2}]"
+
+    def test_multi_rule_line_trips_both_rules(self):
+        assert _ids(LintEngine().check_source(self.MULTI + "\n")) == [
+            "REP101",
+            "REP102",
+        ]
+
+    def test_coded_noqa_scopes_to_named_rule_only(self):
+        out = LintEngine().check_source(self.MULTI + "  # noqa: REP101\n")
+        assert _ids(out) == ["REP102"]
+        out = LintEngine().check_source(self.MULTI + "  # noqa: REP102\n")
+        assert _ids(out) == ["REP101"]
+
+    def test_multi_code_noqa_suppresses_each_named_rule(self):
+        src = self.MULTI + "  # noqa: REP101, REP102\n"
+        assert LintEngine().check_source(src) == []
+
+    def test_bare_noqa_suppresses_every_rule_on_the_line(self):
+        assert LintEngine().check_source(self.MULTI + "  # noqa\n") == []
+
+    def test_noqa_only_covers_its_own_line(self):
+        src = "xs = list({1, 2})  # noqa: REP102\nys = list({3, 4})\n"
+        out = LintEngine().check_source(src)
+        assert _ids(out) == ["REP102"]
+        assert out[0].line == 2
+
+    def test_unknown_rep_code_in_noqa_warns(self):
+        engine = LintEngine()
+        engine.check_source("x = 1  # noqa: REP999\n", "mod.py")
+        assert engine.warnings == ["mod.py:1: noqa names unknown rule REP999"]
+
+    def test_known_and_foreign_codes_do_not_warn(self):
+        engine = LintEngine()
+        # Registered lint rule, registered concurrency rule, another
+        # tool's code, and a bare noqa: none are typos worth warning on.
+        engine.check_source(
+            "a = 1  # noqa: REP102\n"
+            "b = 2  # noqa: REP202\n"
+            "c = 3  # noqa: E731\n"
+            "d = 4  # noqa\n",
+            "mod.py",
+        )
+        assert engine.warnings == []
+
+    def test_check_paths_resets_and_collects_warnings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1  # noqa: REP998\n")
+        engine = LintEngine()
+        engine.warnings = ["stale entry from a previous run"]
+        engine.check_paths([str(tmp_path)])
+        assert engine.warnings == [
+            f"{bad}:1: noqa names unknown rule REP998"
+        ]
+
+    def test_json_schema_is_stable(self):
+        out = LintEngine().check_source(self.MULTI + "\n", "mod.py")
+        data = json.loads(format_violations(out, fmt="json"))
+        assert sorted(data) == ["count", "violations"]
+        assert data["count"] == len(data["violations"]) == 2
+        for entry in data["violations"]:
+            assert sorted(entry) == [
+                "col", "line", "message", "path", "rule",
+            ]
+            assert entry["path"] == "mod.py"
+        # Deterministic serialization: same findings, same bytes.
+        assert format_violations(out, fmt="json") == format_violations(
+            out, fmt="json"
+        )
+
+    def test_json_empty_payload(self):
+        data = json.loads(format_violations([], fmt="json"))
+        assert data == {"count": 0, "violations": []}
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            format_violations([], fmt="yaml")
+
+
+# ----------------------------------------------------------------------
 # Acceptance: the fixed tree is clean; the CLI gates on it
 # ----------------------------------------------------------------------
 class TestAcceptance:
