@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke obs-smoke reliability-smoke vector-smoke lint analyze concurrency concurrency-smoke prove-smoke clean
+.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke obs-smoke reliability-smoke vector-smoke workflow-smoke lint analyze concurrency concurrency-smoke prove-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -122,6 +122,36 @@ vector-smoke:
 	diff /tmp/vector-smoke-frontier-1.txt /tmp/vector-smoke-vector-1.txt
 	diff /tmp/vector-smoke-scan-1.txt /tmp/vector-smoke-vector-1.txt
 	@echo "vector smoke OK: three engines deterministic and cycle-identical"
+
+# Workflow smoke (CI job: test, blocking): the ISSUE acceptance gate.
+# 1. chaos-campaign twice against one checkpoint store — the second
+#    run must be 100%% cache hits (zero recomputation) and the two
+#    report artifacts byte-identical.
+# 2. kill-and-resume: the same preset in a fresh store, SIGKILLed at
+#    the chaos-burst step boundary (REPRO_WORKFLOW_KILL_AFTER), then
+#    resumed — the resumed report must be byte-identical to the
+#    straight-through one with all pre-kill steps served from cache.
+workflow-smoke:
+	rm -rf /tmp/wf-smoke-store /tmp/wf-smoke-kill
+	PYTHONPATH=src $(PYTHON) -m repro workflow run chaos-campaign \
+	    --store /tmp/wf-smoke-store --json \
+	    --out /tmp/wf-smoke-run1.json > /tmp/wf-smoke-outcome1.json
+	PYTHONPATH=src $(PYTHON) -m repro workflow run chaos-campaign \
+	    --store /tmp/wf-smoke-store --json \
+	    --out /tmp/wf-smoke-run2.json > /tmp/wf-smoke-outcome2.json
+	diff /tmp/wf-smoke-run1.json /tmp/wf-smoke-run2.json
+	grep -q '"executed_steps": 0' /tmp/wf-smoke-outcome2.json
+	grep -q '"cached_steps": 5' /tmp/wf-smoke-outcome2.json
+	REPRO_WORKFLOW_KILL_AFTER=chaos-burst PYTHONPATH=src \
+	    $(PYTHON) -m repro workflow run chaos-campaign \
+	    --store /tmp/wf-smoke-kill > /dev/null 2>&1; \
+	    test $$? -eq 137
+	PYTHONPATH=src $(PYTHON) -m repro workflow resume chaos-campaign \
+	    --store /tmp/wf-smoke-kill --json \
+	    --out /tmp/wf-smoke-resumed.json > /tmp/wf-smoke-outcome3.json
+	grep -q '"cached_steps": 2' /tmp/wf-smoke-outcome3.json
+	diff /tmp/wf-smoke-resumed.json /tmp/wf-smoke-run1.json
+	@echo "workflow smoke OK: cached rerun + kill-and-resume byte-identical"
 
 # Static analysis gate (CI job: lint).  ruff and mypy are skipped
 # gracefully when not installed (offline dev containers); the domain

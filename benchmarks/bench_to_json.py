@@ -3,8 +3,9 @@
 Runs a small curated benchmark subset — the lamb pipeline, the
 reachability product kernel (dense and bit-packed), the wormhole
 simulator under saturation (frontier and vector engines), the seeded
-chaos scenario, the parallel trial engine, and the route-query service
-data path — and writes ``BENCH_<date>.json`` rows of ``{bench, mesh,
+chaos scenario, the parallel trial engine, the route-query service
+data path, and the workflow engine's checkpoint-replay overhead — and
+writes ``BENCH_<date>.json`` rows of ``{bench, mesh,
 wall_s, cycles_per_s / trials_per_s / queries_per_s}``.  A comparator
 mode diffs a fresh run against the latest committed baseline and fails
 on a >25% wall-clock regression; rows with an embedded oracle
@@ -339,6 +340,43 @@ def _bench_service_throughput() -> Dict[str, object]:
             "wall_s": wall, "queries_per_s": queries / wall}
 
 
+def _bench_workflow_resume() -> Dict[str, object]:
+    """Checkpoint-replay overhead: a fully-populated reliability-slo
+    checkpoint store resumed by fresh runner processes.  Every step is
+    a cache hit, so the wall time is pure workflow-engine overhead —
+    digest computation + ArtifactStore reads — which is what a killed
+    campaign pays before doing new work."""
+    import shutil
+    import tempfile
+
+    from repro.service.store import ArtifactStore
+    from repro.workflow import WorkflowRunner
+
+    overrides = {
+        "sample-timeline": {"horizon": 1.0},
+        "run-campaign": {"horizon": 1.0, "trials": 2},
+    }
+    root = tempfile.mkdtemp(prefix="wf-bench-")
+    try:
+        first = WorkflowRunner(store=ArtifactStore(root=root)).run(
+            "reliability-slo", overrides=overrides
+        )
+        assert first.executed_steps == 3
+        resumes = 20
+        t0 = time.perf_counter()
+        for _ in range(resumes):
+            outcome = WorkflowRunner(store=ArtifactStore(root=root)).run(
+                "reliability-slo", overrides=overrides
+            )
+            assert outcome.executed_steps == 0
+        wall = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {"bench": "workflow_resume_overhead",
+            "mesh": f"reliability-slo x{resumes}",
+            "wall_s": wall, "trials_per_s": resumes / wall}
+
+
 BENCHES: Tuple[Callable[[], Dict[str, object]], ...] = (
     _bench_lamb_pipeline,
     _bench_reachability_product,
@@ -351,6 +389,7 @@ BENCHES: Tuple[Callable[[], Dict[str, object]], ...] = (
     _bench_trial_engine_procs,
     _bench_reliability_campaign,
     _bench_service_throughput,
+    _bench_workflow_resume,
 )
 
 

@@ -22,6 +22,14 @@ REP105  Parallel-safety: a lambda or nested function passed as a
         functions; closures capture shared mutable state of the
         enclosing frame and either fail to pickle or silently fork
         divergent copies.
+REP106  Wall-clock read inside a registered workflow step (a function
+        decorated with ``register_step`` / ``<registry>.register``).
+        The workflow runner content-addresses each step's output by
+        its inputs and replays checkpoints on digest hits, so a step
+        whose output embeds ``time.time()`` / ``datetime.now()``
+        differs between an executed and a replayed run — breaking the
+        straight-run-vs-resume byte-identity guarantee.  Timing
+        belongs to the runner's telemetry span, not the step body.
 ======  ==============================================================
 
 Suppression: append ``# noqa`` (all rules) or ``# noqa: REP102`` /
@@ -513,12 +521,88 @@ class ParallelClosureRule(LintRule):
                 )
 
 
+# ----------------------------------------------------------------------
+# REP106 — wall-clock reads inside registered workflow steps
+# ----------------------------------------------------------------------
+#: Direct wall/CPU-clock reads.  Any of these inside a step body makes
+#: the output depend on *when* the step ran, which the content address
+#: cannot see.
+_WALLCLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+})
+
+
+def _is_step_decorator(dec: ast.AST) -> bool:
+    """``@register_step(...)`` or ``@<registry>.register(...)`` —
+    the two spellings that enter a function into a step catalog."""
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    dotted = _dotted(target)
+    if dotted is None:
+        return False
+    tail = dotted.rsplit(".", 1)[-1]
+    return tail == "register_step" or ("." in dotted and tail == "register")
+
+
+class ImpureStepClockRule(LintRule):
+    id = "REP106"
+    name = "impure-step-clock"
+    description = (
+        "registered workflow steps are content-addressed by their "
+        "inputs and replayed from checkpoints; a direct wall-clock "
+        "read makes the output depend on when the step ran"
+    )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not any(_is_step_decorator(d) for d in node.decorator_list):
+                continue
+            yield from self._check_step_body(node, path)
+
+    def _check_step_body(
+        self, func: ast.AST, path: str
+    ) -> Iterator[Violation]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is not None and dotted in _WALLCLOCK_CALLS:
+                yield self._v(
+                    path, node,
+                    f"{dotted}() inside a registered workflow step: the "
+                    "runner content-addresses step outputs by their "
+                    "inputs and replays checkpoints on digest hits, so "
+                    "a wall-clock read breaks run-vs-resume "
+                    "byte-identity; timing belongs to the runner's "
+                    "telemetry span",
+                )
+
+
 ALL_RULES: Tuple[LintRule, ...] = (
     UnseededRandomRule(),
     HashOrderIterationRule(),
     MutableDefaultRule(),
     BareExceptRule(),
     ParallelClosureRule(),
+    ImpureStepClockRule(),
 )
 
 #: The concurrency-soundness rule catalog (REP2xx).  These rules need
@@ -604,5 +688,12 @@ SEEDED_FIXTURES = {
         "    def worker(payload, t):\n"
         "        acc.append(t)\n"
         "    return engine.run_trials(worker, 4, {})\n"
+    ),
+    "REP106": (
+        "import time\n"
+        "from repro.workflow import register_step\n"
+        "@register_step('demo', 'a demo step')\n"
+        "def demo(params, inputs):\n"
+        "    return {'stamp': time.time()}\n"
     ),
 }

@@ -19,6 +19,12 @@
 - ``query``       resolve routes / fetch stats from a running server
 - ``stats``       run the seeded telemetry smoke and print the unified
   metrics registry (Prometheus / JSON / NDJSON)
+- ``workflow``    list/run/resume declarative campaign presets with
+  content-addressed checkpoint-resume (``workflow run chaos-campaign
+  --store DIR`` survives a SIGKILL; ``workflow resume`` picks up from
+  the last completed step)
+- ``store``       artifact-store maintenance (``store gc`` LRU-evicts
+  the disk tier down to a byte budget)
 
 ``simulate``, ``experiments``, ``serve`` and ``stats`` accept
 ``--telemetry PREFIX`` to write the process's telemetry registry to
@@ -41,6 +47,9 @@ Examples
     python -m repro serve --mesh 16x16 --faults 5 --seed 4 --port 7420
     python -m repro serve --smoke
     python -m repro query --port 7420 --source 0,0 --dest 9,9
+    python -m repro workflow run chaos-campaign --store /tmp/ckpt --json
+    python -m repro workflow resume chaos-campaign --store /tmp/ckpt
+    python -m repro store gc --root /tmp/ckpt --max-bytes 1000000
 """
 
 from __future__ import annotations
@@ -729,6 +738,154 @@ def cmd_query(args) -> int:
     return asyncio.run(_run())
 
 
+def _parse_override(text: str):
+    """``step.key=value`` -> ``(step, key, value)`` with JSON values."""
+    import json as _json
+
+    target, sep, raw = text.partition("=")
+    step, dot, key = target.partition(".")
+    if not sep or not dot or not step or not key:
+        raise argparse.ArgumentTypeError(
+            f"bad override {text!r}; use step.key=value "
+            "(e.g. run-campaign.trials=100)"
+        )
+    try:
+        value = _json.loads(raw)
+    except ValueError:
+        value = raw
+    return step, key, value
+
+
+def cmd_workflow_list(args) -> int:
+    """Catalog dump: presets and registered step types."""
+    import json as _json
+
+    from .workflow import PRESETS, STEPS, preset_digest
+
+    if args.json:
+        payload = {
+            "presets": [
+                {
+                    "name": name,
+                    "digest": preset_digest(PRESETS[name]),
+                    "steps": list(PRESETS[name].step_names()),
+                    "description": PRESETS[name].description,
+                }
+                for name in sorted(PRESETS)
+            ],
+            "steps": [
+                {
+                    "name": name,
+                    "version": STEPS.get(name).version,
+                    "description": STEPS.get(name).description,
+                }
+                for name in STEPS.names()
+            ],
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{'preset':<18} {'steps':<6} description")
+    for name in sorted(PRESETS):
+        preset = PRESETS[name]
+        print(f"{name:<18} {len(preset.steps):<6} {preset.description}")
+    print()
+    print(f"{'step':<18} {'v':<3} description")
+    for name in STEPS.names():
+        step = STEPS.get(name)
+        print(f"{name:<18} {step.version:<3} {step.description}")
+    return 0
+
+
+def _run_workflow(args, resuming: bool) -> int:
+    import json as _json
+
+    from .service.store import ArtifactStore
+    from .workflow import (
+        EXIT_INTERRUPTED,
+        EXIT_PAUSED,
+        WorkflowError,
+        WorkflowInterrupted,
+        WorkflowRunner,
+    )
+
+    if resuming and not args.store:
+        raise SystemExit(
+            "workflow resume needs --store DIR (the checkpoint root "
+            "the interrupted run wrote into)"
+        )
+    overrides: dict = {}
+    for step, key, value in args.set or []:
+        overrides.setdefault(step, {})[key] = value
+    runner = WorkflowRunner(
+        store=ArtifactStore(root=args.store),
+        force=getattr(args, "force", False),
+        budget_seconds=args.budget_seconds,
+    )
+    try:
+        outcome = runner.run(args.preset, overrides=overrides)
+    except WorkflowInterrupted as exc:
+        print(f"interrupted: {exc}")
+        _export_telemetry(args)
+        return EXIT_INTERRUPTED
+    except WorkflowError as exc:
+        print(f"error: {exc}")
+        _export_telemetry(args)
+        return 1
+    if args.out and outcome.report is not None:
+        with open(args.out, "w") as fh:
+            fh.write(outcome.report_json())
+    if args.json:
+        print(_json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"preset {outcome.preset}  digest {outcome.digest}")
+        print(f"{'step':<20} {'type':<18} {'source':<7} "
+              f"{'seconds':>9}  digest")
+        for s in outcome.steps:
+            print(f"{s.name:<20} {s.step:<18} {s.source:<7} "
+                  f"{s.seconds:>9.3f}  {s.digest}")
+        if outcome.pending:
+            print("pending: " + ", ".join(outcome.pending))
+        print(f"status {outcome.status} | "
+              f"executed {outcome.executed_steps} | "
+              f"cached {outcome.cached_steps}")
+    _export_telemetry(args)
+    return EXIT_PAUSED if outcome.status == "paused" else 0
+
+
+def cmd_workflow_run(args) -> int:
+    """Run a preset (checkpointing every step into ``--store``)."""
+    return _run_workflow(args, resuming=False)
+
+
+def cmd_workflow_resume(args) -> int:
+    """Resume a killed/paused run: identical to ``run`` except the
+    checkpoint root is mandatory (resuming without one is a no-op
+    restart, which is never what the operator meant)."""
+    return _run_workflow(args, resuming=True)
+
+
+def cmd_store_gc(args) -> int:
+    """LRU-evict the store's disk tier down to a byte budget."""
+    import json as _json
+
+    from .service.store import ArtifactStore
+
+    store = ArtifactStore(root=args.root)
+    before = store.disk_bytes()
+    summary = store.prune(args.max_bytes, keep=args.keep or [])
+    if args.json:
+        print(_json.dumps(
+            {"before_bytes": before, **summary},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(f"store gc: removed {summary['removed']} artifact(s), "
+              f"freed {summary['freed_bytes']} bytes, "
+              f"{summary['remaining_bytes']} bytes remain "
+              f"({summary['protected']} protected)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1041,6 +1198,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shutdown", action="store_true",
                    help="ask the server to drain gracefully")
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "workflow",
+        help="declarative campaign workflows with content-addressed "
+        "checkpoint-resume",
+    )
+    wsub = p.add_subparsers(dest="workflow_command", required=True)
+
+    w = wsub.add_parser("list", help="list presets and registered steps")
+    w.add_argument("--json", action="store_true")
+    w.set_defaults(fn=cmd_workflow_list)
+
+    for verb, fn, hlp in (
+        ("run", cmd_workflow_run,
+         "run a preset, checkpointing every step into --store"),
+        ("resume", cmd_workflow_resume,
+         "resume a killed or paused run from its --store checkpoints"),
+    ):
+        w = wsub.add_parser(verb, help=hlp)
+        w.add_argument("preset", help="preset name (see `workflow list`)")
+        w.add_argument("--store", type=str, default=None, metavar="DIR",
+                       required=(verb == "resume"),
+                       help="checkpoint root (ArtifactStore disk tier); "
+                       "omitted = in-memory, no resume possible")
+        w.add_argument("--budget-seconds", type=float, default=None,
+                       help="graceful checkpoint-and-stop after this "
+                       "much wall time (exit code 3)")
+        w.add_argument("--set", type=_parse_override, action="append",
+                       default=[], metavar="STEP.KEY=VALUE",
+                       help="override a step parameter (repeatable); "
+                       "enters the preset digest, so overridden runs "
+                       "checkpoint under their own keys")
+        w.add_argument("--out", type=str, default=None,
+                       help="write the final report JSON here")
+        w.add_argument("--json", action="store_true",
+                       help="machine-readable outcome on stdout")
+        w.add_argument("--telemetry", type=str, default=None,
+                       metavar="PREFIX",
+                       help="write PREFIX.{prom,ndjson,json} on exit")
+        if verb == "run":
+            w.add_argument("--force", action="store_true",
+                           help="recompute every step, overwriting "
+                           "checkpoints")
+        w.set_defaults(fn=fn)
+
+    p = sub.add_parser("store", help="artifact-store maintenance")
+    ssub = p.add_subparsers(dest="store_command", required=True)
+    s = ssub.add_parser(
+        "gc",
+        help="LRU-evict the disk tier down to a byte budget "
+        "(pinned digests and --keep survive)",
+    )
+    s.add_argument("--root", type=str, required=True,
+                   help="store root directory")
+    s.add_argument("--max-bytes", type=int, required=True,
+                   help="target size of the disk tier")
+    s.add_argument("--keep", action="append", default=[],
+                   metavar="DIGEST",
+                   help="digest to protect from eviction (repeatable)")
+    s.add_argument("--json", action="store_true")
+    s.set_defaults(fn=cmd_store_gc)
 
     return parser
 

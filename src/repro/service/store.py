@@ -34,7 +34,7 @@ import os
 import tempfile
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..mesh.faults import FaultSet
 from ..mesh.serialization import mesh_to_dict
@@ -136,6 +136,9 @@ class ArtifactStore:
         #: ``move_to_end``/``popitem`` race can corrupt LRU order or
         #: raise outright.
         self._lock = threading.Lock()
+        #: Digests exempt from :meth:`prune` eviction (live epochs,
+        #: in-flight workflow checkpoints).
+        self._pinned: Set[str] = set()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -186,6 +189,12 @@ class ArtifactStore:
                 and isinstance(envelope.get("record"), dict)
             ):
                 record = envelope["record"]
+                try:
+                    # Refresh mtime so prune()'s LRU order tracks real
+                    # access recency, not just write time.
+                    os.utime(path, None)
+                except OSError:
+                    pass
                 with self._lock:
                     self._remember(digest, record)
                     self.disk_hits += 1
@@ -230,6 +239,99 @@ class ArtifactStore:
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
             self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Pinning and disk-tier garbage collection
+    # ------------------------------------------------------------------
+    def pin(self, digest: str) -> None:
+        """Exempt ``digest`` from :meth:`prune` eviction."""
+        with self._lock:
+            self._pinned.add(digest)
+
+    def unpin(self, digest: str) -> None:
+        """Make ``digest`` evictable again (no-op if not pinned)."""
+        with self._lock:
+            self._pinned.discard(digest)
+
+    def pinned(self) -> Tuple[str, ...]:
+        """Currently pinned digests, sorted."""
+        with self._lock:
+            return tuple(sorted(self._pinned))
+
+    def _disk_entries(self) -> List[Tuple[str, str, int, float]]:
+        """``(digest, path, size_bytes, mtime)`` for every disk
+        artifact (unsorted; callers order as needed)."""
+        entries: List[Tuple[str, str, int, float]] = []
+        if self.root is None:
+            return entries
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                entries.append(
+                    (name[: -len(".json")], path, st.st_size, st.st_mtime)
+                )
+        return entries
+
+    def disk_bytes(self) -> int:
+        """Total bytes in the on-disk tier (0 for memory-only)."""
+        return sum(size for _d, _p, size, _m in self._disk_entries())
+
+    def prune(
+        self, max_bytes: int, keep: Iterable[str] = ()
+    ) -> Dict[str, int]:
+        """LRU-evict disk artifacts until the tier fits ``max_bytes``.
+
+        Least-recently-*used* first — :meth:`get` refreshes an
+        artifact's mtime on every disk hit, so hot artifacts survive.
+        Digests that are pinned (:meth:`pin`) or listed in ``keep``
+        are never evicted, even if the tier stays over budget.
+        Evicted digests are dropped from the memory tier too, so a
+        pruned artifact is gone, not lingering in the LRU.
+
+        Returns a summary: ``removed`` / ``freed_bytes`` /
+        ``remaining_bytes`` / ``protected`` (counts, stable keys).
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        protected: Set[str] = set(keep)
+        with self._lock:
+            protected |= self._pinned
+        entries = self._disk_entries()
+        total = sum(size for _d, _p, size, _m in entries)
+        removed = 0
+        freed = 0
+        # Oldest access first; digest tiebreak keeps the order
+        # deterministic when mtimes collide (same-second writes).
+        for digest, path, size, _mtime in sorted(
+            entries, key=lambda e: (e[3], e[0])
+        ):
+            if total - freed <= max_bytes:
+                break
+            if digest in protected:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            freed += size
+            removed += 1
+            with self._lock:
+                self._memory.pop(digest, None)
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_bytes": total - freed,
+            "protected": len(protected),
+        }
 
     # ------------------------------------------------------------------
     def digests(self) -> Tuple[str, ...]:

@@ -1,0 +1,75 @@
+"""Declarative workflow engine with content-addressed checkpoint-resume.
+
+ROADMAP item 4: every end-to-end campaign — chaos sweeps, reliability
+SLO runs, serve loadtests — becomes a declared composition instead of
+a hand-assembled CLI incantation.
+
+- :mod:`repro.workflow.steps` — the :class:`StepRegistry` of typed,
+  versioned, **pure** steps (``generate-mesh``, ``compile-routes``,
+  ``sample-timeline``, ``run-campaign``, ``serve``, ``inject-chaos``,
+  ``collect-telemetry``, ``report``);
+- :mod:`repro.workflow.presets` — frozen, digestable
+  :class:`WorkflowPreset` DAGs (``chaos-campaign``,
+  ``reliability-slo``, ``serve-loadtest``);
+- :mod:`repro.workflow.runner` — the :class:`WorkflowRunner`:
+  content-addresses every step execution into the
+  :class:`~repro.service.store.ArtifactStore` so a killed run resumes
+  from the last completed step, with ``--budget-seconds`` graceful
+  pause and ``--force`` recompute;
+- :mod:`repro.workflow.errors` — the typed failure taxonomy
+  (``WorkflowError`` under ``SimulationError``) and the CLI exit
+  codes for pause/interrupt.
+
+The engine's contract — the reason it can checkpoint at all — is that
+a straight-through run and a kill-and-resume run produce
+byte-identical reports.  ``make workflow-smoke`` gates this in CI.
+"""
+
+from .errors import (
+    EXIT_INTERRUPTED,
+    EXIT_PAUSED,
+    StepFailedError,
+    UnknownPresetError,
+    UnknownStepError,
+    WorkflowError,
+    WorkflowInterrupted,
+)
+from .presets import (
+    PRESETS,
+    StepSpec,
+    WorkflowPreset,
+    preset_by_name,
+    preset_digest,
+)
+from .runner import (
+    KILL_AFTER_ENV,
+    StepOutcome,
+    WorkflowOutcome,
+    WorkflowRunner,
+    step_address,
+)
+from .steps import STEPS, Step, StepRegistry, register_step
+
+__all__ = [
+    "EXIT_INTERRUPTED",
+    "EXIT_PAUSED",
+    "KILL_AFTER_ENV",
+    "PRESETS",
+    "STEPS",
+    "Step",
+    "StepOutcome",
+    "StepRegistry",
+    "StepSpec",
+    "UnknownPresetError",
+    "UnknownStepError",
+    "StepFailedError",
+    "WorkflowError",
+    "WorkflowInterrupted",
+    "WorkflowOutcome",
+    "WorkflowPreset",
+    "WorkflowRunner",
+    "preset_by_name",
+    "preset_digest",
+    "register_step",
+    "step_address",
+]

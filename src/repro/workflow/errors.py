@@ -1,0 +1,108 @@
+"""Typed workflow failures, under the simulator error taxonomy.
+
+Every failure mode of the declarative engine raises a
+:class:`WorkflowError` subclass (itself a
+:class:`~repro.wormhole.deadlock.SimulationError`), so callers that
+already catch the repo-wide taxonomy — the CLI, the chaos harness,
+the service layer — handle workflow failures the same way:
+
+- :class:`UnknownPresetError` / :class:`UnknownStepError`: a name
+  resolved against the catalog/registry does not exist;
+- :class:`StepFailedError`: a step body raised; carries the step
+  instance name and the original exception as ``__cause__``;
+- :class:`WorkflowInterrupted`: the operator hit Ctrl-C mid-step.
+  By the time it propagates, every *completed* step is already
+  checkpointed in the artifact store (outputs are persisted the
+  moment each step finishes), so the run resumes with
+  ``repro workflow resume`` — the CLI maps it to the distinct exit
+  code :data:`EXIT_INTERRUPTED` instead of a raw traceback.
+- :class:`WorkflowPaused` is *not* an error: it is the outcome status
+  of a ``--budget-seconds`` graceful checkpoint-and-stop (exit code
+  :data:`EXIT_PAUSED`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..wormhole.deadlock import SimulationError
+
+__all__ = [
+    "EXIT_INTERRUPTED",
+    "EXIT_PAUSED",
+    "StepFailedError",
+    "UnknownPresetError",
+    "UnknownStepError",
+    "WorkflowError",
+    "WorkflowInterrupted",
+]
+
+#: CLI exit code for a ``--budget-seconds`` checkpoint-and-stop.
+EXIT_PAUSED = 3
+
+#: CLI exit code for a Ctrl-C checkpoint (distinct from plain failure
+#: ``1`` and from pause ``3``; matches the conventional 128+SIGINT).
+EXIT_INTERRUPTED = 130
+
+
+class WorkflowError(SimulationError):
+    """Base class for typed workflow-engine failures."""
+
+
+class UnknownPresetError(WorkflowError):
+    """A preset name resolved against the catalog does not exist."""
+
+    def __init__(self, name: str, available: Tuple[str, ...]):
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown workflow preset {name!r}; "
+            f"available: {', '.join(available)}"
+        )
+
+
+class UnknownStepError(WorkflowError):
+    """A step name resolved against the registry does not exist."""
+
+    def __init__(self, name: str, available: Tuple[str, ...]):
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown workflow step {name!r}; "
+            f"registered: {', '.join(available)}"
+        )
+
+
+class StepFailedError(WorkflowError):
+    """A step body raised; the original exception is ``__cause__``."""
+
+    def __init__(self, step: str, message: str):
+        self.step = step
+        super().__init__(f"workflow step {step!r} failed: {message}")
+
+
+class WorkflowInterrupted(WorkflowError):
+    """Ctrl-C landed mid-step.
+
+    Attributes
+    ----------
+    step:
+        The step instance that was executing (its output is lost; its
+        completed predecessors are already checkpointed).
+    completed:
+        Step instance names whose outputs are in the artifact store.
+    """
+
+    def __init__(
+        self,
+        step: Optional[str],
+        completed: Tuple[str, ...] = (),
+    ):
+        self.step = step
+        self.completed = completed
+        where = f"during step {step!r}" if step else "between steps"
+        super().__init__(
+            f"workflow interrupted {where}; "
+            f"{len(completed)} completed step(s) checkpointed — "
+            "resume with `repro workflow resume`"
+        )

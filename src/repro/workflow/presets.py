@@ -1,0 +1,294 @@
+"""Frozen, digestable workflow presets.
+
+A :class:`WorkflowPreset` is a named DAG of :class:`StepSpec`s — which
+registered step to run, under what instance name, with what
+parameters, after which dependencies.  Presets are frozen dataclasses
+with a canonical JSON form and a blake2b digest
+(:func:`preset_digest`), so the *whole composition* participates in
+every step's content address: edit a preset (or override a parameter
+on the CLI) and every affected checkpoint key changes, while an
+untouched preset resumes bit-for-bit.
+
+The catalog (:data:`PRESETS`) ships three end-to-end campaigns:
+
+``chaos-campaign``
+    Seeded fault set -> two chaos storms of different intensity ->
+    telemetry self-check -> merged report.
+``reliability-slo``
+    Timeline preview -> Monte-Carlo availability campaign with a
+    Wilson-bounded SLO verdict -> report.
+``serve-loadtest``
+    Seeded fault set -> one-shot route compile -> control-plane
+    acceptance loadtest over real TCP -> report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .errors import UnknownPresetError, WorkflowError
+from .steps import StepRegistry
+
+__all__ = [
+    "PRESETS",
+    "StepSpec",
+    "WorkflowPreset",
+    "preset_by_name",
+    "preset_digest",
+]
+
+#: Bump when the checkpoint envelope/addressing scheme changes: every
+#: address derived under the old scheme then misses cleanly.
+WORKFLOW_FORMAT_VERSION = 1
+
+
+def _freeze_params(params: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted((params or {}).items()))
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One step instance inside a preset.
+
+    ``name`` is the instance name (unique within the preset; defaults
+    to the step type), so one preset can run the same registered step
+    twice under different parameters — e.g. two chaos storms.
+    """
+
+    step: str
+    name: str = ""
+    params: Tuple[Tuple[str, Any], ...] = ()
+    deps: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", self.step)
+        object.__setattr__(self, "deps", tuple(self.deps))
+        object.__setattr__(self, "params", tuple(self.params))
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "name": self.name,
+            "params": {str(k): v for k, v in self.params},
+            "deps": list(self.deps),
+        }
+
+
+def spec(
+    step: str,
+    name: str = "",
+    params: Optional[Mapping[str, Any]] = None,
+    deps: Tuple[str, ...] = (),
+) -> StepSpec:
+    """Ergonomic StepSpec constructor (dict params -> frozen tuple)."""
+    return StepSpec(
+        step=step, name=name, params=_freeze_params(params), deps=deps
+    )
+
+
+@dataclass(frozen=True)
+class WorkflowPreset:
+    """A named workflow composition (frozen; digestable)."""
+
+    name: str
+    description: str
+    steps: Tuple[StepSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+        seen = set()
+        for s in self.steps:
+            if s.name in seen:
+                raise WorkflowError(
+                    f"preset {self.name!r} defines step {s.name!r} twice"
+                )
+            for dep in s.deps:
+                if dep not in seen:
+                    raise WorkflowError(
+                        f"preset {self.name!r}: step {s.name!r} depends "
+                        f"on {dep!r}, which is not defined before it"
+                    )
+            seen.add(s.name)
+
+    def step_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.steps)
+
+    def validate(self, registry: StepRegistry) -> None:
+        """Every referenced step type must exist in ``registry``."""
+        for s in self.steps:
+            registry.get(s.step)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workflow_version": WORKFLOW_FORMAT_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "steps": [s.as_dict() for s in self.steps],
+        }
+
+
+def preset_digest(
+    preset: WorkflowPreset,
+    overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    registry: Optional[StepRegistry] = None,
+) -> str:
+    """Content address of a preset composition (+ CLI overrides).
+
+    Overrides map step instance names to parameter patches; they enter
+    the digest exactly as the preset's own parameters do, so an
+    overridden run checkpoints under different keys from a stock run.
+
+    With a ``registry``, each step's ``digest_exclude`` parameters
+    (execution topology: worker counts, executor backends) are
+    stripped from both the preset's params and the overrides before
+    hashing — ``--set run-campaign.jobs=8`` must not invalidate
+    checkpoints that ``jobs`` cannot affect.  The runner always passes
+    its registry; the registry-less form digests the composition
+    verbatim.
+    """
+    excluded: Dict[str, Tuple[str, ...]] = {}
+    if registry is not None:
+        for s in preset.steps:
+            if s.step in registry:
+                excluded[s.name] = registry.get(s.step).digest_exclude
+    canon = preset.as_dict()
+    for entry in canon["steps"]:
+        drop = excluded.get(entry["name"], ())
+        entry["params"] = {
+            k: v for k, v in entry["params"].items() if k not in drop
+        }
+    if overrides:
+        trimmed = {
+            str(name): {
+                str(k): patch[k]
+                for k in sorted(patch)
+                if k not in excluded.get(name, ())
+            }
+            for name, patch in sorted(overrides.items())
+        }
+        trimmed = {name: p for name, p in trimmed.items() if p}
+        if trimmed:
+            canon["overrides"] = trimmed
+    payload = json.dumps(
+        canon, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=20).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The catalog
+# ----------------------------------------------------------------------
+PRESETS: Dict[str, WorkflowPreset] = {
+    "chaos-campaign": WorkflowPreset(
+        name="chaos-campaign",
+        description=(
+            "seeded fault set -> two chaos storms (burst + sustained) "
+            "-> telemetry self-check -> report"
+        ),
+        steps=(
+            spec(
+                "generate-mesh",
+                params={"mesh": "10x10", "faults": 3, "seed": 7},
+            ),
+            spec(
+                "inject-chaos",
+                name="chaos-burst",
+                params={
+                    "messages": 120, "events": 3, "seed": 7,
+                    "event_start": 20, "event_end": 160,
+                },
+                deps=("generate-mesh",),
+            ),
+            spec(
+                "inject-chaos",
+                name="chaos-sustained",
+                params={
+                    "messages": 160, "events": 5, "seed": 11,
+                    "event_start": 40, "event_end": 400, "window": 200,
+                },
+                deps=("generate-mesh",),
+            ),
+            spec(
+                "collect-telemetry",
+                params={"seed": 7, "messages": 40},
+            ),
+            spec(
+                "report",
+                deps=(
+                    "generate-mesh", "chaos-burst", "chaos-sustained",
+                    "collect-telemetry",
+                ),
+            ),
+        ),
+    ),
+    "reliability-slo": WorkflowPreset(
+        name="reliability-slo",
+        description=(
+            "timeline preview -> Monte-Carlo availability campaign "
+            "with Wilson-bounded SLO verdict -> report"
+        ),
+        steps=(
+            spec(
+                "sample-timeline",
+                params={
+                    "mesh": "8x8", "rate": 1.5, "mttr": 0.3,
+                    "horizon": 2.0, "seed": 0,
+                },
+            ),
+            spec(
+                "run-campaign",
+                params={
+                    "mesh": "8x8", "rate": 1.5, "mttr": 0.3,
+                    "horizon": 2.0, "trials": 4, "seed": 0,
+                },
+                deps=("sample-timeline",),
+            ),
+            spec(
+                "report",
+                deps=("sample-timeline", "run-campaign"),
+            ),
+        ),
+    ),
+    "serve-loadtest": WorkflowPreset(
+        name="serve-loadtest",
+        description=(
+            "seeded fault set -> route compile -> control-plane "
+            "acceptance loadtest (real TCP, deterministic transcript) "
+            "-> report"
+        ),
+        steps=(
+            spec(
+                "generate-mesh",
+                params={"mesh": "16x16", "faults": 5, "seed": 4},
+            ),
+            spec(
+                "compile-routes",
+                deps=("generate-mesh",),
+            ),
+            spec(
+                "serve",
+                params={"queries": 200, "seed": 0},
+                deps=("generate-mesh",),
+            ),
+            spec(
+                "report",
+                deps=("generate-mesh", "compile-routes", "serve"),
+            ),
+        ),
+    ),
+}
+
+
+def preset_by_name(name: str) -> WorkflowPreset:
+    """Catalog lookup; typed error naming the alternatives on a miss."""
+    preset = PRESETS.get(name)
+    if preset is None:
+        raise UnknownPresetError(name, tuple(sorted(PRESETS)))
+    return preset

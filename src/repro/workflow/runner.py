@@ -1,0 +1,397 @@
+"""The workflow runner: content-addressed checkpoint-resume execution.
+
+Execution model
+---------------
+A preset's steps are declared dependencies-first (the preset
+constructor enforces it), so declaration order *is* a deterministic
+topological order.  For each step the runner derives a **content
+address**: a blake2b digest of
+
+    (workflow format version, preset digest incl. CLI overrides,
+     step type + implementation version, instance name,
+     resolved parameters minus execution-only ones,
+     every dependency's address)
+
+and consults the :class:`~repro.service.store.ArtifactStore`:
+
+- **hit** (and not ``--force``): the stored output is replayed —
+  zero recompute, source ``"cache"``;
+- **miss**: the step function runs, its output is normalized through
+  a JSON round-trip (so a replayed output is structurally identical
+  to a fresh one) and persisted *immediately* under the address.
+
+Because outputs are persisted the moment each step finishes, a killed
+process — SIGKILL, Ctrl-C, a crashed step — loses at most the step
+that was in flight.  Re-running the same preset against the same
+store resumes from the last completed step, and since every step is a
+pure function of its address, a straight-through run and a
+kill-and-resume run produce **byte-identical** final reports (the
+``make workflow-smoke`` CI gate pins this).
+
+Operational controls
+--------------------
+``budget_seconds``
+    Graceful checkpoint-and-stop: before each step the runner checks
+    elapsed wall time and, past the budget, returns a ``"paused"``
+    outcome listing the pending steps (exit code 3 on the CLI).
+    The budget clock lives in the *runner*, not in any step — steps
+    stay wall-clock-free (REP106).
+``force``
+    Recompute every step, overwriting its checkpoint.
+``Ctrl-C``
+    A :class:`~repro.workflow.errors.WorkflowInterrupted` is raised
+    (typed, under the ``SimulationError`` taxonomy) carrying the
+    in-flight step name and the completed/checkpointed predecessors.
+
+Crash-test hook: when ``REPRO_WORKFLOW_KILL_AFTER=<instance-name>``
+is set, the runner SIGKILLs its own process immediately after that
+step's checkpoint is persisted — a deterministic stand-in for "the
+operator's job got OOM-killed at a step boundary", used by the
+kill-and-resume tests and ``make workflow-smoke``.
+
+Every step runs inside a ``workflow.step`` telemetry span;
+``workflow_steps_total{step=,source=}`` counts executions vs replays
+and ``workflow_step_seconds{step=}`` records latencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..obs import TelemetryRegistry, get_registry
+from ..service.store import ArtifactStore
+from .errors import StepFailedError, WorkflowError, WorkflowInterrupted
+from .presets import (
+    WORKFLOW_FORMAT_VERSION,
+    WorkflowPreset,
+    preset_by_name,
+    preset_digest,
+)
+from .steps import STEPS, Step, StepRegistry
+
+__all__ = [
+    "KILL_AFTER_ENV",
+    "StepOutcome",
+    "WorkflowOutcome",
+    "WorkflowRunner",
+    "step_address",
+]
+
+#: Crash-test hook: SIGKILL self right after this step checkpoints.
+KILL_AFTER_ENV = "REPRO_WORKFLOW_KILL_AFTER"
+
+
+def _canonical_digest(payload: Dict[str, Any]) -> str:
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.blake2b(body, digest_size=20).hexdigest()
+
+
+def step_address(
+    preset_hex: str,
+    step: Step,
+    instance: str,
+    params: Mapping[str, Any],
+    dep_digests: Mapping[str, str],
+) -> str:
+    """The content address of one step execution.
+
+    Execution-only parameters (``step.digest_exclude``) are stripped:
+    a campaign on 8 processes and the same campaign single-threaded
+    share one checkpoint.
+    """
+    addressed = {
+        k: params[k]
+        for k in sorted(params)
+        if k not in step.digest_exclude
+    }
+    return _canonical_digest({
+        "workflow_version": WORKFLOW_FORMAT_VERSION,
+        "preset": preset_hex,
+        "step": step.name,
+        "impl_version": step.version,
+        "instance": instance,
+        "params": addressed,
+        "deps": {name: dep_digests[name] for name in sorted(dep_digests)},
+    })
+
+
+@dataclass
+class StepOutcome:
+    """One step's result within a run: identity, provenance, output."""
+
+    name: str
+    step: str
+    digest: str
+    source: str  # "run" | "cache"
+    seconds: float
+    output: Dict[str, Any]
+
+    def row(self) -> Dict[str, Any]:
+        """The JSON/table row (no output body — that lives in the
+        report and the store)."""
+        return {
+            "name": self.name,
+            "step": self.step,
+            "digest": self.digest,
+            "source": self.source,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class WorkflowOutcome:
+    """Everything one ``run()`` produced."""
+
+    preset: str
+    digest: str
+    status: str  # "completed" | "paused"
+    steps: List[StepOutcome] = field(default_factory=list)
+    pending: Tuple[str, ...] = ()
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def executed_steps(self) -> int:
+        return sum(1 for s in self.steps if s.source == "run")
+
+    @property
+    def cached_steps(self) -> int:
+        return sum(1 for s in self.steps if s.source == "cache")
+
+    @property
+    def report(self) -> Optional[Dict[str, Any]]:
+        """The terminal report: the ``report`` step's output when the
+        preset has one (and it ran), else the last step's output."""
+        by_name = {s.name: s for s in self.steps}
+        if "report" in by_name:
+            return by_name["report"].output
+        if self.steps:
+            return self.steps[-1].output
+        return None
+
+    def report_json(self) -> str:
+        """The final report as stable JSON (the byte-identity
+        artifact: straight run == kill-and-resume run)."""
+        return json.dumps(self.report, indent=2, sort_keys=True) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "preset": self.preset,
+            "digest": self.digest,
+            "status": self.status,
+            "executed_steps": self.executed_steps,
+            "cached_steps": self.cached_steps,
+            "pending": list(self.pending),
+            "steps": [s.row() for s in self.steps],
+        }
+
+
+class WorkflowRunner:
+    """Executes presets with per-step content-addressed checkpoints.
+
+    Parameters
+    ----------
+    store:
+        Checkpoint store (the PR-4 two-tier ArtifactStore).  ``None``
+        builds an in-memory store — checkpoints then live only for
+        this process (useful for tests; resume needs a disk root).
+    registry:
+        Step catalog; default the production :data:`~repro.workflow.steps.STEPS`.
+    force:
+        Recompute (and overwrite) every checkpoint.
+    budget_seconds:
+        Graceful checkpoint-and-stop budget; ``None`` = unlimited.
+    telemetry:
+        Registry for spans/counters; default the ambient one.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        registry: Optional[StepRegistry] = None,
+        force: bool = False,
+        budget_seconds: Optional[float] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
+    ) -> None:
+        self.store = store if store is not None else ArtifactStore()
+        self.registry = registry if registry is not None else STEPS
+        self.force = bool(force)
+        self.budget_seconds = (
+            None if budget_seconds is None else float(budget_seconds)
+        )
+        self._telemetry = telemetry
+
+    # ------------------------------------------------------------------
+    def _registry_now(self) -> TelemetryRegistry:
+        return self._telemetry if self._telemetry is not None \
+            else get_registry()
+
+    def _load_checkpoint(
+        self, digest: str, step: Step, instance: str
+    ) -> Optional[Dict[str, Any]]:
+        """The persisted output under ``digest``, if it is a valid
+        checkpoint of this exact step implementation (anything else —
+        torn record, foreign artifact, stale impl — is a miss)."""
+        record = self.store.get(digest)
+        if (
+            isinstance(record, dict)
+            and record.get("kind") == "workflow-step"
+            and record.get("step") == step.name
+            and record.get("impl_version") == step.version
+            and record.get("instance") == instance
+            and isinstance(record.get("output"), dict)
+        ):
+            return record["output"]
+        return None
+
+    @staticmethod
+    def _normalize_output(
+        instance: str, output: Any
+    ) -> Dict[str, Any]:
+        """JSON round-trip: a fresh output becomes structurally
+        identical to its future replay (tuples -> lists, etc.)."""
+        if not isinstance(output, dict):
+            raise StepFailedError(
+                instance,
+                f"step returned {type(output).__name__}, expected a dict",
+            )
+        try:
+            normalized: Dict[str, Any] = json.loads(
+                json.dumps(output, sort_keys=True)
+            )
+        except (TypeError, ValueError) as exc:
+            raise StepFailedError(
+                instance, f"output is not JSON-able: {exc}"
+            ) from exc
+        return normalized
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        preset: Union[str, WorkflowPreset],
+        overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    ) -> WorkflowOutcome:
+        """Run (or resume) ``preset``; returns the outcome.
+
+        ``overrides`` maps step instance names to parameter patches
+        (the CLI's ``--set name.key=value``); unknown names are a
+        typed error, and every patch enters the preset digest so an
+        overridden run checkpoints under its own keys.
+        """
+        if isinstance(preset, str):
+            preset = preset_by_name(preset)
+        preset.validate(self.registry)
+        overrides = {k: dict(v) for k, v in (overrides or {}).items()}
+        known = set(preset.step_names())
+        for name in sorted(overrides):
+            if name not in known:
+                raise WorkflowError(
+                    f"override targets unknown step {name!r}; preset "
+                    f"{preset.name!r} has: "
+                    + ", ".join(preset.step_names())
+                )
+        preset_hex = preset_digest(
+            preset, overrides, registry=self.registry
+        )
+        kill_after = os.environ.get(KILL_AFTER_ENV)
+
+        reg = self._registry_now()
+        outcome = WorkflowOutcome(
+            preset=preset.name, digest=preset_hex, status="completed"
+        )
+        started = time.monotonic()
+        outputs: Dict[str, Dict[str, Any]] = {}
+        digests: Dict[str, str] = {}
+        current: Optional[str] = None
+        try:
+            with reg.span("workflow.run", preset=preset.name):
+                for index, spec in enumerate(preset.steps):
+                    if (
+                        self.budget_seconds is not None
+                        and time.monotonic() - started
+                        >= self.budget_seconds
+                    ):
+                        outcome.status = "paused"
+                        outcome.pending = tuple(
+                            s.name for s in preset.steps[index:]
+                        )
+                        reg.inc(
+                            "workflow_paused_total", preset=preset.name
+                        )
+                        break
+                    current = spec.name
+                    step = self.registry.get(spec.step)
+                    params = step.resolve_params(spec.params_dict())
+                    params.update(overrides.get(spec.name, {}))
+                    digest = step_address(
+                        preset_hex, step, spec.name, params,
+                        {d: digests[d] for d in spec.deps},
+                    )
+                    digests[spec.name] = digest
+                    output = (
+                        None if self.force
+                        else self._load_checkpoint(digest, step, spec.name)
+                    )
+                    if output is not None:
+                        source, seconds = "cache", 0.0
+                    else:
+                        source = "run"
+                        inputs = {d: outputs[d] for d in spec.deps}
+                        with reg.span(
+                            "workflow.step",
+                            preset=preset.name, step=spec.name,
+                        ) as span:
+                            try:
+                                output = step.fn(params, inputs)
+                            except (
+                                KeyboardInterrupt, WorkflowError,
+                            ):
+                                raise
+                            except Exception as exc:
+                                raise StepFailedError(
+                                    spec.name, str(exc)
+                                ) from exc
+                        output = self._normalize_output(spec.name, output)
+                        seconds = span.seconds
+                        self.store.put(digest, {
+                            "kind": "workflow-step",
+                            "preset": preset.name,
+                            "step": step.name,
+                            "impl_version": step.version,
+                            "instance": spec.name,
+                            "output": output,
+                        })
+                    outputs[spec.name] = output
+                    outcome.steps.append(StepOutcome(
+                        name=spec.name, step=spec.step, digest=digest,
+                        source=source, seconds=seconds, output=output,
+                    ))
+                    reg.inc(
+                        "workflow_steps_total",
+                        step=spec.name, source=source,
+                    )
+                    reg.observe(
+                        "workflow_step_seconds", seconds, step=spec.name
+                    )
+                    current = None
+                    if kill_after == spec.name:  # pragma: no cover
+                        # Crash-test hook: die *uncleanly* at the step
+                        # boundary (no atexit, no flush) — exercised
+                        # via subprocesses in the kill-resume tests.
+                        os.kill(os.getpid(), signal.SIGKILL)
+        except KeyboardInterrupt:
+            reg.inc("workflow_interrupted_total", preset=preset.name)
+            raise WorkflowInterrupted(
+                current, tuple(s.name for s in outcome.steps)
+            ) from None
+        return outcome

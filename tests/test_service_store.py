@@ -257,3 +257,89 @@ class TestArtifactStore:
             if name.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Disk-tier garbage collection (prune / pin)
+# ----------------------------------------------------------------------
+class TestStorePrune:
+    @staticmethod
+    def _fill(tmp_path, n=6, payload_len=200):
+        """A disk store with ``n`` artifacts of distinct ages."""
+        store = ArtifactStore(root=str(tmp_path))
+        for i in range(n):
+            digest = f"{i:02d}" * 20
+            store.put(digest, {"n": i, "pad": "x" * payload_len})
+            # Distinct mtimes so the LRU order is unambiguous: older
+            # index = older artifact.
+            path = store._path(digest)
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        return store
+
+    def test_disk_bytes_counts_the_tier(self, tmp_path):
+        store = self._fill(tmp_path)
+        assert store.disk_bytes() > 0
+        assert ArtifactStore().disk_bytes() == 0
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        store = self._fill(tmp_path)
+        sizes = {d: os.path.getsize(store._path(d))
+                 for d in store.digests()}
+        keep_two = sum(sorted(sizes.values())[:2])
+        summary = store.prune(keep_two)
+        assert summary["removed"] == 4
+        assert summary["remaining_bytes"] <= keep_two
+        # The two *newest* artifacts survive.
+        survivors = set(store.digests())
+        assert survivors == {"04" * 20, "05" * 20}
+
+    def test_disk_hit_refreshes_lru_order(self, tmp_path):
+        store = self._fill(tmp_path)
+        # Touch the oldest artifact through a fresh store (pure disk
+        # hit) — it becomes the most recently used and must survive.
+        fresh = ArtifactStore(root=str(tmp_path), max_memory_entries=1)
+        assert fresh.get("00" * 20) is not None
+        fresh.prune(max_bytes=os.path.getsize(fresh._path("00" * 20)))
+        assert ("00" * 20) in fresh
+        assert ("05" * 20) not in fresh
+
+    def test_pinned_artifacts_survive_eviction(self, tmp_path):
+        store = self._fill(tmp_path)
+        store.pin("00" * 20)  # the oldest — first eviction candidate
+        summary = store.prune(0)
+        assert ("00" * 20) in store
+        assert store.pinned() == ("00" * 20,)
+        assert summary["protected"] == 1
+        # Everything unpinned is gone (budget 0).
+        assert set(store.digests()) == {"00" * 20}
+
+    def test_keep_argument_protects_like_a_pin(self, tmp_path):
+        store = self._fill(tmp_path)
+        store.prune(0, keep=["03" * 20])
+        assert set(store.digests()) == {"03" * 20}
+
+    def test_unpin_makes_evictable_again(self, tmp_path):
+        store = self._fill(tmp_path)
+        store.pin("00" * 20)
+        store.unpin("00" * 20)
+        store.prune(0)
+        assert store.digests() == ()
+
+    def test_pruned_digest_leaves_the_memory_tier_too(self, tmp_path):
+        store = self._fill(tmp_path)
+        assert store.get("00" * 20) is not None  # hot in memory
+        store.prune(0)
+        # A pruned artifact must be *gone*, not served from the LRU.
+        assert store.get("00" * 20) is None
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        with pytest.raises(ValueError):
+            store.prune(-1)
+
+    def test_prune_on_memory_only_store_is_a_noop(self):
+        store = ArtifactStore()
+        store.put("ab" * 20, {"x": 1})
+        summary = store.prune(0)
+        assert summary["removed"] == 0
+        assert store.get("ab" * 20) == {"x": 1}

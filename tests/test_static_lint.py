@@ -203,6 +203,66 @@ class TestParallelClosure:
         assert self.check(src) == []
 
 
+class TestImpureStepClock:
+    def check(self, src):
+        return _ids(LintEngine([rule_by_id("REP106")]).check_source(src))
+
+    def test_flags_time_time_in_registered_step(self):
+        assert self.check(SEEDED_FIXTURES["REP106"]) == ["REP106"]
+
+    def test_flags_registry_register_spelling(self):
+        src = (
+            "@STEPS.register('demo', 'demo')\n"
+            "def demo(params, inputs):\n"
+            "    return {'t': time.monotonic()}\n"
+        )
+        assert self.check(src) == ["REP106"]
+
+    def test_flags_datetime_now(self):
+        src = (
+            "@register_step('demo', 'demo')\n"
+            "def demo(params, inputs):\n"
+            "    return {'t': datetime.now().isoformat()}\n"
+        )
+        assert self.check(src) == ["REP106"]
+
+    def test_clock_outside_steps_is_clean(self):
+        # The runner itself times steps — wall-clock is fine anywhere
+        # that is not a registered (content-addressed) step body.
+        src = (
+            "def run(self):\n"
+            "    started = time.monotonic()\n"
+            "    return time.perf_counter() - started\n"
+        )
+        assert self.check(src) == []
+
+    def test_undecorated_neighbor_is_clean(self):
+        src = (
+            "@register_step('demo', 'demo')\n"
+            "def demo(params, inputs):\n"
+            "    return {}\n"
+            "def helper():\n"
+            "    return time.time()\n"
+        )
+        assert self.check(src) == []
+
+    def test_non_registry_decorator_is_clean(self):
+        src = (
+            "@functools.lru_cache()\n"
+            "def cached():\n"
+            "    return time.time()\n"
+        )
+        assert self.check(src) == []
+
+    def test_noqa_suppresses_rep106(self):
+        src = (
+            "@register_step('demo', 'demo')\n"
+            "def demo(params, inputs):\n"
+            "    return {'t': time.time()}  # noqa: REP106\n"
+        )
+        assert self.check(src) == []
+
+
 # ----------------------------------------------------------------------
 # Engine behavior: suppression, syntax errors, determinism, formats
 # ----------------------------------------------------------------------
@@ -244,7 +304,7 @@ class TestEngine:
 
     def test_rule_catalog_complete(self):
         assert [r.id for r in ALL_RULES] == \
-            ["REP101", "REP102", "REP103", "REP104", "REP105"]
+            ["REP101", "REP102", "REP103", "REP104", "REP105", "REP106"]
         with pytest.raises(KeyError):
             rule_by_id("REP999")
 

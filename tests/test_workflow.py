@@ -1,0 +1,412 @@
+"""The declarative workflow engine: registry/preset semantics, the
+content-addressed checkpoint-resume runner, and the headline
+acceptance property — a run SIGKILLed at a step boundary, resumed,
+produces a final report byte-identical to an uninterrupted run with
+every pre-kill step served from the ArtifactStore."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import TelemetryRegistry, use_registry
+from repro.service.store import ArtifactStore
+from repro.workflow import (
+    PRESETS,
+    STEPS,
+    StepRegistry,
+    StepFailedError,
+    UnknownPresetError,
+    UnknownStepError,
+    WorkflowError,
+    WorkflowInterrupted,
+    WorkflowPreset,
+    WorkflowRunner,
+    preset_by_name,
+    preset_digest,
+)
+from repro.workflow.presets import spec
+
+
+# ----------------------------------------------------------------------
+# Synthetic fixtures: a tiny registry + preset the runner tests use
+# ----------------------------------------------------------------------
+def make_registry(log=None, boom_at=None, interrupt_at=None):
+    """Three chained arithmetic steps; ``log`` records executions so
+    tests can distinguish fresh runs from cache replays."""
+    reg = StepRegistry()
+
+    @reg.register("seed", "emit a constant", defaults={"value": 1})
+    def seed(params, inputs):
+        if log is not None:
+            log.append("seed")
+        _maybe_fail("seed", boom_at, interrupt_at)
+        return {"value": params["value"]}
+
+    @reg.register("double", "double the dependency",
+                  digest_exclude=("jobs",))
+    def double(params, inputs):
+        if log is not None:
+            log.append("double")
+        _maybe_fail("double", boom_at, interrupt_at)
+        (dep,) = inputs.values()
+        return {"value": 2 * dep["value"], "pair": (1, 2)}
+
+    @reg.register("total", "sum every dependency")
+    def total(params, inputs):
+        if log is not None:
+            log.append("total")
+        _maybe_fail("total", boom_at, interrupt_at)
+        return {"value": sum(v["value"] for v in inputs.values())}
+
+    return reg
+
+
+def _maybe_fail(name, boom_at, interrupt_at):
+    if boom_at == name:
+        raise RuntimeError("synthetic step failure")
+    if interrupt_at == name:
+        raise KeyboardInterrupt
+
+
+TINY = WorkflowPreset(
+    name="tiny",
+    description="seed -> double -> total",
+    steps=(
+        spec("seed", params={"value": 3}),
+        spec("double", deps=("seed",)),
+        spec("total", deps=("seed", "double")),
+    ),
+)
+
+
+def run_tiny(store, log=None, overrides=None, **kwargs):
+    registry = make_registry(log=log, **{
+        k: kwargs.pop(k) for k in ("boom_at", "interrupt_at")
+        if k in kwargs
+    })
+    return WorkflowRunner(
+        store=store, registry=registry, **kwargs
+    ).run(TINY, overrides=overrides)
+
+
+# ----------------------------------------------------------------------
+# Registry and preset semantics
+# ----------------------------------------------------------------------
+class TestStepRegistry:
+    def test_duplicate_registration_raises(self):
+        reg = make_registry()
+        with pytest.raises(ValueError):
+            reg.register("seed", "again")(lambda p, i: {})
+
+    def test_unknown_step_error_lists_alternatives(self):
+        with pytest.raises(UnknownStepError) as err:
+            make_registry().get("nope")
+        assert "double" in str(err.value)
+
+    def test_defaults_merge_under_explicit_params(self):
+        step = make_registry().get("seed")
+        assert step.resolve_params({}) == {"value": 1}
+        assert step.resolve_params({"value": 9}) == {"value": 9}
+
+    def test_production_catalog_has_the_issue_steps(self):
+        assert STEPS.names() == (
+            "collect-telemetry", "compile-routes", "generate-mesh",
+            "inject-chaos", "report", "run-campaign",
+            "sample-timeline", "serve",
+        )
+
+
+class TestPresets:
+    def test_duplicate_instance_name_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowPreset("bad", "", steps=(spec("seed"), spec("seed")))
+
+    def test_forward_dependency_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowPreset(
+                "bad", "",
+                steps=(spec("double", deps=("seed",)), spec("seed")),
+            )
+
+    def test_unknown_preset_error_lists_catalog(self):
+        with pytest.raises(UnknownPresetError) as err:
+            preset_by_name("nope")
+        assert "chaos-campaign" in str(err.value)
+
+    def test_catalog_presets_validate_against_production_steps(self):
+        for preset in PRESETS.values():
+            preset.validate(STEPS)
+
+    def test_digest_is_stable_and_override_sensitive(self):
+        base = preset_digest(TINY)
+        assert base == preset_digest(TINY)
+        assert base != preset_digest(
+            TINY, overrides={"seed": {"value": 4}}
+        )
+
+    def test_validate_rejects_steps_missing_from_registry(self):
+        registry = StepRegistry()
+        with pytest.raises(UnknownStepError):
+            TINY.validate(registry)
+
+
+# ----------------------------------------------------------------------
+# Runner: caching, force, budget, interrupt, failure, normalization
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_executes_in_declaration_order_and_threads_inputs(self):
+        log = []
+        outcome = run_tiny(ArtifactStore(), log=log)
+        assert log == ["seed", "double", "total"]
+        assert outcome.completed
+        # total = seed(3) + double(6)
+        assert outcome.steps[-1].output == {"value": 9}
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        first = run_tiny(store, log=[])
+        log = []
+        second = run_tiny(ArtifactStore(root=str(tmp_path)), log=log)
+        assert log == []
+        assert second.executed_steps == 0
+        assert second.cached_steps == 3
+        assert first.report_json() == second.report_json()
+
+    def test_force_recomputes_every_step(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        run_tiny(store)
+        log = []
+        forced = run_tiny(store, log=log, force=True)
+        assert log == ["seed", "double", "total"]
+        assert forced.cached_steps == 0
+
+    def test_digest_excluded_params_share_a_checkpoint(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        registry = make_registry()
+        preset = WorkflowPreset(
+            "px", "", steps=(
+                spec("seed"),
+                spec("double", params={"jobs": 8}, deps=("seed",)),
+            ),
+        )
+        WorkflowRunner(store=store, registry=registry).run(preset)
+        retopo = WorkflowPreset(
+            "px", "", steps=(
+                spec("seed"),
+                spec("double", params={"jobs": 1}, deps=("seed",)),
+            ),
+        )
+        again = WorkflowRunner(store=store, registry=registry).run(retopo)
+        assert again.executed_steps == 0
+
+    def test_version_bump_invalidates_checkpoints(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        preset = WorkflowPreset("pv", "", steps=(spec("seed"),))
+
+        def registry_v(version):
+            reg = StepRegistry()
+
+            @reg.register("seed", "emit", version=version)
+            def seed(params, inputs):
+                return {"value": version}
+
+            return reg
+
+        WorkflowRunner(store=store, registry=registry_v(1)).run(preset)
+        bumped = WorkflowRunner(
+            store=store, registry=registry_v(2)
+        ).run(preset)
+        assert bumped.executed_steps == 1
+        assert bumped.steps[0].output == {"value": 2}
+
+    def test_dependency_change_ripples_to_dependents(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        registry = make_registry()
+        runner = WorkflowRunner(store=store, registry=registry)
+        runner.run(TINY)
+        changed = runner.run(TINY, overrides={"seed": {"value": 5}})
+        # Every step reran: seed's params changed, and its digest sits
+        # inside both dependents' addresses.
+        assert changed.executed_steps == 3
+        assert changed.steps[-1].output == {"value": 15}
+
+    def test_budget_zero_pauses_before_any_step(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        paused = run_tiny(store, log=[], budget_seconds=0.0)
+        assert paused.status == "paused"
+        assert paused.pending == ("seed", "double", "total")
+        assert paused.report is None
+        resumed = run_tiny(ArtifactStore(root=str(tmp_path)))
+        assert resumed.completed
+
+    def test_keyboard_interrupt_checkpoints_predecessors(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        with pytest.raises(WorkflowInterrupted) as err:
+            run_tiny(store, interrupt_at="double")
+        assert err.value.step == "double"
+        assert err.value.completed == ("seed",)
+        # The typed error sits under the repo-wide taxonomy.
+        from repro.wormhole.deadlock import SimulationError
+        assert isinstance(err.value, SimulationError)
+        log = []
+        resumed = run_tiny(ArtifactStore(root=str(tmp_path)), log=log)
+        assert resumed.completed
+        assert log == ["double", "total"]  # seed replayed from disk
+
+    def test_step_exception_becomes_typed_failure(self):
+        with pytest.raises(StepFailedError) as err:
+            run_tiny(ArtifactStore(), boom_at="double")
+        assert err.value.step == "double"
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_non_dict_output_is_a_step_failure(self):
+        reg = StepRegistry()
+
+        @reg.register("bad", "returns a list")
+        def bad(params, inputs):
+            return [1, 2]
+
+        preset = WorkflowPreset("pb", "", steps=(spec("bad"),))
+        with pytest.raises(StepFailedError):
+            WorkflowRunner(store=ArtifactStore(), registry=reg).run(preset)
+
+    def test_fresh_output_is_normalized_like_a_replay(self, tmp_path):
+        # ``double`` returns a tuple; JSON normalization must turn it
+        # into a list on the *first* run, or a straight run and a
+        # resumed run would differ structurally.
+        store = ArtifactStore(root=str(tmp_path))
+        first = run_tiny(store)
+        cached = run_tiny(ArtifactStore(root=str(tmp_path)))
+        assert first.steps[1].output["pair"] == [1, 2]
+        assert first.steps[1].output == cached.steps[1].output
+
+    def test_unknown_override_target_is_typed(self):
+        with pytest.raises(WorkflowError):
+            run_tiny(ArtifactStore(), overrides={"nope": {"x": 1}})
+
+    def test_steps_record_telemetry(self):
+        reg = TelemetryRegistry()
+        with use_registry(reg):
+            run_tiny(ArtifactStore())
+        counters = reg.snapshot(redact_timings=True)["counters"]
+        assert counters[
+            'workflow_steps_total{source="run",step="seed"}'
+        ] == 1
+        assert counters[
+            'workflow_steps_total{source="run",step="total"}'
+        ] == 1
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume acceptance: SIGKILL at a step boundary, resume,
+# byte-identical report with zero recomputation of pre-kill steps.
+# ----------------------------------------------------------------------
+def run_cli(args, *, env_extra=None, cwd=None):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, cwd=cwd, capture_output=True, text=True, timeout=600,
+    )
+
+
+SMALL_SLO = [
+    "--set", "run-campaign.trials=2",
+    "--set", "sample-timeline.horizon=1.0",
+    "--set", "run-campaign.horizon=1.0",
+]
+
+
+class TestKillAndResume:
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        """The ISSUE acceptance criterion, end to end: a process-
+        executor workflow SIGKILLed mid-campaign resumes with every
+        completed step a cache hit and an identical final report."""
+        ckpt = tmp_path / "ckpt"
+        straight_store = tmp_path / "straight"
+        killed = run_cli(
+            ["workflow", "run", "reliability-slo",
+             "--store", str(ckpt), "--out", str(tmp_path / "no.json"),
+             "--set", "run-campaign.executor=\"process\"",
+             "--set", "run-campaign.jobs=2", *SMALL_SLO],
+            env_extra={"REPRO_WORKFLOW_KILL_AFTER": "run-campaign"},
+        )
+        assert killed.returncode in (-signal.SIGKILL, 137), killed.stderr
+        assert not (tmp_path / "no.json").exists()
+
+        resumed = run_cli(
+            ["workflow", "resume", "reliability-slo",
+             "--store", str(ckpt), "--json",
+             "--out", str(tmp_path / "resumed.json"),
+             "--set", "run-campaign.executor=\"process\"",
+             "--set", "run-campaign.jobs=2", *SMALL_SLO],
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        outcome = json.loads(resumed.stdout)
+        # Both pre-kill steps replay from the store; only the report
+        # step (never reached) computes.
+        assert outcome["cached_steps"] == 2
+        assert outcome["executed_steps"] == 1
+        sources = {s["name"]: s["source"] for s in outcome["steps"]}
+        assert sources["sample-timeline"] == "cache"
+        assert sources["run-campaign"] == "cache"
+
+        straight = run_cli(
+            ["workflow", "run", "reliability-slo",
+             "--store", str(straight_store),
+             "--out", str(tmp_path / "straight.json"),
+             "--set", "run-campaign.executor=\"process\"",
+             "--set", "run-campaign.jobs=2", *SMALL_SLO],
+        )
+        assert straight.returncode == 0, straight.stderr
+        resumed_bytes = (tmp_path / "resumed.json").read_bytes()
+        straight_bytes = (tmp_path / "straight.json").read_bytes()
+        assert resumed_bytes == straight_bytes
+
+    def test_interrupt_exit_code_is_distinct(self, tmp_path):
+        """A step that raises KeyboardInterrupt surfaces as exit 130
+        (not a raw traceback), with predecessors checkpointed."""
+        script = (
+            "import sys\n"
+            "sys.path.insert(0, %r)\n"
+            "from repro.cli import main\n"
+            "from repro.workflow import steps as S\n"
+            "orig = S.STEPS.get('run-campaign').fn\n"
+            "object.__setattr__(S.STEPS.get('run-campaign'), 'fn',\n"
+            "    lambda p, i: (_ for _ in ()).throw(KeyboardInterrupt))\n"
+            "sys.exit(main(['workflow', 'run', 'reliability-slo',\n"
+            "    '--store', %r,\n"
+            "    '--set', 'sample-timeline.horizon=1.0',\n"
+            "    '--set', 'run-campaign.horizon=1.0',\n"
+            "    '--set', 'run-campaign.trials=2']))\n"
+        ) % (
+            os.path.join(
+                os.path.dirname(os.path.dirname(__file__)), "src"
+            ),
+            str(tmp_path / "ckpt"),
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 130, (proc.stdout, proc.stderr)
+        assert "resume with" in proc.stdout
+        assert "Traceback" not in proc.stderr
+        # The predecessor really is checkpointed for the resume.
+        store = ArtifactStore(root=str(tmp_path / "ckpt"))
+        assert len(store.digests()) == 1
+
+    def test_budget_pause_exit_code(self, tmp_path):
+        paused = run_cli(
+            ["workflow", "run", "reliability-slo",
+             "--store", str(tmp_path / "ckpt"),
+             "--budget-seconds", "0", *SMALL_SLO],
+        )
+        assert paused.returncode == 3, paused.stderr
+        assert "paused" in paused.stdout
