@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke obs-smoke reliability-smoke vector-smoke workflow-smoke lint analyze concurrency concurrency-smoke prove-smoke clean
+.PHONY: install test bench bench-json bench-check experiments examples chaos-smoke serve-smoke shard-smoke obs-smoke reliability-smoke vector-smoke workflow-smoke lint analyze concurrency concurrency-smoke prove-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -59,6 +59,24 @@ serve-smoke:
 	grep -q "drain: orphaned compiles 0" /tmp/serve-smoke-1.txt
 	grep -q "^smoke OK" /tmp/serve-smoke-1.txt
 	@echo "serve smoke OK: deterministic, cached, epoch-safe, drained"
+
+# Sharded-plane smoke (CI job: test, blocking): 1 router + 3 replica
+# workers over a shared store.  Two mixed query/delta loadgen
+# campaigns (binary codec); one worker is SIGKILLed mid-campaign and
+# every reply must still arrive (reads retry on survivors), then the
+# respawn replays the mutation log and rejoins.  Every line is
+# seed-deterministic, so run twice and diff the transcripts.
+shard-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve --shard-smoke \
+	    > /tmp/shard-smoke-1.txt
+	PYTHONPATH=src $(PYTHON) -m repro serve --shard-smoke \
+	    > /tmp/shard-smoke-2.txt
+	diff /tmp/shard-smoke-1.txt /tmp/shard-smoke-2.txt
+	grep -q '"ok": 300' /tmp/shard-smoke-1.txt
+	grep -q "recovery: respawns 1 in_sync 3/3" /tmp/shard-smoke-1.txt
+	grep -q "epoch_divergences 0" /tmp/shard-smoke-1.txt
+	grep -q "^smoke OK" /tmp/shard-smoke-1.txt
+	@echo "shard smoke OK: deterministic, no lost replies, worker respawned"
 
 # Telemetry smoke: run the seeded observability scenario (repro
 # stats: lamb pipeline + simulator with a mid-run fault + control

@@ -592,8 +592,12 @@ def cmd_serve(args) -> int:
     from .service import ArtifactStore, ReconfigurationCompiler
     from .service.metrics import ServiceMetrics
     from .service.server import RouteQueryServer
-    from .service.smoke import default_smoke_faults, serve_smoke
+    from .service.smoke import default_smoke_faults, serve_smoke, shard_smoke
 
+    if args.shard_smoke:
+        return shard_smoke(num_shards=args.shards or 3)
+    if args.shards:
+        return _serve_sharded(args)
     if args.smoke:
         if args.mesh is None and not args.fault and not args.faults \
                 and not args.percent and not args.load:
@@ -663,6 +667,91 @@ def cmd_serve(args) -> int:
         print(f"wrote {args.metrics_json}")
     _export_telemetry(args)
     return rc
+
+
+def _serve_sharded(args) -> int:
+    """``repro serve --shards N``: the replicated worker-pool plane."""
+    import asyncio
+
+    from .service.shard import ShardRouter
+
+    faults = _build_faults(args)
+    mesh = faults.mesh
+
+    async def _run() -> int:
+        router = ShardRouter(
+            dims=mesh.widths,
+            rounds=args.rounds,
+            num_shards=args.shards,
+            host=args.host,
+            port=args.port,
+            store_root=args.store,
+            request_timeout=args.request_timeout,
+            verify=args.verify,
+        )
+        host, port = await router.start()
+        client = await router.client()
+        compiled = await client.compile(faults, timeout=300.0)
+        await client.close()
+        print(
+            f"serving {mesh} on {host}:{port} | {args.shards} shard "
+            f"workers | epoch {compiled['epoch']} digest "
+            f"{compiled['digest'][:12]}"
+        )
+        print(
+            f"faults {faults.f} | lambs {compiled['lambs']} | "
+            f"survivors {compiled['survivors']} | codecs ndjson+binary"
+        )
+        try:
+            await router.serve_until_shutdown()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            await router.stop()
+        stats = router.router_stats()
+        print(
+            f"drained: reads {stats['reads_forwarded']} mutations "
+            f"{stats['mutations']} respawns {stats['respawns']}"
+        )
+        return 0
+
+    return asyncio.run(_run())
+
+
+def cmd_loadgen(args) -> int:
+    """Drive sustained mixed query/delta traffic at a running plane."""
+    import json as _json
+
+    from .service.loadgen import LoadgenConfig, loadgen
+
+    cfg = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        codec=args.codec,
+        connections=args.connections,
+        batches=args.batches,
+        batch_size=args.batch_size,
+        pool_pairs=args.pool_pairs,
+        warmup_batches=args.warmup_batches,
+        delta_every=args.delta_every,
+        delta_offset=args.delta_offset,
+        seed=args.seed,
+        dims=args.mesh.widths if args.mesh is not None else (16, 16),
+        fault_count=args.faults,
+        fault_seed=args.fault_seed,
+        rounds=args.rounds,
+        timeout=args.timeout,
+    )
+    report = loadgen(cfg)
+    if args.deterministic:
+        print(_json.dumps(report["snapshot"], sort_keys=True))
+    else:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    ok = report["snapshot"]["ok"] == report["snapshot"]["queries"]
+    return 0 if ok else 1
 
 
 def cmd_stats(args) -> int:
@@ -1157,6 +1246,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", type=str, default=None, metavar="PREFIX",
                    help="write the telemetry registry to "
                    "PREFIX.{prom,ndjson,json} on shutdown")
+    p.add_argument("--shards", type=int, default=0,
+                   help="serve through a shard router over N replica "
+                   "worker processes instead of a single in-process "
+                   "server")
+    p.add_argument("--shard-smoke", action="store_true",
+                   help="run the sharded-plane acceptance scenario "
+                   "(loadgen twice + worker kill + recovery) and exit")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -1180,6 +1276,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", type=str, default=None, metavar="PREFIX",
                    help="also write PREFIX.{prom,ndjson,json}")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive sustained mixed query/delta traffic at a running "
+        "control plane and report p50/p99 latency + queries/s",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--codec", choices=("ndjson", "binary"),
+                   default="binary")
+    p.add_argument("--connections", type=int, default=2)
+    p.add_argument("--batches", type=int, default=50,
+                   help="measured query batches (after warmup)")
+    p.add_argument("--batch-size", type=int, default=100)
+    p.add_argument("--pool-pairs", type=int, default=0,
+                   help="distinct (src,dst) flows measured traffic "
+                   "draws from (0: 4x batch size)")
+    p.add_argument("--warmup-batches", type=int, default=2,
+                   help="untimed batches that warm every replica's "
+                   "route cache first")
+    p.add_argument("--delta-every", type=int, default=0,
+                   help="send a fault delta every N batches on "
+                   "connection 0 (0: queries only)")
+    p.add_argument("--delta-offset", type=int, default=0,
+                   help="skip the first N reserved delta victims "
+                   "(for back-to-back campaigns)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mesh", type=_parse_mesh, default=None,
+                   help="target machine (must match the server's; "
+                   "default 16x16)")
+    p.add_argument("--faults", type=int, default=5,
+                   help="seeded base faults compiled before traffic")
+    p.add_argument("--fault-seed", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.add_argument("--deterministic", action="store_true",
+                   help="print only the seed-determined snapshot "
+                   "(diffable across runs)")
+    p.add_argument("--json", type=str, default=None,
+                   help="also write the full report here")
+    p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser(
         "query",

@@ -10,16 +10,25 @@ plane with a slow control path and a fast data path:
 - :mod:`repro.service.compiler` — compile-once semantics over the lamb
   pipeline with the degradation ladder and an optional CDG
   deadlock-freedom cross-check before publication;
+- :mod:`repro.service.wire` — the length-prefixed binary framing that
+  rides next to NDJSON on the same listener (negotiated per
+  connection);
 - :mod:`repro.service.server` / :mod:`repro.service.client` — an
-  asyncio NDJSON TCP service (batching, per-request timeouts, graceful
-  drain) serving route queries at high QPS;
+  asyncio TCP service (NDJSON or binary frames, batching, per-request
+  timeouts, graceful drain) serving route queries at high QPS;
+- :mod:`repro.service.shard` — the sharded plane: a router process in
+  front of N replicated worker processes over a shared artifact
+  store, with crash respawn and mutation-log replay;
+- :mod:`repro.service.loadgen` — seeded mixed query/delta traffic
+  campaigns (``repro loadgen``) with latency quantiles;
 - :mod:`repro.service.metrics` — cache/compile/query observability
   behind the ``stats`` RPC;
 - :mod:`repro.service.errors` — typed wire errors under the
   :class:`repro.wormhole.SimulationError` taxonomy.
 
-See ``docs/service.md`` for the protocol and artifact schema, and
-``repro serve`` / ``repro query`` for the CLI front ends.
+See ``docs/service.md`` for the protocols and artifact schema, and
+``repro serve`` / ``repro query`` / ``repro loadgen`` for the CLI
+front ends.
 """
 
 from .compiler import CompiledArtifact, ReconfigurationCompiler
@@ -31,6 +40,7 @@ from .errors import (
     ServiceUnavailableError,
     StaleEpochError,
     UnknownOperationError,
+    WireProtocolError,
 )
 from .metrics import Counter, Gauge, Histogram, ServiceMetrics
 from .store import ArtifactStore, canonical_config, config_digest
@@ -52,9 +62,15 @@ __all__ = [
     "CompileError",
     "RequestTimeoutError",
     "ServiceUnavailableError",
+    "WireProtocolError",
     "RouteQueryClient",
     "RouteQueryServer",
+    "ShardRouter",
+    "LoadgenConfig",
+    "run_loadgen",
+    "loadgen",
     "serve_smoke",
+    "shard_smoke",
 ]
 
 
@@ -69,8 +85,28 @@ def __getattr__(name: str):
         from .client import RouteQueryClient
 
         return RouteQueryClient
+    if name == "ShardRouter":
+        from .shard import ShardRouter
+
+        return ShardRouter
+    if name == "LoadgenConfig":
+        from .loadgen import LoadgenConfig
+
+        return LoadgenConfig
+    if name == "run_loadgen":
+        from .loadgen import run_loadgen
+
+        return run_loadgen
+    if name == "loadgen":
+        from .loadgen import loadgen
+
+        return loadgen
     if name == "serve_smoke":
         from .smoke import serve_smoke
 
         return serve_smoke
+    if name == "shard_smoke":
+        from .smoke import shard_smoke
+
+        return shard_smoke
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,11 +1,21 @@
 """Asyncio client for the route-query service.
 
-Mirrors the wire protocol of :mod:`repro.service.server`: one JSON
-request per line (or a JSON array for a pipelined batch), replies in
-request order.  Error replies are rebuilt into the *same* typed
-exceptions the server raised (:mod:`repro.service.errors`), so client
-code handles :class:`~repro.service.errors.StaleEpochError` exactly as
-in-process callers do.
+Mirrors the wire protocol of :mod:`repro.service.server` in either
+codec: ``ndjson`` (one JSON request per line, or a JSON array for a
+pipelined batch, replies in request order) or ``binary``
+(length-prefixed frames, one reply frame per request frame — a batch
+frame gets a single reply frame carrying the array).  Error replies
+are rebuilt into the *same* typed exceptions the server raised
+(:mod:`repro.service.errors`), so client code handles
+:class:`~repro.service.errors.StaleEpochError` exactly as in-process
+callers do.
+
+A server-side *stream-level* error (e.g. the request exceeded the
+wire limit) comes back as an ``id: null`` error reply.  The server
+consumed the offending message in full before replying, so the
+connection is still in sync: the client raises the typed error —
+usually :class:`~repro.service.errors.WireProtocolError` — without
+poisoning the connection.
 """
 
 from __future__ import annotations
@@ -16,14 +26,19 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..mesh.faults import FaultSet
 from ..mesh.serialization import faults_to_dict
+from . import wire
 from .errors import (
     MalformedRequestError,
     RequestTimeoutError,
     ServiceError,
+    WireProtocolError,
     from_wire,
 )
 
-__all__ = ["RouteQueryClient", "raise_typed"]
+__all__ = ["RouteQueryClient", "raise_typed", "CODECS"]
+
+#: Wire codecs this client can speak.
+CODECS = ("ndjson", "binary")
 
 
 def raise_typed(reply: Dict[str, Any]) -> Dict[str, Any]:
@@ -42,6 +57,8 @@ class RouteQueryClient:
     Use :meth:`connect`; every RPC accepts an optional per-call
     ``timeout`` (seconds) overriding ``default_timeout`` — an expired
     wait raises :class:`~repro.service.errors.RequestTimeoutError`.
+    ``codec`` selects the wire framing (``"ndjson"`` or ``"binary"``);
+    the server auto-detects it from the first bytes sent.
     """
 
     def __init__(
@@ -49,10 +66,14 @@ class RouteQueryClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         default_timeout: float = 10.0,
+        codec: str = "ndjson",
     ) -> None:
+        if codec not in CODECS:
+            raise ValueError(f"unknown codec {codec!r} (want one of {CODECS})")
         self._reader = reader
         self._writer = writer
         self.default_timeout = float(default_timeout)
+        self.codec = codec
         self._next_id = 0
         self._broken = False
 
@@ -63,11 +84,19 @@ class RouteQueryClient:
         port: int,
         default_timeout: float = 10.0,
         connect_timeout: float = 10.0,
+        codec: str = "ndjson",
     ) -> "RouteQueryClient":
+        # The asyncio default stream limit is 64 KiB — far below a
+        # legitimate large reply (a big stats snapshot or a pipelined
+        # batch's worth of lines); match the server's ceiling instead.
         reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(host, port), timeout=connect_timeout
+            asyncio.open_connection(
+                host, port, limit=wire.MAX_FRAME_BYTES
+            ),
+            timeout=connect_timeout,
         )
-        return cls(reader, writer, default_timeout=default_timeout)
+        return cls(reader, writer, default_timeout=default_timeout,
+                   codec=codec)
 
     async def close(self) -> None:
         self._writer.close()
@@ -116,8 +145,46 @@ class RouteQueryClient:
         req.update(payload)
         return req
 
-    async def _read_reply(self, timeout: Optional[float]) -> Dict[str, Any]:
+    def _send(self, message: Any) -> None:
+        """Encode one request (or batch) in the connection codec."""
+        if self.codec == "binary":
+            self._writer.write(wire.encode_frame(message))
+        else:
+            self._writer.write(
+                (json.dumps(message) + "\n").encode("utf-8")
+            )
+
+    async def _read_message(self, timeout: Optional[float]) -> Any:
+        """One decoded reply message: a dict, or (binary batch reply)
+        a list of dicts."""
         deadline = self.default_timeout if timeout is None else float(timeout)
+        if self.codec == "binary":
+            try:
+                body = await asyncio.wait_for(
+                    wire.read_frame(self._reader), timeout=deadline
+                )
+            except asyncio.TimeoutError:
+                self._poison()
+                raise RequestTimeoutError(
+                    f"no reply within {deadline}s (client-side deadline); "
+                    f"connection closed — reconnect to continue"
+                )
+            except asyncio.IncompleteReadError:
+                raise ServiceError(
+                    "connection closed before a full reply frame arrived"
+                )
+            except WireProtocolError as exc:
+                if not exc.data.get("recoverable"):
+                    self._poison()
+                raise
+            if body is None:
+                raise ServiceError(
+                    "connection closed before a reply arrived"
+                )
+            reply = wire.decode_payload(body)
+            if not isinstance(reply, (dict, list)):
+                raise ServiceError(f"reply is not an object: {reply!r}")
+            return reply
         try:
             line = await asyncio.wait_for(
                 self._reader.readline(), timeout=deadline
@@ -127,6 +194,15 @@ class RouteQueryClient:
             raise RequestTimeoutError(
                 f"no reply within {deadline}s (client-side deadline); "
                 f"connection closed — reconnect to continue"
+            )
+        except ValueError:
+            # The reply line overran the stream limit; the stream
+            # position inside that line is now unknowable.
+            self._poison()
+            raise WireProtocolError(
+                "reply line exceeds the client stream limit; "
+                "connection closed — reconnect to continue",
+                {"recoverable": False},
             )
         if not line:
             raise ServiceError("connection closed before a reply arrived")
@@ -138,6 +214,24 @@ class RouteQueryClient:
             raise ServiceError(f"reply is not an object: {reply!r}")
         return reply
 
+    async def _read_reply(self, timeout: Optional[float]) -> Dict[str, Any]:
+        reply = await self._read_message(timeout)
+        if not isinstance(reply, dict):
+            self._poison()
+            raise ServiceError(
+                f"expected a single reply object, got a batch of "
+                f"{len(reply)}"
+            )
+        return reply
+
+    @staticmethod
+    def _stream_level_error(reply: Dict[str, Any]) -> bool:
+        """An ``id: null`` error reply reports a message-level failure
+        (unparseable line, oversized message).  The server consumed
+        the whole offending message before replying, so the stream is
+        still in sync — raise typed, do *not* poison."""
+        return reply.get("id") is None and not reply.get("ok")
+
     async def request(
         self,
         op: str,
@@ -148,9 +242,11 @@ class RouteQueryClient:
         typed error."""
         self._ensure_usable()
         req = self._make_request(op, payload)
-        self._writer.write((json.dumps(req) + "\n").encode("utf-8"))
+        self._send(req)
         await self._writer.drain()
         reply = await self._read_reply(timeout)
+        if self._stream_level_error(reply):
+            return raise_typed(reply)
         if reply.get("id") != req["id"]:
             self._poison()
             raise ServiceError(
@@ -165,18 +261,26 @@ class RouteQueryClient:
         timeout: Optional[float] = None,
     ) -> List[Dict[str, Any]]:
         """Pipeline a batch of ``(op, payload)`` requests as a single
-        line; returns the raw reply dicts in order (errors are *not*
-        raised — inspect ``reply["ok"]`` or pass through
-        :func:`raise_typed` per element)."""
+        message; returns the raw reply dicts in order (errors are
+        *not* raised — inspect ``reply["ok"]`` or pass through
+        :func:`raise_typed` per element).  A *stream-level* failure
+        (the whole batch was rejected before parsing) raises its typed
+        error without poisoning the connection."""
         if not requests:
             raise MalformedRequestError("empty batch")
         self._ensure_usable()
         reqs = [self._make_request(op, payload) for op, payload in requests]
-        self._writer.write((json.dumps(reqs) + "\n").encode("utf-8"))
+        self._send(reqs)
         await self._writer.drain()
+        if self.codec == "binary":
+            return self._match_batch(
+                reqs, await self._read_message(timeout)
+            )
         replies: List[Dict[str, Any]] = []
-        for req in reqs:
+        for at, req in enumerate(reqs):
             reply = await self._read_reply(timeout)
+            if at == 0 and self._stream_level_error(reply):
+                raise_typed(reply)
             if reply.get("id") != req["id"]:
                 self._poison()
                 raise ServiceError(
@@ -185,6 +289,34 @@ class RouteQueryClient:
                 )
             replies.append(reply)
         return replies
+
+    def _match_batch(
+        self, reqs: List[Dict[str, Any]], message: Any
+    ) -> List[Dict[str, Any]]:
+        """Validate a binary batch reply frame against the batch."""
+        if isinstance(message, dict):
+            if self._stream_level_error(message):
+                raise_typed(message)
+            self._poison()
+            raise ServiceError(
+                f"expected a batch reply, got a single reply with id "
+                f"{message.get('id')!r}"
+            )
+        if len(message) != len(reqs):
+            self._poison()
+            raise ServiceError(
+                f"batch reply has {len(message)} elements for "
+                f"{len(reqs)} requests"
+            )
+        for req, reply in zip(reqs, message):
+            if not isinstance(reply, dict) or reply.get("id") != req["id"]:
+                self._poison()
+                raise ServiceError(
+                    f"reply id "
+                    f"{reply.get('id') if isinstance(reply, dict) else reply!r}"
+                    f" does not match request id {req['id']}"
+                )
+        return list(message)
 
     # ------------------------------------------------------------------
     # Typed RPCs

@@ -22,6 +22,7 @@ __all__ = [
     "CompileError",
     "RequestTimeoutError",
     "ServiceUnavailableError",
+    "WireProtocolError",
     "ERROR_CODES",
     "to_wire",
     "from_wire",
@@ -88,6 +89,20 @@ class ServiceUnavailableError(ServiceError):
     code = "service-unavailable"
 
 
+class WireProtocolError(ServiceError):
+    """The byte stream itself violated the wire protocol: an NDJSON
+    request line over the stream limit, a binary frame with a bad
+    magic/version header, or a frame body larger than the negotiated
+    maximum.
+
+    ``data["recoverable"]`` tells the peer whether the connection is
+    still usable: an oversized line/frame is fully consumed before the
+    reply (the stream stays in sync), while a corrupt header leaves no
+    way to find the next message boundary."""
+
+    code = "wire-protocol"
+
+
 ERROR_CODES: Dict[str, Type[ServiceError]] = {
     cls.code: cls
     for cls in (
@@ -98,6 +113,7 @@ ERROR_CODES: Dict[str, Type[ServiceError]] = {
         CompileError,
         RequestTimeoutError,
         ServiceUnavailableError,
+        WireProtocolError,
     )
 }
 

@@ -1,0 +1,263 @@
+"""Sustained mixed query/delta load against a route-query endpoint.
+
+``repro loadgen`` drives the plane the way production traffic would:
+pipelined query batches over N concurrent connections, with periodic
+fault deltas mixed in, and reports p50/p99 latency through the
+telemetry histograms plus sustained queries/s.
+
+Determinism contract: the *traffic* and its outcome counts are a pure
+function of the seed.  Query pairs are drawn from the survivor set
+with a seeded :class:`random.Random`; delta victims come from a
+reserved pool that query traffic never touches, so every query
+resolves on every epoch and ``ok == queries`` holds exactly.  The
+``snapshot`` block of the report contains only seed-determined fields
+— ``make shard-smoke`` diffs it across runs — while wall-clock
+figures (latency quantiles, qps) live outside it.
+
+Traffic shape: measured batches draw from a bounded **pair pool**
+(``pool_pairs`` distinct flows), matching the compile-once/query-many
+production regime where a working set of flows is queried repeatedly.
+The untimed warmup resolves the full pool ``warmup_batches`` times on
+every connection; behind a shard router the read rotation spreads
+those consecutive sends across replicas, so keeping
+``warmup_batches * connections >= num_shards`` warms the pool on
+*every* replica before the clock starts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..mesh.faults import FaultSet, random_node_faults
+from ..mesh.geometry import Mesh, Node
+from ..obs.metrics import Histogram
+from .client import RouteQueryClient, raise_typed
+
+__all__ = ["LoadgenConfig", "run_loadgen", "loadgen"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation campaign (all fields seed-deterministic)."""
+
+    host: str
+    port: int
+    codec: str = "binary"
+    connections: int = 2
+    batches: int = 50
+    batch_size: int = 100
+    #: Distinct (src, dst) flows measured traffic draws from; 0 means
+    #: ``4 * batch_size``.  Bounded so the warmup can resolve every
+    #: flow on every replica before the timed phase.
+    pool_pairs: int = 0
+    warmup_batches: int = 2
+    delta_every: int = 0
+    delta_budget: int = 8
+    #: Skip the first N reserved delta victims — lets back-to-back
+    #: campaigns against one live plane fault *fresh* nodes instead of
+    #: re-faulting (and so not epoch-bumping with) earlier victims.
+    delta_offset: int = 0
+    seed: int = 0
+    dims: Tuple[int, ...] = (16, 16)
+    fault_count: int = 5
+    fault_seed: int = 4
+    rounds: int = 2
+    timeout: float = 120.0
+
+
+def _base_faults(cfg: LoadgenConfig) -> FaultSet:
+    mesh = Mesh(cfg.dims)
+    return random_node_faults(
+        mesh, cfg.fault_count, np.random.default_rng(cfg.fault_seed)
+    )
+
+
+def _survivor_pools(
+    cfg: LoadgenConfig,
+    faults: FaultSet,
+    excluded: List[List[int]],
+) -> Tuple[List[Node], List[Node]]:
+    """Split survivors into (query pool, reserved delta victims).
+
+    Delta victims never appear in query traffic, so a mid-run fault
+    delta can never turn a planned query pair into a non-survivor
+    error — outcome counts stay seed-deterministic.
+    """
+    dead = {tuple(int(x) for x in v) for v in excluded}
+    survivors = [
+        v for v in faults.mesh.nodes()
+        if not faults.node_is_faulty(v) and v not in dead
+    ]
+    reserve = min(cfg.delta_budget, max(0, len(survivors) - 2))
+    if reserve == 0 or cfg.delta_every <= 0:
+        return survivors, []
+    return survivors[:-reserve], survivors[-reserve:]
+
+
+def _plan_pairs(
+    rng: random.Random, pool: List[Node], count: int
+) -> List[Tuple[Node, Node]]:
+    pairs: List[Tuple[Node, Node]] = []
+    while len(pairs) < count:
+        i = rng.randrange(len(pool))
+        j = rng.randrange(len(pool))
+        if i != j:
+            pairs.append((pool[i], pool[j]))
+    return pairs
+
+
+async def run_loadgen(
+    cfg: LoadgenConfig,
+    progress: Optional[Callable[[int], None]] = None,
+) -> Dict[str, Any]:
+    """Run the campaign; returns the report dict.
+
+    ``progress`` (if given) is called with the index of each measured
+    batch as it completes — the shard smoke uses it to time a worker
+    kill against traffic instead of against the wall clock.
+    """
+    if cfg.connections < 1 or cfg.batches < 1 or cfg.batch_size < 1:
+        raise ValueError("connections, batches and batch_size must be >= 1")
+    faults = _base_faults(cfg)
+    admin = await RouteQueryClient.connect(
+        cfg.host, cfg.port, default_timeout=cfg.timeout, codec=cfg.codec
+    )
+    compiled = await admin.compile(faults, timeout=cfg.timeout)
+    excluded = list(compiled["lamb_nodes"]) + list(compiled["quarantined"])
+    query_pool, delta_pool = _survivor_pools(cfg, faults, excluded)
+    rng = random.Random(cfg.seed)
+    pool_size = cfg.pool_pairs if cfg.pool_pairs > 0 else 4 * cfg.batch_size
+    pool = _plan_pairs(rng, query_pool, pool_size)
+    measured: List[List[Tuple[Node, Node]]] = [
+        [pool[rng.randrange(pool_size)] for _ in range(cfg.batch_size)]
+        for _ in range(cfg.batches)
+    ]
+
+    clients: List[RouteQueryClient] = [admin]
+    for _ in range(cfg.connections - 1):
+        clients.append(
+            await RouteQueryClient.connect(
+                cfg.host, cfg.port,
+                default_timeout=cfg.timeout, codec=cfg.codec,
+            )
+        )
+
+    async def run_batch(
+        client: RouteQueryClient,
+        batch: List[Tuple[Node, Node]],
+        hist: Optional[Histogram],
+    ) -> int:
+        t0 = time.perf_counter()
+        replies = await client.query_batch(batch, timeout=cfg.timeout)
+        elapsed = time.perf_counter() - t0
+        ok = 0
+        for reply in replies:
+            raise_typed(reply)
+            ok += 1
+        if hist is not None and replies:
+            per_query = elapsed / len(replies)
+            for _ in range(len(replies)):
+                hist.observe(per_query)
+        return ok
+
+    # Warm every replica's route cache before the timed phase: the
+    # production regime for compile-once/query-many is steady-state
+    # reads, and a cold table measures route *computation*, not the
+    # serving plane.  Consecutive sends of the same chunk rotate
+    # across replicas, so each chunk lands on every replica when
+    # ``warmup_batches * connections >= num_shards``.
+    for at in range(0, pool_size, cfg.batch_size):
+        chunk = pool[at:at + cfg.batch_size]
+        for _ in range(cfg.warmup_batches):
+            for client in clients:
+                await run_batch(client, chunk, None)
+
+    hist = Histogram()
+    deltas_sent = 0
+    ok_total = 0
+    next_victim = min(cfg.delta_offset, len(delta_pool))
+
+    async def worker(conn_index: int) -> int:
+        nonlocal deltas_sent, next_victim
+        client = clients[conn_index]
+        done = 0
+        for at in range(conn_index, len(measured), cfg.connections):
+            done += await run_batch(client, measured[at], hist)
+            if progress is not None:
+                progress(at)
+            if (
+                conn_index == 0
+                and cfg.delta_every > 0
+                and (at // cfg.connections + 1) % cfg.delta_every == 0
+                and next_victim < len(delta_pool)
+            ):
+                victim = delta_pool[next_victim]
+                next_victim += 1
+                await client.delta(
+                    node_faults=[victim], timeout=cfg.timeout
+                )
+                deltas_sent += 1
+        return done
+
+    t0 = time.perf_counter()
+    counts = await asyncio.gather(
+        *(worker(i) for i in range(cfg.connections))
+    )
+    wall = time.perf_counter() - t0
+    ok_total = sum(counts)
+
+    final = await admin.ping(timeout=cfg.timeout)
+    for client in clients:
+        await client.close()
+
+    queries = len(measured) * cfg.batch_size
+    snap = hist.snapshot()
+    return {
+        # Seed-deterministic: the shard smoke byte-diffs this block.
+        "snapshot": {
+            "codec": cfg.codec,
+            "connections": cfg.connections,
+            "batches": len(measured),
+            "batch_size": cfg.batch_size,
+            "pool_pairs": pool_size,
+            "queries": queries,
+            "ok": ok_total,
+            "deltas": deltas_sent,
+            "final_epoch": int(final["epoch"]),
+            "seed": cfg.seed,
+            "dims": list(cfg.dims),
+            "base_faults": cfg.fault_count,
+            "base_lambs": int(compiled["lambs"]),
+        },
+        # A (src, dst) pair that stays valid on every epoch this
+        # campaign can produce: drawn from the query pool, which is
+        # disjoint from base faults, lambs, quarantine and the
+        # reserved delta victims.  The shard smoke pins its
+        # epoch-equality probe to it.
+        "probe": [list(query_pool[0]), list(query_pool[1])],
+        # Wall-clock figures (never diffed).
+        "latency": {
+            "p50_s": snap["p50_s"],
+            "p95_s": snap["p95_s"],
+            "p99_s": snap["p99_s"],
+            "mean_s": snap["mean_s"],
+        },
+        "throughput": {
+            "wall_s": round(wall, 6),
+            "qps": round(queries / wall, 2) if wall > 0 else 0.0,
+        },
+    }
+
+
+def loadgen(
+    cfg: LoadgenConfig,
+    progress: Optional[Callable[[int], None]] = None,
+) -> Dict[str, Any]:
+    """Synchronous wrapper around :func:`run_loadgen`."""
+    return asyncio.run(run_loadgen(cfg, progress))

@@ -65,6 +65,15 @@ class ServiceMetrics:
             "service_malformed_requests_total"
         )
         self.timeouts = reg.counter("service_timeouts_total")
+        self.connections_ndjson = reg.counter(
+            "service_connections_total", codec="ndjson"
+        )
+        self.connections_binary = reg.counter(
+            "service_connections_total", codec="binary"
+        )
+        self.wire_protocol_errors = reg.counter(
+            "service_wire_protocol_errors_total"
+        )
         self.compile_latency = reg.histogram("service_compile_seconds")
         self.query_latency = reg.histogram("service_query_seconds")
         self.epoch = reg.gauge("service_epoch", value=-1.0)
@@ -84,6 +93,8 @@ class ServiceMetrics:
             "compile_latency": self.compile_latency.snapshot(),
             "counters": {
                 "compiles": self.compiles.value,
+                "connections_binary": self.connections_binary.value,
+                "connections_ndjson": self.connections_ndjson.value,
                 "degraded_compiles": self.degraded_compiles.value,
                 "incremental_compiles": self.incremental_compiles.value,
                 "malformed_requests": self.malformed_requests.value,
@@ -93,6 +104,7 @@ class ServiceMetrics:
                 "requests": self.requests.value,
                 "stale_epoch_rejections": self.stale_epoch_rejections.value,
                 "timeouts": self.timeouts.value,
+                "wire_protocol_errors": self.wire_protocol_errors.value,
             },
             "epoch": int(self.epoch.value),
             "query_latency": self.query_latency.snapshot(),

@@ -1,17 +1,24 @@
 """Asyncio route-query server: the slow control path as a service.
 
-Wire protocol (newline-delimited JSON over TCP):
+Two codecs share the listening port, negotiated per connection by the
+first four bytes (see :mod:`repro.service.wire`):
 
-- One request per line: ``{"id": 7, "op": "query", ...}``.
-- **Batching**: a line may also carry a JSON *array* of requests; the
-  server processes them in order and writes one reply line per element
-  before flushing — a single round trip for the whole batch.  Batches
-  are processed against live state, so a ``delta`` inside a batch bumps
-  the epoch for the requests behind it (queries pinned to the old epoch
-  then get typed ``stale-epoch`` replies).
-- Replies echo the request ``id``: ``{"id": 7, "ok": true, ...}`` on
-  success, ``{"id": 7, "ok": false, "error": {"code", "message",
-  "data"}}`` on a typed failure (see :mod:`repro.service.errors`).
+- **ndjson**: one JSON request per line; a line may also carry a JSON
+  *array* of requests — the server processes them in order and writes
+  one reply line per element before flushing (a single round trip for
+  the whole batch).
+- **binary**: length-prefixed frames whose body is the same JSON; a
+  batch frame gets **one** reply frame carrying the array of replies,
+  serialized once and written zero-copy.
+
+Batches are processed against live state, so a ``delta`` inside a
+batch bumps the epoch for the requests behind it (queries pinned to
+the old epoch then get typed ``stale-epoch`` replies).  Replies echo
+the request ``id``: ``{"id": 7, "ok": true, ...}`` on success,
+``{"id": 7, "ok": false, "error": {"code", "message", "data"}}`` on a
+typed failure (see :mod:`repro.service.errors`).  A request line over
+the stream limit is consumed in full and answered with a typed
+``wire-protocol`` reply (``id: null``) — the connection stays usable.
 
 Operations: ``ping``, ``compile``, ``delta``, ``query``, ``stats``,
 ``shutdown``.
@@ -32,6 +39,7 @@ import json
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..mesh.serialization import faults_from_dict
+from . import wire
 from .compiler import ReconfigurationCompiler
 from .errors import (
     MalformedRequestError,
@@ -39,6 +47,7 @@ from .errors import (
     ServiceError,
     ServiceUnavailableError,
     UnknownOperationError,
+    WireProtocolError,
     to_wire,
 )
 from .metrics import ServiceMetrics
@@ -47,13 +56,24 @@ __all__ = ["RouteQueryServer", "WIRE_VERSION"]
 
 WIRE_VERSION = 1
 
-#: Refuse absurd lines early (a malformed client should get a typed
-#: error, not OOM the control plane).
-_MAX_LINE_BYTES = 4 * 1024 * 1024
+#: Refuse absurd lines/frames early (a malformed client should get a
+#: typed error, not OOM the control plane).  Large enough that a
+#: many-thousand-query pipelined batch is *valid* traffic — the old
+#: 4 MiB limit plus the asyncio default 64 KiB client limit silently
+#: dropped big batches.
+_MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Floor for the drain waits in :meth:`RouteQueryServer.stop`.  An
+#: already-expired deadline must still wait a beat: ``asyncio.wait(...,
+#: timeout=0.0)`` means "poll once", which reports compile threads as
+#: orphaned even though they finish microseconds later.
+_DRAIN_WAIT_FLOOR_S = 0.1
 
 
 def _encode(reply: Dict[str, Any]) -> bytes:
-    return (json.dumps(reply, sort_keys=True) + "\n").encode("utf-8")
+    """One NDJSON reply line (body bytes shared with the binary codec
+    so the two framings are byte-equivalent)."""
+    return wire.encode_payload(reply) + b"\n"
 
 
 class RouteQueryServer:
@@ -73,6 +93,10 @@ class RouteQueryServer:
     drain_timeout:
         How long :meth:`stop` waits for in-flight work before cutting
         connections loose.
+    max_line_bytes:
+        Ceiling on one NDJSON request line *and* one binary frame
+        body.  An oversized message is consumed and answered with a
+        typed ``wire-protocol`` error; the connection survives.
     """
 
     def __init__(
@@ -82,6 +106,7 @@ class RouteQueryServer:
         port: int = 0,
         request_timeout: float = 30.0,
         drain_timeout: float = 10.0,
+        max_line_bytes: int = _MAX_LINE_BYTES,
     ) -> None:
         self.compiler = compiler
         self.metrics: ServiceMetrics = compiler.metrics
@@ -89,6 +114,7 @@ class RouteQueryServer:
         self.port = port
         self.request_timeout = float(request_timeout)
         self.drain_timeout = float(drain_timeout)
+        self.max_line_bytes = int(max_line_bytes)
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
         #: Executor futures of running compiles.  These track the
@@ -109,7 +135,7 @@ class RouteQueryServer:
             self._on_connect,
             self.host,
             self.port,
-            limit=_MAX_LINE_BYTES,
+            limit=self.max_line_bytes,
         )
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
@@ -139,10 +165,14 @@ class RouteQueryServer:
             await self._server.wait_closed()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.drain_timeout
+        # The floor matters when the deadline has already elapsed:
+        # ``timeout=0.0`` is "poll once" to asyncio.wait, which counts
+        # a compile thread finishing microseconds later as orphaned.
         pending = {t for t in self._conn_tasks if not t.done()}
         if pending:
             done, still = await asyncio.wait(
-                pending, timeout=max(0.0, deadline - loop.time())
+                pending,
+                timeout=max(_DRAIN_WAIT_FLOOR_S, deadline - loop.time()),
             )
             for t in still:
                 t.cancel()
@@ -151,7 +181,8 @@ class RouteQueryServer:
         compiles = {f for f in self._compile_futures if not f.done()}
         if compiles:
             _, orphaned = await asyncio.wait(
-                compiles, timeout=max(0.0, deadline - loop.time())
+                compiles,
+                timeout=max(_DRAIN_WAIT_FLOOR_S, deadline - loop.time()),
             )
             self.orphaned_compiles = len(orphaned)
         else:
@@ -184,32 +215,58 @@ class RouteQueryServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Codec negotiation: peek at the first four bytes.  The binary
+        # magic starts with 0xAB (never valid JSON text), so the peek
+        # is unambiguous.  Any valid NDJSON request is longer than four
+        # bytes, so a partial read here only happens at (or right
+        # before) EOF.
+        try:
+            first = await reader.readexactly(len(wire.MAGIC))
+        except asyncio.IncompleteReadError as exc:
+            first = exc.partial
+            if not first:
+                return
+        if first == wire.MAGIC:
+            self.metrics.connections_binary.inc()
+            await self._serve_binary(reader, writer, first)
+        else:
+            self.metrics.connections_ndjson.inc()
+            await self._serve_ndjson(reader, writer, first)
+
+    # ------------------------------------------------------------------
+    # NDJSON codec
+    # ------------------------------------------------------------------
+    async def _serve_ndjson(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        pending: bytes,
+    ) -> None:
         while not self._draining:
-            try:
-                line = await reader.readline()
-            except (ValueError, asyncio.LimitOverrunError):
+            line, oversized = await self._read_line(reader, pending)
+            pending = b""
+            if oversized:
+                self.metrics.wire_protocol_errors.inc()
                 writer.write(
-                    self._error_reply(
-                        None, MalformedRequestError("request line too long")
-                    )
+                    _encode(self._error_obj(None, self._oversize_error()))
                 )
                 await writer.drain()
-                return
+                continue
             if not line:
                 return  # peer closed
             stripped = line.strip()
             if not stripped:
                 continue
-            requests, decode_error = self._decode_line(stripped)
+            requests, is_batch, decode_error = self._decode_payload(stripped)
             if decode_error is not None:
                 self.metrics.malformed_requests.inc()
-                writer.write(self._error_reply(None, decode_error))
+                writer.write(_encode(self._error_obj(None, decode_error)))
                 await writer.drain()
                 continue
             shutdown = False
             for req in requests:
                 reply, is_shutdown = await self._reply_for(req)
-                writer.write(reply)
+                writer.write(_encode(reply))
                 shutdown = shutdown or is_shutdown
             await writer.drain()  # one flush per batch
             if shutdown:
@@ -217,33 +274,138 @@ class RouteQueryServer:
                 self._shutdown_event.set()
                 return
 
-    def _decode_line(
-        self, stripped: bytes
-    ) -> Tuple[List[Dict[str, Any]], Optional[ServiceError]]:
+    async def _read_line(
+        self, reader: asyncio.StreamReader, pending: bytes
+    ) -> Tuple[Optional[bytes], bool]:
+        """One request line, resilient to the stream limit.
+
+        Returns ``(line, False)`` normally (``line`` empty at EOF) or
+        ``(None, True)`` after an oversized line has been consumed
+        through its terminating newline — the caller replies with a
+        typed error and the connection stays in sync.
+
+        ``pending`` carries bytes the codec negotiation already read;
+        it is at most four bytes, so a *valid* request can never be
+        split across it (a newline inside it only merges fragments of
+        garbage that would each have drawn a malformed-request reply).
+        """
         try:
-            payload = json.loads(stripped)
-        except ValueError:
-            return [], MalformedRequestError("request is not valid JSON")
-        batch = payload if isinstance(payload, list) else [payload]
-        if not batch:
-            return [], MalformedRequestError("empty request batch")
-        for req in batch:
-            if not isinstance(req, dict):
-                return [], MalformedRequestError(
-                    "each request must be a JSON object"
-                )
-        return batch, None
+            return pending + await reader.readuntil(b"\n"), False
+        except asyncio.IncompleteReadError as exc:
+            return pending + exc.partial, False  # EOF (maybe mid-line)
+        except asyncio.LimitOverrunError as exc:
+            consumed = exc.consumed
+            while True:
+                try:
+                    await reader.readexactly(consumed)
+                except asyncio.IncompleteReadError:
+                    return b"", False  # peer died mid-oversized-line
+                try:
+                    await reader.readuntil(b"\n")
+                    return None, True  # resynced past the newline
+                except asyncio.LimitOverrunError as more:
+                    consumed = more.consumed
+                except asyncio.IncompleteReadError:
+                    return b"", False
+
+    def _oversize_error(self) -> WireProtocolError:
+        return WireProtocolError(
+            f"request exceeds the {self.max_line_bytes}-byte stream "
+            f"limit; it was discarded (split the batch, or switch to "
+            f"the binary codec)",
+            {"recoverable": True, "limit_bytes": self.max_line_bytes},
+        )
 
     # ------------------------------------------------------------------
-    async def _reply_for(self, req: Dict[str, Any]) -> Tuple[bytes, bool]:
-        """One reply line for one request (never raises)."""
+    # Binary codec
+    # ------------------------------------------------------------------
+    async def _serve_binary(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first_magic: bytes,
+    ) -> None:
+        header_prefix = first_magic
+        while not self._draining:
+            try:
+                body = await wire.read_frame(
+                    reader,
+                    max_frame_bytes=self.max_line_bytes,
+                    first_header_bytes=header_prefix,
+                )
+            except asyncio.IncompleteReadError:
+                return  # truncated frame: the peer died mid-message
+            except WireProtocolError as exc:
+                self.metrics.wire_protocol_errors.inc()
+                self._write_frame(writer, self._error_obj(None, exc))
+                await writer.drain()
+                if not exc.data.get("recoverable"):
+                    return  # corrupt header: no next frame boundary
+                header_prefix = b""
+                continue
+            header_prefix = b""
+            if body is None:
+                return  # clean EOF
+            requests, is_batch, decode_error = self._decode_payload(body)
+            if decode_error is not None:
+                self.metrics.malformed_requests.inc()
+                self._write_frame(writer, self._error_obj(None, decode_error))
+                await writer.drain()
+                continue
+            shutdown = False
+            replies: List[Dict[str, Any]] = []
+            for req in requests:
+                reply, is_shutdown = await self._reply_for(req)
+                replies.append(reply)
+                shutdown = shutdown or is_shutdown
+            self._write_frame(writer, replies if is_batch else replies[0])
+            await writer.drain()
+            if shutdown:
+                assert self._shutdown_event is not None
+                self._shutdown_event.set()
+                return
+
+    @staticmethod
+    def _write_frame(writer: asyncio.StreamWriter, obj: Any) -> None:
+        """Serialize once, write header + body view (no copy)."""
+        header, view = wire.reply_views(wire.encode_payload(obj))
+        writer.write(header)
+        writer.write(view)
+
+    # ------------------------------------------------------------------
+    def _decode_payload(
+        self, raw: bytes
+    ) -> Tuple[List[Dict[str, Any]], bool, Optional[ServiceError]]:
+        """Parse one message into ``(requests, is_batch, error)``."""
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            return [], False, MalformedRequestError(
+                "request is not valid JSON"
+            )
+        is_batch = isinstance(payload, list)
+        batch = payload if is_batch else [payload]
+        if not batch:
+            return [], True, MalformedRequestError("empty request batch")
+        for req in batch:
+            if not isinstance(req, dict):
+                return [], is_batch, MalformedRequestError(
+                    "each request must be a JSON object"
+                )
+        return batch, is_batch, None
+
+    # ------------------------------------------------------------------
+    async def _reply_for(
+        self, req: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], bool]:
+        """One reply object for one request (never raises)."""
         req_id = req.get("id")
         self.metrics.requests.inc()
         op = req.get("op")
         if not isinstance(op, str):
             self.metrics.malformed_requests.inc()
             return (
-                self._error_reply(
+                self._error_obj(
                     req_id, MalformedRequestError("request is missing 'op'")
                 ),
                 False,
@@ -255,7 +417,7 @@ class RouteQueryServer:
         except asyncio.TimeoutError:
             self.metrics.timeouts.inc()
             return (
-                self._error_reply(
+                self._error_obj(
                     req_id,
                     RequestTimeoutError(
                         f"'{op}' exceeded the server deadline of "
@@ -267,17 +429,17 @@ class RouteQueryServer:
         except ServiceError as exc:
             if isinstance(exc, MalformedRequestError):
                 self.metrics.malformed_requests.inc()
-            return self._error_reply(req_id, exc), False
+            return self._error_obj(req_id, exc), False
         except Exception as exc:  # defensive: typed even when surprised
-            return self._error_reply(req_id, ServiceError(str(exc))), False
+            return self._error_obj(req_id, ServiceError(str(exc))), False
         self.metrics.replies_ok.inc()
         reply = {"id": req_id, "ok": True}
         reply.update(body)
-        return _encode(reply), op == "shutdown"
+        return reply, op == "shutdown"
 
-    def _error_reply(self, req_id: Any, err: Exception) -> bytes:
+    def _error_obj(self, req_id: Any, err: Exception) -> Dict[str, Any]:
         self.metrics.replies_error.inc()
-        return _encode({"id": req_id, "ok": False, "error": to_wire(err)})
+        return {"id": req_id, "ok": False, "error": to_wire(err)}
 
     # ------------------------------------------------------------------
     async def _handle(self, op: str, req: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,824 @@
+"""Sharded, replicated route-query plane: a front router over N
+worker processes.
+
+Topology
+--------
+
+::
+
+    clients (ndjson or binary)
+        |
+    ShardRouter  -- one asyncio process, no routing state of its own
+        |  binary frames, one channel per worker
+        +-- shard worker 0:  RouteQueryServer + warmed RoutingTable
+        +-- shard worker 1:  RouteQueryServer + warmed RoutingTable
+        +-- ...
+      shared on-disk ArtifactStore root (the replication channel)
+
+Every worker holds the **full** routing state (replica model), so any
+in-sync worker can answer any read.  Content digests still partition
+the *expensive* work: a mutation's home shard — chosen by hashing the
+request content with the same canonical-JSON discipline the
+:mod:`~repro.service.store` digests use — runs the lamb pipeline
+(cache miss); the broadcast to the remaining workers then re-activates
+the artifact out of the shared disk store (cache hit), so equal
+configs always pay the compile once and always land it on the same
+worker's warm LRU.
+
+Consistency contract: the router serializes mutations under one lock
+and broadcasts each to every in-sync worker (home first) before
+replying.  All workers therefore apply the same activation sequence,
+which keeps their epoch counters **equal** — an epoch-pinned query is
+valid on any in-sync replica, and the epoch-vs-digest split from the
+compiler carries over unchanged.  Reads fan out round-robin; a worker
+that dies mid-read is marked out of sync, the read retries on a
+surviving replica (no lost replies), and a bounded respawn rebuilds
+the worker and replays the mutation log (store hits make the replay
+cheap) before it rejoins the read rotation.
+
+Relay fast path: a read-only message is forwarded to the chosen
+worker as its **original payload bytes** (an NDJSON line body is a
+valid frame body), and a binary client gets the worker's reply frame
+relayed verbatim — the router never re-serializes the hot path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import multiprocessing as mp
+import tempfile
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..mesh.geometry import Mesh
+from ..routing.ordering import ascending, repeated
+from .client import RouteQueryClient
+from .errors import (
+    MalformedRequestError,
+    ServiceError,
+    ServiceUnavailableError,
+    WireProtocolError,
+    to_wire,
+)
+from . import wire
+from .compiler import ReconfigurationCompiler
+from .server import RouteQueryServer
+from .store import ArtifactStore
+
+__all__ = [
+    "ShardWorkerSpec",
+    "ShardRouter",
+    "home_shard",
+    "run_shard_worker",
+]
+
+#: Ops the router may serve from any in-sync replica.
+_READ_OPS = frozenset({"ping", "query", "stats"})
+
+#: Ops the router must broadcast to every replica.
+_MUTATION_OPS = frozenset({"compile", "delta"})
+
+_READY_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class ShardWorkerSpec:
+    """Plain-data recipe for one shard worker process.
+
+    Every field is picklable primitive data: the spec crosses the
+    process boundary under the ``spawn`` start method, and nothing
+    live (locks, registries, sockets) may ride along with it.
+    """
+
+    shard_id: int
+    dims: Tuple[int, ...]
+    rounds: int
+    store_root: str
+    host: str = "127.0.0.1"
+    request_timeout: float = 30.0
+    drain_timeout: float = 5.0
+    verify: bool = False
+
+
+def shard_key(payload: Dict[str, Any]) -> str:
+    """Deterministic content key for routing a request to its home
+    shard — same canonical-JSON discipline as the artifact digests
+    (sorted keys, no whitespace), so equal configs always map to the
+    same shard regardless of field order."""
+    scrubbed = {k: v for k, v in payload.items() if k != "id"}
+    blob = json.dumps(
+        scrubbed, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.blake2b(blob, digest_size=20).hexdigest()
+
+
+def home_shard(payload: Dict[str, Any], num_shards: int) -> int:
+    """Which worker owns the expensive compile for this request."""
+    return int(shard_key(payload)[:8], 16) % max(1, num_shards)
+
+
+async def _shard_worker_main(
+    spec: ShardWorkerSpec,
+    conn: Connection,
+    compiler: ReconfigurationCompiler,
+) -> None:
+    server = RouteQueryServer(
+        compiler,
+        host=spec.host,
+        port=0,
+        request_timeout=spec.request_timeout,
+        drain_timeout=spec.drain_timeout,
+    )
+    host, port = await server.start()
+    conn.send(
+        {"event": "ready", "shard_id": spec.shard_id,
+         "host": host, "port": int(port)}
+    )
+    conn.close()
+    await server.serve_until_shutdown()
+
+
+def run_shard_worker(spec: ShardWorkerSpec, conn: Connection) -> None:
+    """Process entry point for one shard worker (spawn-safe).
+
+    The compiler (and the store-root mkdir inside it) is built here,
+    before the event loop exists, so no blocking setup call ever runs
+    on the loop.
+    """
+    mesh = Mesh(spec.dims)
+    compiler = ReconfigurationCompiler(
+        mesh,
+        repeated(ascending(mesh.d), spec.rounds),
+        store=ArtifactStore(root=spec.store_root),
+        verify=spec.verify,
+    )
+    asyncio.run(_shard_worker_main(spec, conn, compiler))
+
+
+@dataclass
+class _WorkerHandle:
+    """Router-side view of one worker slot."""
+
+    shard_id: int
+    process: Optional[BaseProcess] = None
+    host: str = ""
+    port: int = 0
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
+    lock: "asyncio.Lock" = field(default_factory=asyncio.Lock)
+    in_sync: bool = False
+    respawns: int = 0
+
+    async def roundtrip(self, payload: bytes) -> bytes:
+        """One framed request/reply exchange on this worker's channel.
+
+        The lock pairs request and reply by order — concurrent reads
+        interleave whole exchanges, never halves of them.
+        """
+        assert self.reader is not None and self.writer is not None
+        async with self.lock:
+            self.writer.write(wire.frame_header(len(payload)))
+            self.writer.write(memoryview(payload))
+            await self.writer.drain()
+            body = await wire.read_frame(self.reader)
+        if body is None:
+            raise ConnectionError(
+                f"shard worker {self.shard_id} closed its channel"
+            )
+        return body
+
+    async def close_channel(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self.reader = None
+        self.writer = None
+
+
+class ShardRouter:
+    """Front process of the sharded route-query plane.
+
+    Speaks both wire codecs to clients (the same per-connection
+    negotiation as :class:`~repro.service.server.RouteQueryServer`)
+    and binary frames to its workers.
+
+    Parameters
+    ----------
+    dims, rounds:
+        The machine every worker compiles for.
+    num_shards:
+        Worker process count.
+    store_root:
+        Shared on-disk artifact store (the replication channel).
+        ``None`` creates a private temporary root for the router's
+        lifetime.
+    max_respawns:
+        Per-slot ceiling on crash recoveries; a slot that exhausts it
+        stays out of the read rotation.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rounds: int = 2,
+        num_shards: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store_root: Optional[str] = None,
+        request_timeout: float = 30.0,
+        drain_timeout: float = 5.0,
+        max_respawns: int = 3,
+        verify: bool = False,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.dims = tuple(int(d) for d in dims)
+        self.rounds = int(rounds)
+        self.num_shards = int(num_shards)
+        self.host = host
+        self.port = int(port)
+        self.request_timeout = float(request_timeout)
+        self.drain_timeout = float(drain_timeout)
+        self.max_respawns = int(max_respawns)
+        self.verify = bool(verify)
+        self._tmp: Optional[tempfile.TemporaryDirectory[str]] = None
+        if store_root is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            store_root = self._tmp.name
+        self.store_root = store_root
+        self._ctx = mp.get_context("spawn")
+        self._workers: List[_WorkerHandle] = [
+            _WorkerHandle(shard_id=i) for i in range(self.num_shards)
+        ]
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self._respawn_tasks: Set["asyncio.Task[None]"] = set()
+        self._mutation_lock: Optional[asyncio.Lock] = None
+        self._mutation_log: List[Dict[str, Any]] = []
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._rr = 0
+        # Deterministic router-level accounting (the router_stats op).
+        self.reads_forwarded = 0
+        self.read_retries = 0
+        self.mutations = 0
+        self.respawns = 0
+        self.epoch_divergences = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Spawn the workers, connect channels, bind the front port."""
+        self._mutation_lock = asyncio.Lock()
+        self._shutdown_event = asyncio.Event()
+        await asyncio.gather(
+            *(self._launch_worker(h) for h in self._workers)
+        )
+        self._server = await asyncio.start_server(
+            self._on_connect,
+            self.host,
+            self.port,
+            limit=wire.MAX_FRAME_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    def _spawn_sync(
+        self, handle: _WorkerHandle
+    ) -> Tuple[BaseProcess, Dict[str, Any]]:
+        """Blocking spawn + ready handshake (runs in an executor)."""
+        spec = ShardWorkerSpec(
+            shard_id=handle.shard_id,
+            dims=self.dims,
+            rounds=self.rounds,
+            store_root=self.store_root,
+            request_timeout=self.request_timeout,
+            drain_timeout=self.drain_timeout,
+            verify=self.verify,
+        )
+        recv, send = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=run_shard_worker,
+            args=(spec, send),
+            daemon=True,
+            name=f"repro-shard-{handle.shard_id}",
+        )
+        proc.start()
+        send.close()
+        try:
+            if not recv.poll(_READY_TIMEOUT_S):
+                raise ServiceUnavailableError(
+                    f"shard worker {handle.shard_id} did not report "
+                    f"ready within {_READY_TIMEOUT_S}s"
+                )
+            ready = recv.recv()
+        except EOFError:
+            raise ServiceUnavailableError(
+                f"shard worker {handle.shard_id} died before reporting "
+                f"ready (exitcode {proc.exitcode})"
+            )
+        finally:
+            recv.close()
+        if not isinstance(ready, dict) or ready.get("event") != "ready":
+            raise ServiceUnavailableError(
+                f"shard worker {handle.shard_id} sent a malformed ready "
+                f"message: {ready!r}"
+            )
+        return proc, ready
+
+    async def _launch_worker(self, handle: _WorkerHandle) -> None:
+        loop = asyncio.get_running_loop()
+        proc, ready = await loop.run_in_executor(
+            None, self._spawn_sync, handle
+        )
+        handle.process = proc
+        handle.host = str(ready["host"])
+        handle.port = int(ready["port"])
+        reader, writer = await asyncio.open_connection(
+            handle.host, handle.port, limit=wire.MAX_FRAME_BYTES
+        )
+        handle.reader = reader
+        handle.writer = writer
+        handle.in_sync = True
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a client sends ``shutdown``, then stop."""
+        assert self._shutdown_event is not None, "call start() first"
+        await self._shutdown_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Drain: stop accepting, shut workers down, reap processes."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._respawn_tasks):
+            task.cancel()
+        if self._respawn_tasks:
+            await asyncio.gather(
+                *self._respawn_tasks, return_exceptions=True
+            )
+        await self._shutdown_workers()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    async def _shutdown_workers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for handle in self._workers:
+            if handle.writer is not None:
+                try:
+                    await asyncio.wait_for(
+                        handle.roundtrip(
+                            wire.encode_payload(
+                                {"id": None, "op": "shutdown"}
+                            )
+                        ),
+                        timeout=self.drain_timeout,
+                    )
+                except (ServiceError, ConnectionError, OSError,
+                        asyncio.IncompleteReadError, asyncio.TimeoutError):
+                    pass
+            await handle.close_channel()
+            handle.in_sync = False
+        for handle in self._workers:
+            proc = handle.process
+            if proc is None:
+                continue
+            await loop.run_in_executor(None, proc.join, self.drain_timeout)
+            if proc.is_alive():
+                proc.terminate()
+                await loop.run_in_executor(None, proc.join, 5.0)
+            handle.process = None
+
+    # ------------------------------------------------------------------
+    # Client connections (same negotiation as RouteQueryServer)
+    # ------------------------------------------------------------------
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            first = await reader.readexactly(len(wire.MAGIC))
+        except asyncio.IncompleteReadError as exc:
+            first = exc.partial
+            if not first:
+                return
+        if first == wire.MAGIC:
+            await self._serve_codec(reader, writer, "binary", first)
+        else:
+            await self._serve_codec(reader, writer, "ndjson", first)
+
+    async def _serve_codec(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        codec: str,
+        prefix: bytes,
+    ) -> None:
+        while not self._draining:
+            if codec == "binary":
+                try:
+                    body = await wire.read_frame(
+                        reader, first_header_bytes=prefix
+                    )
+                except asyncio.IncompleteReadError:
+                    return
+                except WireProtocolError as exc:
+                    self._emit(
+                        writer, codec,
+                        [self._error_obj(None, exc)], batch=False,
+                    )
+                    await writer.drain()
+                    if not exc.data.get("recoverable"):
+                        return
+                    prefix = b""
+                    continue
+                prefix = b""
+                if body is None:
+                    return
+            else:
+                try:
+                    body = prefix + await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as eof:
+                    body = prefix + eof.partial
+                except (ValueError, asyncio.LimitOverrunError):
+                    self._emit(
+                        writer, codec,
+                        [self._error_obj(
+                            None,
+                            WireProtocolError(
+                                "request exceeds the router stream "
+                                "limit",
+                                {"recoverable": False},
+                            ),
+                        )],
+                        batch=False,
+                    )
+                    await writer.drain()
+                    return
+                prefix = b""
+                if not body.strip():
+                    if not body:
+                        return
+                    continue
+                body = body.strip()
+            shutdown = await self._dispatch(writer, codec, body)
+            if shutdown:
+                assert self._shutdown_event is not None
+                self._shutdown_event.set()
+                return
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, codec: str, body: bytes
+    ) -> bool:
+        """Route one client message; returns True on shutdown."""
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            self._emit(
+                writer, codec,
+                [self._error_obj(
+                    None, MalformedRequestError("request is not valid JSON")
+                )],
+                batch=False,
+            )
+            await writer.drain()
+            return False
+        is_batch = isinstance(payload, list)
+        requests = payload if is_batch else [payload]
+        if not requests:
+            self._emit(
+                writer, codec,
+                [self._error_obj(
+                    None, MalformedRequestError("empty request batch")
+                )],
+                batch=False,
+            )
+            await writer.drain()
+            return False
+        ops = [
+            r.get("op") if isinstance(r, dict) else None for r in requests
+        ]
+        if requests and all(op in _READ_OPS for op in ops):
+            # Fast lane: the whole message is read-only — forward the
+            # original bytes to one replica, relay its reply.
+            try:
+                reply_body = await self._forward_read(body)
+            except ServiceError as exc:
+                self._emit(
+                    writer, codec, [self._error_obj(None, exc)],
+                    batch=False,
+                )
+                await writer.drain()
+                return False
+            self._relay(writer, codec, reply_body, is_batch)
+            await writer.drain()
+            return False
+        replies: List[Dict[str, Any]] = []
+        shutdown = False
+        for req in requests:
+            if not isinstance(req, dict):
+                replies.append(self._error_obj(
+                    None,
+                    MalformedRequestError(
+                        "each request must be a JSON object"
+                    ),
+                ))
+                continue
+            reply, is_shutdown = await self._reply_for(req)
+            replies.append(reply)
+            shutdown = shutdown or is_shutdown
+        self._emit(writer, codec, replies, batch=is_batch)
+        await writer.drain()
+        return shutdown
+
+    async def _reply_for(
+        self, req: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], bool]:
+        req_id = req.get("id")
+        op = req.get("op")
+        try:
+            if op in _MUTATION_OPS:
+                return await self._broadcast_mutation(req), False
+            if op == "shutdown":
+                return {"id": req_id, "ok": True, "draining": True}, True
+            if op == "router_stats":
+                return {
+                    "id": req_id, "ok": True,
+                    "router": self.router_stats(),
+                }, False
+            if op in _READ_OPS:
+                body = await self._forward_read(
+                    wire.encode_payload(req)
+                )
+                reply = json.loads(body)
+                if not isinstance(reply, dict):
+                    raise ServiceError(
+                        f"worker sent a non-object reply: {reply!r}"
+                    )
+                return reply, False
+            return self._error_obj(
+                req_id,
+                MalformedRequestError(f"unknown operation {op!r}"),
+            ), False
+        except ServiceError as exc:
+            return self._error_obj(req_id, exc), False
+
+    # ------------------------------------------------------------------
+    # Read fan-out
+    # ------------------------------------------------------------------
+    def _in_sync_workers(self) -> List[_WorkerHandle]:
+        return [h for h in self._workers if h.in_sync]
+
+    def _next_replica(self) -> Optional[_WorkerHandle]:
+        live = self._in_sync_workers()
+        if not live:
+            return None
+        self._rr = (self._rr + 1) % len(live)
+        return live[self._rr]
+
+    async def _forward_read(self, payload: bytes) -> bytes:
+        """Forward raw payload bytes to one in-sync replica; retry on
+        a surviving replica if the worker dies mid-exchange."""
+        for _attempt in range(2 * self.num_shards):
+            handle = self._next_replica()
+            if handle is None:
+                break
+            try:
+                body = await handle.roundtrip(payload)
+            except (ConnectionError, OSError,
+                    asyncio.IncompleteReadError):
+                self.read_retries += 1
+                self._mark_dead(handle)
+                continue
+            self.reads_forwarded += 1
+            return body
+        raise ServiceUnavailableError(
+            "no in-sync shard replica is available"
+        )
+
+    def _mark_dead(self, handle: _WorkerHandle) -> None:
+        if not handle.in_sync:
+            return
+        handle.in_sync = False
+        task = asyncio.get_running_loop().create_task(
+            self._respawn(handle)
+        )
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    async def _broadcast_mutation(
+        self, req: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Serialize one compile/delta across every in-sync worker.
+
+        Home shard first: it pays the compile (cache miss) and its
+        store write turns every other worker's apply into a cache
+        hit.  All workers see the same mutation sequence, so epochs
+        stay equal across replicas.
+        """
+        assert self._mutation_lock is not None
+        async with self._mutation_lock:
+            home = home_shard(req, self.num_shards)
+            ordered = [h for h in self._workers if h.shard_id == home]
+            ordered += [h for h in self._workers if h.shard_id != home]
+            self._mutation_log.append(
+                {k: v for k, v in req.items() if k != "id"}
+            )
+            self.mutations += 1
+            payload = wire.encode_payload(req)
+            home_reply: Optional[Dict[str, Any]] = None
+            epochs: List[Tuple[int, Any]] = []
+            for handle in ordered:
+                if not handle.in_sync:
+                    continue
+                try:
+                    body = await handle.roundtrip(payload)
+                    reply = json.loads(body)
+                except (ConnectionError, OSError, ValueError,
+                        asyncio.IncompleteReadError):
+                    self._mark_dead(handle)
+                    continue
+                if not isinstance(reply, dict):
+                    self._mark_dead(handle)
+                    continue
+                if home_reply is None:
+                    home_reply = reply
+                if reply.get("ok"):
+                    epochs.append((handle.shard_id, reply.get("epoch")))
+            if home_reply is None:
+                raise ServiceUnavailableError(
+                    "no shard worker accepted the mutation"
+                )
+            self._check_epochs(epochs)
+            return home_reply
+
+    def _check_epochs(self, epochs: List[Tuple[int, Any]]) -> None:
+        """Replicas that diverge from the quorum epoch leave the read
+        rotation (and get respawned into a log replay)."""
+        if len(epochs) < 2:
+            return
+        want = epochs[0][1]
+        for shard_id, got in epochs[1:]:
+            if got != want:
+                self.epoch_divergences += 1
+                for handle in self._workers:
+                    if handle.shard_id == shard_id:
+                        self._mark_dead(handle)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    async def _respawn(self, handle: _WorkerHandle) -> None:
+        """Rebuild a dead worker slot and replay the mutation log."""
+        if self._draining or handle.respawns >= self.max_respawns:
+            return
+        handle.respawns += 1
+        self.respawns += 1
+        loop = asyncio.get_running_loop()
+        await handle.close_channel()
+        proc = handle.process
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            await loop.run_in_executor(None, proc.join, 5.0)
+            handle.process = None
+        try:
+            await self._launch_worker(handle)
+        except (ServiceError, ConnectionError, OSError):
+            handle.in_sync = False
+            return
+        # Replay under the mutation lock so no new mutation interleaves
+        # with the catch-up; shared-store hits make each step cheap.
+        assert self._mutation_lock is not None
+        handle.in_sync = False
+        async with self._mutation_lock:
+            try:
+                for entry in self._mutation_log:
+                    await handle.roundtrip(
+                        wire.encode_payload({"id": None, **entry})
+                    )
+            except (ServiceError, ConnectionError, OSError,
+                    asyncio.IncompleteReadError):
+                await handle.close_channel()
+                return
+            handle.in_sync = True
+
+    # ------------------------------------------------------------------
+    # Reply emission
+    # ------------------------------------------------------------------
+    def _error_obj(self, req_id: Any, err: Exception) -> Dict[str, Any]:
+        return {"id": req_id, "ok": False, "error": to_wire(err)}
+
+    @staticmethod
+    def _emit(
+        writer: asyncio.StreamWriter,
+        codec: str,
+        replies: List[Dict[str, Any]],
+        batch: bool,
+    ) -> None:
+        """Write locally-built replies in the client's codec."""
+        if codec == "binary":
+            obj: Any = replies if batch else replies[0]
+            payload = wire.encode_payload(obj)
+            header, view = wire.reply_views(payload)
+            writer.write(header)
+            writer.write(view)
+        else:
+            for reply in replies:
+                writer.write(wire.encode_payload(reply) + b"\n")
+
+    @staticmethod
+    def _relay(
+        writer: asyncio.StreamWriter,
+        codec: str,
+        reply_body: bytes,
+        is_batch: bool,
+    ) -> None:
+        """Relay a worker reply frame body to the client verbatim
+        (binary) or re-lined (ndjson batch)."""
+        if codec == "binary":
+            header, view = wire.reply_views(reply_body)
+            writer.write(header)
+            writer.write(view)
+        elif not is_batch:
+            writer.write(reply_body + b"\n")
+        else:
+            replies = json.loads(reply_body)
+            for reply in replies:
+                writer.write(wire.encode_payload(reply) + b"\n")
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, shard_id: int) -> bool:
+        """Chaos hook: SIGKILL one worker process (the router finds
+        out the same way it would in production — a failed exchange).
+        Returns whether a live process was killed."""
+        for handle in self._workers:
+            if handle.shard_id == shard_id:
+                proc = handle.process
+                if proc is not None and proc.is_alive():
+                    proc.kill()
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    def router_stats(self) -> Dict[str, Any]:
+        """Deterministic router-level accounting."""
+        return {
+            "shards": self.num_shards,
+            "in_sync": len(self._in_sync_workers()),
+            "mutations": self.mutations,
+            "reads_forwarded": self.reads_forwarded,
+            "read_retries": self.read_retries,
+            "respawns": self.respawns,
+            "epoch_divergences": self.epoch_divergences,
+        }
+
+    # ------------------------------------------------------------------
+    async def client(
+        self, codec: str = "binary", default_timeout: float = 30.0
+    ) -> RouteQueryClient:
+        """Convenience: a connected client for this router."""
+        return await RouteQueryClient.connect(
+            self.host, self.port,
+            default_timeout=default_timeout, codec=codec,
+        )

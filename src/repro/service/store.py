@@ -174,7 +174,17 @@ class ArtifactStore:
             if record is not None:
                 self._memory.move_to_end(digest)
                 self.memory_hits += 1
-                return record
+        if record is not None:
+            if self.root is not None:
+                try:
+                    # A memory-tier hit must refresh the disk envelope
+                    # too: prune() orders eviction by mtime, and an
+                    # artifact that is hot in RAM is exactly the one
+                    # gc must not drop from disk.
+                    os.utime(self._path(digest), None)
+                except OSError:
+                    pass
+            return record
         if self.root is not None:
             path = self._path(digest)
             try:

@@ -1,0 +1,156 @@
+"""Binary wire framing for the route-query plane.
+
+Two codecs share one TCP port:
+
+- **ndjson** (the original): one JSON request per line, one reply line
+  per request, ``\\n``-delimited.
+- **binary**: length-prefixed frames.  A frame is a fixed 12-byte
+  header (``!4sBBHI`` — magic, version, flags, reserved, body length)
+  followed by a JSON body encoded with ``sort_keys=True``.  A batch is
+  a single frame whose body is a JSON array; the reply to a batch is a
+  single frame carrying the array of replies, serialized with **one**
+  ``json.dumps`` call and written as a header + ``memoryview`` pair
+  (no concatenation copy on the hot path).
+
+Negotiation is per-connection and implicit: the server peeks the first
+four bytes.  :data:`MAGIC` starts with ``0xAB`` — not valid UTF-8 JSON
+text — so a binary client can never be mistaken for an NDJSON one (and
+vice versa: JSON starts with printable ASCII).
+
+Byte-equivalence invariant (covered by a golden test): for any reply
+object ``r``, the binary frame body for ``r`` plus ``b"\\n"`` is
+byte-identical to the NDJSON reply line for ``r`` — both sides call
+:func:`encode_payload`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Optional, Tuple
+
+from .errors import WireProtocolError
+
+__all__ = [
+    "MAGIC",
+    "FRAME_VERSION",
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "encode_payload",
+    "decode_payload",
+    "frame_header",
+    "encode_frame",
+    "read_frame",
+    "reply_views",
+]
+
+#: First bytes of every binary frame.  ``0xAB`` is outside printable
+#: ASCII, so the stream can never be confused with NDJSON text.
+MAGIC = b"\xabRQ1"
+
+#: Bump when the header layout or body encoding changes.
+FRAME_VERSION = 1
+
+#: ``magic(4s) version(B) flags(B) reserved(H) body_length(I)``.
+HEADER = struct.Struct("!4sBBHI")
+
+#: Default ceiling on one frame body (matches the NDJSON line limit).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Discard chunk size while draining an oversized frame body.
+_DRAIN_CHUNK = 64 * 1024
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Canonical JSON body bytes — shared by both codecs so replies
+    are byte-equivalent across them."""
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> Any:
+    return json.loads(data)
+
+
+def frame_header(body_length: int, flags: int = 0) -> bytes:
+    """The 12-byte header for a body of ``body_length`` bytes."""
+    return HEADER.pack(MAGIC, FRAME_VERSION, flags, 0, body_length)
+
+
+def encode_frame(obj: Any, flags: int = 0) -> bytes:
+    """One self-contained frame (header + body) for ``obj``."""
+    body = encode_payload(obj)
+    return frame_header(len(body), flags) + body
+
+
+async def _drain_exact(reader: asyncio.StreamReader, count: int) -> bool:
+    """Discard exactly ``count`` bytes; ``False`` if EOF cut it short."""
+    remaining = count
+    while remaining > 0:
+        chunk = await reader.read(min(_DRAIN_CHUNK, remaining))
+        if not chunk:
+            return False
+        remaining -= len(chunk)
+    return True
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    first_header_bytes: bytes = b"",
+) -> Optional[bytes]:
+    """Read one frame; returns the raw body bytes.
+
+    - ``None`` on a clean EOF at a frame boundary.
+    - Raises :class:`asyncio.IncompleteReadError` when the peer dies
+      mid-frame (truncated header or body).
+    - Raises :class:`WireProtocolError` on a bad magic/version
+      (``data["recoverable"] is False`` — the next boundary is lost)
+      or an oversized body (``data["recoverable"] is True`` — the body
+      is fully drained first, so the stream stays in sync).
+
+    ``first_header_bytes`` lets a negotiating server pass in header
+    bytes it already consumed while peeking at the codec.
+    """
+    need = HEADER.size - len(first_header_bytes)
+    if need > 0:
+        try:
+            rest = await reader.readexactly(need)
+        except asyncio.IncompleteReadError as exc:
+            if not first_header_bytes and not exc.partial:
+                return None  # clean EOF between frames
+            raise
+        header = first_header_bytes + rest
+    else:
+        header = first_header_bytes
+    magic, version, _flags, _reserved, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireProtocolError(
+            f"bad frame magic {magic!r}",
+            {"recoverable": False},
+        )
+    if version != FRAME_VERSION:
+        raise WireProtocolError(
+            f"unsupported frame version {version} "
+            f"(this peer speaks {FRAME_VERSION})",
+            {"recoverable": False, "version": int(version)},
+        )
+    if length > max_frame_bytes:
+        drained = await _drain_exact(reader, length)
+        if not drained:
+            raise asyncio.IncompleteReadError(b"", length)
+        raise WireProtocolError(
+            f"frame body of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit",
+            {
+                "recoverable": True,
+                "length": int(length),
+                "limit_bytes": int(max_frame_bytes),
+            },
+        )
+    return await reader.readexactly(length)
+
+
+def reply_views(payload: bytes, flags: int = 0) -> Tuple[bytes, memoryview]:
+    """Header + zero-copy body view for writing a reply frame."""
+    return frame_header(len(payload), flags), memoryview(payload)

@@ -465,6 +465,39 @@ class TestConcurrentMutations:
         assert inflight == 0
         assert epoch == 0  # the drained thread still activated its epoch
 
+    def test_zero_drain_timeout_still_waits_for_compile_threads(self):
+        """Regression: ``drain_timeout=0.0`` used to clamp the drain
+        waits to ``asyncio.wait(..., timeout=0.0)`` — "poll once" —
+        which reported a compile thread finishing microseconds later
+        as orphaned.  The waits now have a small floor."""
+        faults = _base_faults()
+
+        async def main() -> int:
+            compiler = _compiler()
+            real_compile = compiler.compile
+
+            def slow_compile(fs: FaultSet):
+                time.sleep(0.03)
+                return real_compile(fs)
+
+            compiler.compile = slow_compile  # type: ignore[method-assign]
+            server = RouteQueryServer(compiler, drain_timeout=0.0)
+            host, port = await server.start()
+            client = await RouteQueryClient.connect(
+                host, port, default_timeout=30.0
+            )
+            task = asyncio.create_task(client.compile(faults, timeout=30.0))
+            # Drain the moment the compile reaches its worker thread —
+            # the deadline is already expired when stop() starts.
+            while not server._inflight_compiles:
+                await asyncio.sleep(0.005)
+            await server.stop()
+            await asyncio.gather(task, return_exceptions=True)
+            await client.close()
+            return server.orphaned_compiles
+
+        assert asyncio.run(main()) == 0
+
 
 # ----------------------------------------------------------------------
 # The acceptance smoke itself, shrunk, twice: determinism contract

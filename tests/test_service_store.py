@@ -303,6 +303,21 @@ class TestStorePrune:
         assert ("00" * 20) in fresh
         assert ("05" * 20) not in fresh
 
+    def test_memory_hit_refreshes_disk_recency(self, tmp_path):
+        """A memory-tier hit must refresh the disk envelope's mtime:
+        prune() orders eviction by mtime, and an artifact hot in RAM
+        is exactly the one gc must not drop from disk."""
+        store = self._fill(tmp_path)
+        # "00" is the oldest on disk but every artifact is still in
+        # this store's memory tier — the get() below never touches
+        # the disk read path.
+        assert store.get("00" * 20) is not None
+        assert store.memory_hits == 1
+        assert store.disk_hits == 0
+        store.prune(max_bytes=os.path.getsize(store._path("00" * 20)))
+        assert ("00" * 20) in store
+        assert ("05" * 20) not in store
+
     def test_pinned_artifacts_survive_eviction(self, tmp_path):
         store = self._fill(tmp_path)
         store.pin("00" * 20)  # the oldest — first eviction candidate

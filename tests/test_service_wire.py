@@ -1,0 +1,355 @@
+"""Wire-protocol tests: binary framing, codec negotiation, and the
+oversize/truncation edge cases on both codecs.
+
+Everything runs real asyncio TCP on ephemeral localhost ports via
+plain ``asyncio.run`` (no pytest-asyncio dependency), mirroring
+``test_service.py``.  The load-bearing invariant covered here is
+byte-equivalence: for any reply object the binary frame body plus a
+newline is byte-identical to the NDJSON reply line, because both
+codecs serialize through :func:`repro.service.wire.encode_payload`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+import pytest
+
+from repro.mesh import FaultSet, Mesh
+from repro.routing import ascending, repeated
+from repro.service import ReconfigurationCompiler, WireProtocolError
+from repro.service import wire
+from repro.service.client import RouteQueryClient
+from repro.service.server import RouteQueryServer
+
+
+def _base_faults() -> FaultSet:
+    return FaultSet(Mesh((8, 8)), [(2, 2), (5, 6)])
+
+
+def _compiler(**kwargs: Any) -> ReconfigurationCompiler:
+    mesh = Mesh((8, 8))
+    return ReconfigurationCompiler(mesh, repeated(ascending(2), 2), **kwargs)
+
+
+def _with_server(
+    scenario: Callable[[RouteQueryServer, str, int], Awaitable[Any]],
+    **server_kwargs: Any,
+) -> Any:
+    """Run ``scenario`` against a live server on an ephemeral port."""
+
+    async def main() -> Any:
+        server = RouteQueryServer(_compiler(), **server_kwargs)
+        host, port = await server.start()
+        try:
+            return await scenario(server, host, port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def _feed(*chunks: bytes) -> asyncio.StreamReader:
+    """A StreamReader preloaded with ``chunks`` then EOF."""
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+# ----------------------------------------------------------------------
+# Framing unit tests (no sockets)
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_header_layout(self):
+        header = wire.frame_header(1234, flags=7)
+        assert len(header) == wire.HEADER.size == 12
+        magic, version, flags, reserved, length = wire.HEADER.unpack(header)
+        assert magic == wire.MAGIC
+        assert version == wire.FRAME_VERSION
+        assert flags == 7
+        assert reserved == 0
+        assert length == 1234
+
+    def test_magic_is_not_json_text(self):
+        # The negotiation peek relies on the magic never being valid
+        # UTF-8 JSON leading bytes.
+        with pytest.raises(UnicodeDecodeError):
+            wire.MAGIC.decode("utf-8")
+
+    def test_round_trip(self):
+        obj = {"id": 3, "op": "ping", "nested": {"a": [1, 2]}}
+
+        async def main():
+            reader = _feed(wire.encode_frame(obj))
+            body = await wire.read_frame(reader)
+            assert body is not None
+            assert wire.decode_payload(body) == obj
+            # Clean EOF at a frame boundary reads as None.
+            assert await wire.read_frame(reader) is None
+
+        asyncio.run(main())
+
+    def test_truncated_body_raises_incomplete_read(self):
+        frame = wire.encode_frame({"id": 1, "op": "ping"})
+
+        async def main():
+            reader = _feed(frame[:-3])
+            with pytest.raises(asyncio.IncompleteReadError):
+                await wire.read_frame(reader)
+
+        asyncio.run(main())
+
+    def test_truncated_header_raises_incomplete_read(self):
+        async def main():
+            reader = _feed(wire.MAGIC + b"\x01")
+            with pytest.raises(asyncio.IncompleteReadError):
+                await wire.read_frame(reader)
+
+        asyncio.run(main())
+
+    def test_bad_magic_is_unrecoverable(self):
+        async def main():
+            reader = _feed(b"XXXX" + b"\x00" * 8)
+            with pytest.raises(WireProtocolError) as exc_info:
+                await wire.read_frame(reader)
+            assert exc_info.value.data["recoverable"] is False
+
+        asyncio.run(main())
+
+    def test_bad_version_is_unrecoverable(self):
+        header = wire.HEADER.pack(wire.MAGIC, 99, 0, 0, 2)
+
+        async def main():
+            reader = _feed(header + b"{}")
+            with pytest.raises(WireProtocolError) as exc_info:
+                await wire.read_frame(reader)
+            assert exc_info.value.data["recoverable"] is False
+            assert exc_info.value.data["version"] == 99
+
+        asyncio.run(main())
+
+    def test_oversize_body_is_drained_then_recoverable(self):
+        big = wire.encode_frame({"junk": "x" * 500})
+        follow = wire.encode_frame({"id": 2, "op": "ping"})
+
+        async def main():
+            reader = _feed(big + follow)
+            with pytest.raises(WireProtocolError) as exc_info:
+                await wire.read_frame(reader, max_frame_bytes=100)
+            assert exc_info.value.data["recoverable"] is True
+            assert exc_info.value.data["limit_bytes"] == 100
+            # The oversized body was consumed in full: the next frame
+            # parses from a clean boundary.
+            body = await wire.read_frame(reader, max_frame_bytes=100)
+            assert wire.decode_payload(body) == {"id": 2, "op": "ping"}
+
+        asyncio.run(main())
+
+    def test_first_header_bytes_prefix(self):
+        frame = wire.encode_frame({"id": 9, "op": "ping"})
+
+        async def main():
+            # A negotiating server has already consumed the magic.
+            reader = _feed(frame[4:])
+            body = await wire.read_frame(
+                reader, first_header_bytes=frame[:4]
+            )
+            assert wire.decode_payload(body)["id"] == 9
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Golden byte-equivalence: NDJSON line == binary frame body + newline
+# ----------------------------------------------------------------------
+class TestByteEquivalence:
+    def test_encode_payload_is_shared(self):
+        for obj in (
+            {"id": 0, "ok": True, "pong": True},
+            {"id": None, "ok": False, "error": {"code": "x", "data": {}}},
+            [{"id": 1, "ok": True}, {"id": 2, "ok": True}],
+        ):
+            from repro.service.server import _encode
+
+            assert _encode(obj) == wire.encode_payload(obj) + b"\n"
+
+    def test_batch_body_concatenates_individual_bodies(self):
+        replies = [{"id": i, "ok": True, "hops": i} for i in range(3)]
+        joined = b"[" + b", ".join(
+            wire.encode_payload(r) for r in replies
+        ) + b"]"
+        assert wire.encode_payload(replies) == joined
+
+    def test_live_replies_are_byte_identical_across_codecs(self):
+        """Speak both codecs raw against one server and diff the
+        reply bytes — the golden test for the shared encoder."""
+        # Stateless ops only: a stateful reply (e.g. ``stats``) would
+        # differ between the two exchanges because the first one
+        # bumps the counters it reports.
+        request = {"id": 0, "op": "ping"}
+        batch = [
+            {"id": 1, "op": "ping"},
+            {"id": 2, "op": "nonesuch"},
+        ]
+
+        async def scenario(server, host, port):
+            # NDJSON, raw.
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=wire.MAX_FRAME_BYTES
+            )
+            writer.write(json.dumps(request).encode() + b"\n")
+            line_single = await reader.readline()
+            writer.write(json.dumps(batch).encode() + b"\n")
+            line_a = await reader.readline()
+            line_b = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+
+            # Binary, raw.
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=wire.MAX_FRAME_BYTES
+            )
+            writer.write(wire.encode_frame(request))
+            frame_single = await wire.read_frame(reader)
+            writer.write(wire.encode_frame(batch))
+            frame_batch = await wire.read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return line_single, line_a, line_b, frame_single, frame_batch
+
+        line_single, line_a, line_b, frame_single, frame_batch = (
+            _with_server(scenario)
+        )
+        assert frame_single + b"\n" == line_single
+        # The batch frame carries one JSON array whose elements are
+        # byte-identical to the two NDJSON reply lines.
+        assert frame_batch == (
+            b"[" + line_a.rstrip(b"\n") + b", "
+            + line_b.rstrip(b"\n") + b"]"
+        )
+
+
+# ----------------------------------------------------------------------
+# Negotiation and mixed traffic on one listener
+# ----------------------------------------------------------------------
+class TestNegotiation:
+    def test_mixed_codecs_share_one_server(self):
+        faults = _base_faults()
+
+        async def scenario(server, host, port):
+            nd = await RouteQueryClient.connect(
+                host, port, default_timeout=30.0, codec="ndjson"
+            )
+            bi = await RouteQueryClient.connect(
+                host, port, default_timeout=30.0, codec="binary"
+            )
+            try:
+                compiled = await nd.compile(faults, timeout=60.0)
+                again = await bi.compile(faults, timeout=60.0)
+                assert again["digest"] == compiled["digest"]
+                assert again["cache_hit"] is True
+                # Pipelined batches on both, same replies.
+                pairs = [((0, 0), (7, 7)), ((1, 0), (0, 1))]
+                nd_replies = await nd.query_batch(pairs)
+                bi_replies = await bi.query_batch(pairs)
+                assert nd_replies == bi_replies
+                stats = (await bi.stats())["stats"]
+                assert stats["counters"]["connections_ndjson"] == 1
+                assert stats["counters"]["connections_binary"] == 1
+            finally:
+                await nd.close()
+                await bi.close()
+
+        _with_server(scenario)
+
+    def test_truncated_binary_frame_leaves_server_alive(self):
+        async def scenario(server, host, port):
+            # Die mid-frame: header promises 1000 bytes, send 10.
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(wire.frame_header(1000) + b"x" * 10)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            # The server must shrug that connection off and keep
+            # serving fresh ones.
+            client = await RouteQueryClient.connect(
+                host, port, codec="binary"
+            )
+            try:
+                reply = await client.ping()
+                assert reply["pong"] is True
+            finally:
+                await client.close()
+
+        _with_server(scenario)
+
+
+# ----------------------------------------------------------------------
+# Oversize messages: typed rejection, surviving connections
+# ----------------------------------------------------------------------
+class TestOversizeMessages:
+    def test_oversize_frame_gets_typed_error_and_connection_survives(self):
+        async def scenario(server, host, port):
+            client = await RouteQueryClient.connect(
+                host, port, default_timeout=30.0, codec="binary"
+            )
+            try:
+                with pytest.raises(WireProtocolError) as exc_info:
+                    await client.request("ping", junk="x" * 5000)
+                assert exc_info.value.data["recoverable"] is True
+                assert exc_info.value.data["limit_bytes"] == 2048
+                # The server drained the body: same connection, next
+                # request is fine.
+                assert client.broken is False
+                reply = await client.ping()
+                assert reply["pong"] is True
+            finally:
+                await client.close()
+
+        _with_server(scenario, max_line_bytes=2048)
+
+    def test_oversize_ndjson_line_gets_typed_error_and_resyncs(self):
+        async def scenario(server, host, port):
+            client = await RouteQueryClient.connect(
+                host, port, default_timeout=30.0, codec="ndjson"
+            )
+            try:
+                with pytest.raises(WireProtocolError) as exc_info:
+                    await client.request("ping", junk="x" * 5000)
+                assert exc_info.value.data["recoverable"] is True
+                # The server consumed the whole line before replying,
+                # so the client is *not* poisoned.
+                assert client.broken is False
+                reply = await client.ping()
+                assert reply["pong"] is True
+                stats = (await client.stats())["stats"]
+                assert stats["counters"]["wire_protocol_errors"] == 1
+            finally:
+                await client.close()
+
+        _with_server(scenario, max_line_bytes=2048)
+
+    def test_oversize_mid_batch_does_not_poison_later_batches(self):
+        """A batch over the limit draws one stream-level error; a
+        follow-up batch on the same connection works normally."""
+
+        async def scenario(server, host, port):
+            client = await RouteQueryClient.connect(
+                host, port, default_timeout=30.0, codec="ndjson"
+            )
+            try:
+                big = [("ping", {"junk": "x" * 400}) for _ in range(20)]
+                with pytest.raises(WireProtocolError):
+                    await client.request_batch(big)
+                assert client.broken is False
+                small = [("ping", {}) for _ in range(3)]
+                replies = await client.request_batch(small)
+                assert [r["ok"] for r in replies] == [True] * 3
+            finally:
+                await client.close()
+
+        _with_server(scenario, max_line_bytes=2048)

@@ -1,0 +1,213 @@
+"""Sharded control-plane tests: digest partitioning, worker specs,
+the router lifecycle (including crash recovery), and loadgen
+determinism.
+
+Process spawning is expensive, so the live-router coverage is one
+comprehensive lifecycle scenario rather than many small ones; the
+deterministic pieces (shard keys, specs, loadgen snapshots) run
+in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from typing import Any, Dict, Tuple
+
+import pytest
+
+from repro.mesh import FaultSet, Mesh
+from repro.routing import ascending, repeated
+from repro.service import ReconfigurationCompiler, StaleEpochError
+from repro.service.client import RouteQueryClient, raise_typed
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.service.server import RouteQueryServer
+from repro.service.shard import (
+    ShardRouter,
+    ShardWorkerSpec,
+    home_shard,
+    shard_key,
+)
+
+
+# ----------------------------------------------------------------------
+# Deterministic pieces (no processes)
+# ----------------------------------------------------------------------
+class TestShardKey:
+    def test_key_ignores_the_request_id(self):
+        a = {"id": 1, "op": "compile", "faults": {"nodes": [[1, 2]]}}
+        b = dict(a, id=999)
+        assert shard_key(a) == shard_key(b)
+
+    def test_key_ignores_field_order(self):
+        a = {"op": "compile", "faults": {"n": 1}, "id": 0}
+        b = {"faults": {"n": 1}, "id": 7, "op": "compile"}
+        assert shard_key(a) == shard_key(b)
+
+    def test_distinct_payloads_get_distinct_keys(self):
+        keys = {
+            shard_key({"op": "compile", "faults": {"n": i}})
+            for i in range(50)
+        }
+        assert len(keys) == 50
+
+    def test_home_shard_is_stable_and_in_range(self):
+        payloads = [
+            {"op": "compile", "faults": {"n": i}} for i in range(100)
+        ]
+        for n in (1, 2, 3, 7):
+            homes = [home_shard(p, n) for p in payloads]
+            assert homes == [home_shard(p, n) for p in payloads]
+            assert all(0 <= h < n for h in homes)
+        # The partition actually spreads work (not all on one shard).
+        assert len({home_shard(p, 4) for p in payloads}) > 1
+
+
+class TestWorkerSpec:
+    def test_spec_is_plain_picklable_data(self):
+        spec = ShardWorkerSpec(
+            shard_id=2, dims=(8, 8), rounds=2, store_root="/tmp/x"
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.dims == (8, 8)
+
+
+# ----------------------------------------------------------------------
+# Live router lifecycle (spawns real worker processes)
+# ----------------------------------------------------------------------
+def _survivor_pair(
+    faults: FaultSet, compiled: Dict[str, Any]
+) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    excluded = {
+        tuple(v)
+        for v in list(compiled["lamb_nodes"]) + list(compiled["quarantined"])
+    }
+    survivors = [
+        v
+        for v in faults.mesh.nodes()
+        if not faults.node_is_faulty(v) and v not in excluded
+    ]
+    return survivors[0], survivors[-1]
+
+
+class TestShardRouterLifecycle:
+    def test_replicated_plane_end_to_end(self):
+        """Compile → replicated queries → delta → stale epoch →
+        worker kill with zero lost replies → respawn and log replay →
+        epoch equality across the rotation → graceful stop."""
+        faults = FaultSet(Mesh((8, 8)), [(2, 2), (5, 6)])
+
+        async def main() -> Dict[str, Any]:
+            router = ShardRouter(dims=(8, 8), rounds=2, num_shards=2)
+            await router.start()
+            bi = await router.client(codec="binary", default_timeout=60.0)
+            nd = await router.client(codec="ndjson", default_timeout=60.0)
+            try:
+                compiled = await bi.compile(faults, timeout=120.0)
+                assert compiled["cache_hit"] is False
+                epoch0 = int(compiled["epoch"])
+                src, dst = _survivor_pair(faults, compiled)
+
+                # Reads rotate across replicas; both codecs agree.
+                for client in (bi, nd, bi, nd):
+                    reply = await client.query(src, dst, epoch=epoch0)
+                    assert reply["hops"] >= 1
+
+                # A mutation broadcasts: every replica serves the new
+                # epoch, and the superseded one is refused typed.
+                deltad = await nd.delta(node_faults=[dst], timeout=120.0)
+                epoch1 = int(deltad["epoch"])
+                assert epoch1 > epoch0
+                with pytest.raises(StaleEpochError):
+                    await bi.query(src, dst, epoch=epoch0)
+
+                safe = await bi.compile(faults, timeout=120.0)
+                assert safe["cache_hit"] is True  # store-backed replica hit
+
+                # Chaos: SIGKILL one worker, then keep querying — the
+                # router retries reads on survivors, so nothing is
+                # lost while the respawn replays the mutation log.
+                epoch2 = int(safe["epoch"])
+                assert router.kill_worker(1) is True
+                answered = 0
+                for _ in range(8):
+                    reply = await bi.query(src, (0, 1), epoch=epoch2)
+                    answered += 1 if reply["ok"] else 0
+                assert answered == 8
+
+                deadline = asyncio.get_running_loop().time() + 60.0
+                stats = router.router_stats()
+                while (
+                    stats["in_sync"] < 2
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.25)
+                    stats = router.router_stats()
+                assert stats["in_sync"] == 2
+                assert stats["respawns"] == 1
+                assert stats["epoch_divergences"] == 0
+
+                # Epoch equality across the full rotation, including
+                # the respawned replica.
+                for _ in range(4):
+                    reply = await nd.query(src, (0, 1), epoch=epoch2)
+                    raise_typed(reply)
+                return router.router_stats()
+            finally:
+                await bi.close()
+                await nd.close()
+                await router.stop()
+
+        stats = asyncio.run(main())
+        assert stats["shards"] == 2
+        # compile + delta + re-compile (a re-activation is a mutation
+        # too — it bumps the epoch on every replica).
+        assert stats["mutations"] == 3
+        assert stats["reads_forwarded"] > 0
+
+
+# ----------------------------------------------------------------------
+# Loadgen determinism (single-process backend, no spawning)
+# ----------------------------------------------------------------------
+class TestLoadgenDeterminism:
+    @staticmethod
+    async def _campaign() -> Dict[str, Any]:
+        compiler = ReconfigurationCompiler(
+            Mesh((8, 8)), repeated(ascending(2), 2)
+        )
+        server = RouteQueryServer(compiler)
+        host, port = await server.start()
+        try:
+            return await run_loadgen(
+                LoadgenConfig(
+                    host=host,
+                    port=port,
+                    codec="ndjson",
+                    connections=2,
+                    batches=4,
+                    batch_size=25,
+                    warmup_batches=1,
+                    delta_every=2,
+                    dims=(8, 8),
+                    fault_count=2,
+                    fault_seed=3,
+                )
+            )
+        finally:
+            await server.stop()
+
+    def test_snapshot_is_seed_deterministic(self):
+        report_a = asyncio.run(self._campaign())
+        report_b = asyncio.run(self._campaign())
+        assert report_a["snapshot"] == report_b["snapshot"]
+        assert report_a["probe"] == report_b["probe"]
+        snap = report_a["snapshot"]
+        assert snap["ok"] == snap["queries"] == 4 * 25
+        assert snap["deltas"] >= 1
+        # Wall-clock blocks exist but are not part of the contract.
+        assert set(report_a) == {
+            "snapshot", "probe", "latency", "throughput"
+        }
+        assert report_a["latency"]["p50_s"] >= 0.0
+        assert report_a["throughput"]["qps"] > 0.0
